@@ -1,0 +1,118 @@
+//! Least-squares fits on (n, rounds) series.
+
+/// Result of a one-parameter-family regression.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FitResult {
+    /// Leading coefficient (slope for linear, `a` for `a·x²` term).
+    pub coefficient: f64,
+    /// Intercept / constant term.
+    pub intercept: f64,
+    /// Coefficient of determination in `[0, 1]` (1 = perfect fit).
+    pub r2: f64,
+}
+
+fn r_squared(ys: &[f64], predicted: impl Fn(usize) -> f64) -> f64 {
+    let n = ys.len() as f64;
+    let mean = ys.iter().sum::<f64>() / n;
+    let ss_tot: f64 = ys.iter().map(|y| (y - mean).powi(2)).sum();
+    let ss_res: f64 = ys
+        .iter()
+        .enumerate()
+        .map(|(i, y)| (y - predicted(i)).powi(2))
+        .sum();
+    if ss_tot == 0.0 {
+        if ss_res == 0.0 {
+            1.0
+        } else {
+            0.0
+        }
+    } else {
+        1.0 - ss_res / ss_tot
+    }
+}
+
+/// Ordinary least squares `y = a·x + b`.
+///
+/// # Panics
+/// Panics with fewer than two points.
+pub fn linear_fit(points: &[(f64, f64)]) -> FitResult {
+    assert!(points.len() >= 2, "need at least two points");
+    let n = points.len() as f64;
+    let sx: f64 = points.iter().map(|p| p.0).sum();
+    let sy: f64 = points.iter().map(|p| p.1).sum();
+    let sxx: f64 = points.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = points.iter().map(|p| p.0 * p.1).sum();
+    let denom = n * sxx - sx * sx;
+    let a = if denom == 0.0 { 0.0 } else { (n * sxy - sx * sy) / denom };
+    let b = (sy - a * sx) / n;
+    let ys: Vec<f64> = points.iter().map(|p| p.1).collect();
+    let r2 = r_squared(&ys, |i| a * points[i].0 + b);
+    FitResult { coefficient: a, intercept: b, r2 }
+}
+
+/// Least squares on `y = a·x² + b` (no linear term: discriminates pure
+/// quadratic growth from linear growth when compared with
+/// [`linear_fit`]'s r²).
+pub fn quadratic_fit(points: &[(f64, f64)]) -> FitResult {
+    assert!(points.len() >= 2, "need at least two points");
+    let transformed: Vec<(f64, f64)> = points.iter().map(|&(x, y)| (x * x, y)).collect();
+    let fit = linear_fit(&transformed);
+    let ys: Vec<f64> = points.iter().map(|p| p.1).collect();
+    let r2 = r_squared(&ys, |i| fit.coefficient * points[i].0 * points[i].0 + fit.intercept);
+    FitResult { coefficient: fit.coefficient, intercept: fit.intercept, r2 }
+}
+
+/// Slope of the log–log regression: the empirical scaling exponent
+/// (≈ 1 for Θ(n), ≈ 2 for Θ(n²)). Points with non-positive coordinates
+/// are skipped.
+pub fn loglog_slope(points: &[(f64, f64)]) -> f64 {
+    let logs: Vec<(f64, f64)> = points
+        .iter()
+        .filter(|&&(x, y)| x > 0.0 && y > 0.0)
+        .map(|&(x, y)| (x.ln(), y.ln()))
+        .collect();
+    assert!(logs.len() >= 2, "need at least two positive points");
+    linear_fit(&logs).coefficient
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_exact_line() {
+        let pts: Vec<(f64, f64)> = (1..=10).map(|i| (i as f64, 3.0 * i as f64 + 2.0)).collect();
+        let fit = linear_fit(&pts);
+        assert!((fit.coefficient - 3.0).abs() < 1e-9);
+        assert!((fit.intercept - 2.0).abs() < 1e-9);
+        assert!((fit.r2 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn discriminates_linear_from_quadratic() {
+        let quad: Vec<(f64, f64)> = (1..=20).map(|i| (i as f64, 0.5 * (i * i) as f64)).collect();
+        let lin_fit = linear_fit(&quad);
+        let quad_fit = quadratic_fit(&quad);
+        assert!(quad_fit.r2 > lin_fit.r2);
+        assert!((quad_fit.coefficient - 0.5).abs() < 1e-9);
+        assert!((loglog_slope(&quad) - 2.0).abs() < 0.01);
+
+        let lin: Vec<(f64, f64)> = (1..=20).map(|i| (i as f64, 7.0 * i as f64)).collect();
+        assert!((loglog_slope(&lin) - 1.0).abs() < 0.01);
+        assert!(linear_fit(&lin).r2 > quadratic_fit(&lin).r2);
+    }
+
+    #[test]
+    fn constant_series_r2() {
+        let flat: Vec<(f64, f64)> = (1..=5).map(|i| (i as f64, 4.0)).collect();
+        let fit = linear_fit(&flat);
+        assert!(fit.coefficient.abs() < 1e-9);
+        assert_eq!(fit.r2, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn too_few_points_panics() {
+        linear_fit(&[(1.0, 1.0)]);
+    }
+}

@@ -1,0 +1,12 @@
+//! # gather-analysis
+//!
+//! Statistics and table emission for the experiment suite: least-squares
+//! fits that discriminate linear from quadratic round growth (E1/E8),
+//! log–log slope estimation, and Markdown/CSV table rendering for
+//! EXPERIMENTS.md.
+
+mod fit;
+mod table;
+
+pub use fit::{linear_fit, loglog_slope, quadratic_fit, FitResult};
+pub use table::{render_csv, render_markdown, Table};

@@ -1,0 +1,145 @@
+//! AsyncGreedy: the paper's introduction observes that under a fair
+//! sequential scheduler (ASYNC, one robot active at a time, a round
+//! ends when every robot has been activated once) "a simple strategy
+//! could achieve the same O(n) rounds". This module implements that
+//! strawman as a reference point: the active robot, if it can leave the
+//! swarm without disconnecting it, hops onto an adjacent robot and
+//! merges. Removability is checked in a local window first and falls
+//! back to a global connectivity test — the sequential strawman is
+//! deliberately *stronger* than the distributed model (the paper's
+//! remark is about the scheduler, not about vision), which only makes
+//! the comparison against the FSYNC algorithm more conservative.
+//!
+//! Because activations are sequential there are no simultaneity
+//! hazards, which is precisely why the strategy is trivial — and why
+//! the FSYNC result is interesting.
+
+use grid_engine::connectivity::is_connected;
+use grid_engine::{OrientationMode, Point, Swarm};
+
+/// Outcome of a sequential greedy run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GreedyOutcome {
+    /// Scheduler rounds (passes of n activations) until gathered.
+    pub rounds: u64,
+    /// Total robots removed by merges.
+    pub merged: usize,
+}
+
+pub struct AsyncGreedy {
+    swarm: Swarm<()>,
+}
+
+impl AsyncGreedy {
+    pub fn new(positions: &[Point]) -> Self {
+        AsyncGreedy { swarm: Swarm::new(positions, OrientationMode::Aligned) }
+    }
+
+    pub fn swarm(&self) -> &Swarm<()> {
+        &self.swarm
+    }
+
+    /// Is the robot at `pos` removable: do its 4-neighbours stay
+    /// connected when it hops onto `dst`? Fast path: a 5×5 window
+    /// check; slow path (ring-like shapes where everyone is a local
+    /// cut vertex): a global connectivity test.
+    fn removable(&self, pos: Point, dst: Point) -> bool {
+        self.removable_window(pos, dst) || self.removable_global(pos)
+    }
+
+    fn removable_global(&self, pos: Point) -> bool {
+        let remaining: Vec<Point> = self.swarm.positions().filter(|&p| p != pos).collect();
+        grid_engine::connectivity::points_connected(&remaining)
+    }
+
+    fn removable_window(&self, pos: Point, dst: Point) -> bool {
+        const R: i32 = 2;
+        let occ = |p: Point| p != pos && self.swarm.occupied(p);
+        let inside = |p: Point| (p.x - pos.x).abs() <= R && (p.y - pos.y).abs() <= R;
+        // BFS from dst over occupied window cells.
+        let mut seen = vec![dst];
+        let mut stack = vec![dst];
+        while let Some(p) = stack.pop() {
+            for q in p.neighbors4() {
+                if inside(q) && occ(q) && !seen.contains(&q) {
+                    seen.push(q);
+                    stack.push(q);
+                }
+            }
+        }
+        pos.neighbors4()
+            .into_iter()
+            .all(|nb| !inside(nb) || !occ(nb) || seen.contains(&nb))
+    }
+
+    /// Run until gathered. One round = one activation pass over the
+    /// robots alive at the start of the pass.
+    pub fn run(mut self, max_rounds: u64) -> Result<GreedyOutcome, String> {
+        let mut rounds = 0;
+        let mut merged = 0;
+        while !self.swarm.is_gathered() {
+            if rounds >= max_rounds {
+                return Err(format!("round budget exhausted at {rounds}"));
+            }
+            let before = self.swarm.len();
+            // Activate robots one at a time in deterministic order of
+            // their current positions (a fair scheduler).
+            let mut order: Vec<Point> = self.swarm.positions().collect();
+            order.sort();
+            for pos in order {
+                let Some(i) = self.swarm.robot_at(pos) else { continue };
+                // Hop onto an adjacent robot if that cannot disconnect.
+                let Some(dst) = pos
+                    .neighbors4()
+                    .into_iter()
+                    .find(|&nb| self.swarm.occupied(nb) && self.removable(pos, nb))
+                else {
+                    continue;
+                };
+                let n = self.swarm.len();
+                let mut actions: Vec<grid_engine::Action<()>> =
+                    (0..n).map(|_| grid_engine::Action::stay(())).collect();
+                actions[i].step = dst - pos;
+                let out = self.swarm.apply(actions);
+                merged += out.merged;
+                debug_assert!(is_connected(&self.swarm));
+                if self.swarm.is_gathered() {
+                    break;
+                }
+            }
+            rounds += 1;
+            if self.swarm.len() == before && !self.swarm.is_gathered() {
+                return Err(format!("no progress in pass {rounds}"));
+            }
+        }
+        Ok(GreedyOutcome { rounds, merged })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_gathers_in_constant_passes() {
+        let pts: Vec<Point> = (0..50).map(|x| Point::new(x, 0)).collect();
+        let out = AsyncGreedy::new(&pts).run(100).expect("gathers");
+        // Each pass removes many robots (every removable leaf in turn);
+        // the pass count is far below n.
+        assert!(out.rounds <= 10, "rounds = {}", out.rounds);
+        assert_eq!(out.merged, 48);
+    }
+
+    #[test]
+    fn blob_gathers() {
+        let pts = gather_workloads::random_blob(150, 7);
+        let out = AsyncGreedy::new(&pts).run(200).expect("gathers");
+        assert!(out.rounds > 0);
+    }
+
+    #[test]
+    fn hollow_gathers() {
+        let pts = gather_workloads::hollow_rectangle(10, 10, 1);
+        AsyncGreedy::new(&pts).run(500).expect("gathers");
+    }
+}

@@ -1,0 +1,20 @@
+//! # gather-baselines
+//!
+//! Comparator strategies for experiment E8:
+//!
+//! * [`GoToCenter`] — a grid adaptation of the local O(n²) Euclidean
+//!   strategy of Degener et al. [DKL+11] (every robot moves toward the
+//!   centre of the robots it can see, guarded so the swarm cannot
+//!   disconnect). The paper beats this bound; the benchmark reproduces
+//!   the quadratic-vs-linear separation in round counts.
+//! * [`AsyncGreedy`] — the strategy the paper's introduction sketches
+//!   for a fair sequential scheduler ("a simple strategy could achieve
+//!   the same O(n) rounds" in ASYNC): robots are activated one at a
+//!   time and greedily shorten the swarm. One *round* is one pass of n
+//!   activations, making numbers comparable with FSYNC strategies.
+
+mod center;
+mod greedy;
+
+pub use center::GoToCenter;
+pub use greedy::{AsyncGreedy, GreedyOutcome};

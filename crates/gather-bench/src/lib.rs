@@ -1,0 +1,135 @@
+//! # gather-bench
+//!
+//! Shared experiment harness for the criterion benches and the `report`
+//! binary that regenerates every table in EXPERIMENTS.md. Each function
+//! corresponds to an experiment ID from DESIGN.md §4.
+
+use gather_baselines::{AsyncGreedy, GoToCenter};
+use gather_core::{GatherConfig, GatherController};
+use grid_engine::{
+    ConnectivityCheck, Engine, EngineConfig, EngineError, OrientationMode, Point, RunOutcome,
+};
+
+/// Outcome of one measured gathering run.
+#[derive(Clone, Debug)]
+pub struct Measurement {
+    pub n: usize,
+    pub rounds: u64,
+    pub merges: usize,
+    pub gathered: bool,
+    /// Whether the swarm was still 4-connected when the run ended.
+    /// The paper's algorithm never disconnects; the GoToCenter
+    /// baseline can (its continuous-motion safety argument does not
+    /// transfer to the grid), which E8 reports.
+    pub connected: bool,
+}
+
+fn engine_config(threads: usize) -> EngineConfig {
+    EngineConfig {
+        threads,
+        connectivity: ConnectivityCheck::Never,
+        keep_history: false,
+        stall_limit: 200_000,
+    }
+}
+
+/// Run the paper's algorithm on `points` until gathered (or the budget
+/// dies). `seed` scrambles per-robot orientations (no-compass model).
+pub fn run_paper(points: &[Point], seed: u64, cfg: GatherConfig, budget: u64) -> Measurement {
+    let controller = GatherController::with_config(cfg).expect("valid config");
+    let mut engine = Engine::from_positions(
+        points,
+        OrientationMode::Scrambled(seed),
+        controller,
+        engine_config(0),
+    );
+    finish(points.len(), engine.run_until_gathered(budget), &mut engine)
+}
+
+/// Same, pinned to a given worker-thread count (E10).
+pub fn run_paper_threads(points: &[Point], seed: u64, threads: usize, budget: u64) -> Measurement {
+    let mut engine = Engine::from_positions(
+        points,
+        OrientationMode::Scrambled(seed),
+        GatherController::paper(),
+        engine_config(threads),
+    );
+    finish(points.len(), engine.run_until_gathered(budget), &mut engine)
+}
+
+/// Run the GoToCenter baseline (E8). Connectivity is *observed*, not
+/// enforced: the baseline is allowed to break the model's invariant so
+/// the experiment can report how often it does.
+pub fn run_center(points: &[Point], seed: u64, budget: u64) -> Measurement {
+    let mut engine = Engine::from_positions(
+        points,
+        OrientationMode::Scrambled(seed),
+        GoToCenter::paper_radius(),
+        engine_config(0),
+    );
+    let result = engine.run_until_gathered(budget);
+    let connected = grid_engine::connectivity::is_connected(&engine.swarm);
+    let mut m = finish(points.len(), result, &mut engine);
+    m.connected = connected;
+    m
+}
+
+/// Run the sequential greedy baseline (E8/E9 reference).
+pub fn run_greedy(points: &[Point], budget: u64) -> Measurement {
+    let n = points.len();
+    match AsyncGreedy::new(points).run(budget) {
+        Ok(out) => {
+            Measurement { n, rounds: out.rounds, merges: out.merged, gathered: true, connected: true }
+        }
+        Err(_) => Measurement { n, rounds: budget, merges: 0, gathered: false, connected: true },
+    }
+}
+
+fn finish<C: grid_engine::Controller>(
+    n: usize,
+    result: Result<RunOutcome, EngineError>,
+    engine: &mut Engine<C>,
+) -> Measurement {
+    match result {
+        Ok(out) => Measurement {
+            n,
+            rounds: out.rounds,
+            merges: out.metrics.total_merged,
+            gathered: true,
+            connected: true,
+        },
+        Err(_) => Measurement {
+            n,
+            rounds: engine.round(),
+            merges: engine.metrics().total_merged,
+            gathered: false,
+            connected: true,
+        },
+    }
+}
+
+/// The budget used by scaling experiments: generous multiple of the
+/// theoretical O(n) bound.
+pub fn budget_for(n: usize) -> u64 {
+    500 * n as u64 + 20_000
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_runs_paper_algorithm() {
+        let m = run_paper(&gather_workloads::line(32), 1, GatherConfig::paper(), 1000);
+        assert!(m.gathered);
+        assert!(m.rounds <= 32);
+        assert_eq!(m.n, 32);
+    }
+
+    #[test]
+    fn harness_runs_baselines() {
+        let pts = gather_workloads::random_blob(64, 5);
+        assert!(run_center(&pts, 1, 5000).gathered);
+        assert!(run_greedy(&pts, 500).gathered);
+    }
+}

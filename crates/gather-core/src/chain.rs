@@ -1,0 +1,177 @@
+//! Local boundary-chain traversal: the "vector chain along the outer
+//! boundary" of the paper's Lemma 1 proof (Fig. 18), computed from a
+//! robot's local view.
+//!
+//! A chain cursor is `(at, travel, side)`: a robot cell `at`, the walk
+//! direction `travel`, and the exterior side `side` (the empty side the
+//! chain keeps on its hand). One step inspects two cells:
+//!
+//! * the diagonal `at + travel + side` — occupied means the boundary
+//!   turns *into* the walker (concave corner);
+//! * the cell ahead `at + travel` — occupied means the boundary runs
+//!   straight; empty means the boundary wraps around the current robot
+//!   (convex corner: same robot, rotated directions).
+//!
+//! The traversal visits each robot once per empty side, which is why a
+//! one-cell-wide line appears twice on its own chain and why a robot
+//! can carry two independent run states.
+
+use crate::state::GatherState;
+use grid_engine::{V2, View};
+
+/// One cursor of a boundary-chain walk.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Cursor {
+    pub at: V2,
+    pub travel: V2,
+    pub side: V2,
+}
+
+/// The kind of step a cursor just took.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Turn {
+    Straight,
+    /// Boundary turned into the walk (new robot at the diagonal).
+    Concave,
+    /// Boundary wrapped around the current robot (cursor stays, rotates).
+    Convex,
+}
+
+/// Advance the cursor one step along the boundary.
+///
+/// Precondition (checked in debug): `at` occupied, `at + side` empty.
+pub fn chain_next(view: &View<'_, GatherState>, c: Cursor) -> (Cursor, Turn) {
+    debug_assert!(view.occupied(c.at), "cursor not on a robot");
+    debug_assert!(view.empty(c.at + c.side), "side is not exterior");
+    let diag = c.at + c.travel + c.side;
+    let ahead = c.at + c.travel;
+    if view.occupied(diag) {
+        (
+            Cursor { at: diag, travel: c.side, side: -c.travel },
+            Turn::Concave,
+        )
+    } else if view.occupied(ahead) {
+        (Cursor { at: ahead, ..c }, Turn::Straight)
+    } else {
+        (
+            Cursor { at: c.at, travel: -c.side, side: c.travel },
+            Turn::Convex,
+        )
+    }
+}
+
+/// Walk up to `depth` steps from `start`, yielding each new cursor and
+/// the turn that produced it. Stops early if the walk's preconditions
+/// break (possible mid-round while other robots are about to move).
+pub fn walk(
+    view: &View<'_, GatherState>,
+    start: Cursor,
+    depth: i32,
+) -> Vec<(Cursor, Turn)> {
+    let mut out = Vec::with_capacity(depth as usize);
+    let mut cur = start;
+    for _ in 0..depth {
+        if view.empty(cur.at) || view.occupied(cur.at + cur.side) {
+            break;
+        }
+        let (next, turn) = chain_next(view, cur);
+        out.push((next, turn));
+        cur = next;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grid_engine::{OrientationMode, Point, Swarm};
+
+    fn swarm(cells: &[(i32, i32)]) -> Swarm<GatherState> {
+        let pts: Vec<Point> = cells.iter().map(|&(x, y)| Point::new(x, y)).collect();
+        Swarm::new(&pts, OrientationMode::Aligned)
+    }
+
+    fn view_at(s: &Swarm<GatherState>, p: (i32, i32)) -> View<'_, GatherState> {
+        View::new(s, s.robot_at(Point::new(p.0, p.1)).unwrap(), 20)
+    }
+
+    #[test]
+    fn straight_segment() {
+        let s = swarm(&[(0, 0), (1, 0), (2, 0), (3, 0)]);
+        let v = view_at(&s, (0, 0));
+        let (c, t) = chain_next(&v, Cursor { at: V2::ZERO, travel: V2::E, side: V2::N });
+        assert_eq!(t, Turn::Straight);
+        assert_eq!(c.at, V2::E);
+        assert_eq!(c.travel, V2::E);
+        assert_eq!(c.side, V2::N);
+    }
+
+    #[test]
+    fn convex_wrap_at_line_end() {
+        let s = swarm(&[(0, 0), (1, 0), (2, 0)]);
+        let v = view_at(&s, (2, 0));
+        // Walking east along the north side at the east end: wrap.
+        let (c, t) = chain_next(&v, Cursor { at: V2::ZERO, travel: V2::E, side: V2::N });
+        assert_eq!(t, Turn::Convex);
+        assert_eq!(c.at, V2::ZERO);
+        assert_eq!(c.travel, V2::S);
+        assert_eq!(c.side, V2::E);
+        // Wrap again: now walking west along the south side.
+        let (c2, t2) = chain_next(&v, c);
+        assert_eq!(t2, Turn::Convex);
+        assert_eq!(c2.travel, V2::W);
+        assert_eq!(c2.side, V2::S);
+    }
+
+    #[test]
+    fn concave_turn_into_upper_row() {
+        // Row east, then the boundary steps up:
+        // . . o o
+        // o o o .
+        let s = swarm(&[(0, 0), (1, 0), (2, 0), (2, 1), (3, 1)]);
+        let v = view_at(&s, (1, 0));
+        let (c, t) = chain_next(&v, Cursor { at: V2::ZERO, travel: V2::E, side: V2::N });
+        assert_eq!(t, Turn::Concave);
+        assert_eq!(c.at, V2::new(1, 1)); // the diagonal robot (2,1)
+        assert_eq!(c.travel, V2::N);
+        assert_eq!(c.side, V2::W);
+    }
+
+    #[test]
+    fn walk_circumnavigates_a_line() {
+        // A 1×3 line: the full boundary chain from the west end's north
+        // side returns to itself after visiting both sides.
+        let s = swarm(&[(0, 0), (1, 0), (2, 0)]);
+        let v = view_at(&s, (1, 0));
+        let start = Cursor { at: V2::W, travel: V2::E, side: V2::N };
+        let steps = walk(&v, start, 12);
+        assert_eq!(steps.len(), 12);
+        // The walk must return to its start cursor within one lap:
+        // 2 straight (top), 2 convex (east wrap), 2 straight (bottom),
+        // 2 convex (west wrap) = 8 steps per lap.
+        assert_eq!(steps[7].0, start);
+        let convex = steps.iter().take(8).filter(|(_, t)| *t == Turn::Convex).count();
+        assert_eq!(convex, 4);
+    }
+
+    #[test]
+    fn walk_around_square_block() {
+        // 2×2 block: the boundary chain has 4 robots x 2 sides... walk
+        // the outer contour: each robot contributes one straight and one
+        // convex step => 8 steps per lap.
+        let s = swarm(&[(0, 0), (1, 0), (0, 1), (1, 1)]);
+        let v = view_at(&s, (0, 0));
+        let start = Cursor { at: V2::ZERO, travel: V2::E, side: V2::S };
+        let steps = walk(&v, start, 8);
+        assert_eq!(steps[7].0, start);
+    }
+
+    #[test]
+    fn walk_stops_on_broken_precondition() {
+        let s = swarm(&[(0, 0), (1, 0)]);
+        let v = view_at(&s, (0, 0));
+        // side points at an occupied cell: walk refuses to move.
+        let bad = Cursor { at: V2::ZERO, travel: V2::N, side: V2::E };
+        assert!(walk(&v, bad, 5).is_empty());
+    }
+}

@@ -1,0 +1,157 @@
+//! The complete per-robot algorithm (Fig. 11): merge first, then runner
+//! operations, then run starts every L-th round.
+
+use crate::config::GatherConfig;
+use crate::merge::merge_step;
+use crate::runner;
+use crate::state::{GatherState, Run};
+use grid_engine::{Action, Controller, RoundCtx, V2, View};
+
+/// The paper's gathering strategy as a [`Controller`] for the FSYNC
+/// engine. Stateless apart from its constants; all per-robot memory
+/// lives in [`GatherState`].
+#[derive(Clone, Debug)]
+pub struct GatherController {
+    cfg: GatherConfig,
+}
+
+impl GatherController {
+    /// Strategy with the paper's unoptimised constants (radius 20,
+    /// L = 22).
+    pub fn paper() -> Self {
+        Self::with_config(GatherConfig::paper()).expect("paper constants are valid")
+    }
+
+    pub fn with_config(cfg: GatherConfig) -> Result<Self, String> {
+        cfg.validate()?;
+        Ok(GatherController { cfg })
+    }
+
+    pub fn config(&self) -> &GatherConfig {
+        &self.cfg
+    }
+}
+
+impl Controller for GatherController {
+    type State = GatherState;
+
+    fn radius(&self) -> i32 {
+        self.cfg.radius
+    }
+
+    fn decide(&self, view: &View<'_, GatherState>, ctx: RoundCtx) -> Action<GatherState> {
+        let k_max = self.cfg.k_max();
+
+        // 1. Merge (Fig. 11 step 1): members of executing merge runs
+        //    hop; their runs terminate (Table 1, cond. 3).
+        if let Some(step) = merge_step(view, V2::ZERO, k_max) {
+            return Action { step, state: GatherState::default() };
+        }
+
+        // 2./3. Run operations (Fig. 11 steps 2 and 3): resolve my own
+        //    runs, including any started this round (OP-C acts in the
+        //    start round itself).
+        let starting = ctx.round % self.cfg.period == 0;
+        let my_plan = runner::plan(view, V2::ZERO, starting, &self.cfg);
+        if my_plan.hop != V2::ZERO && view.occupied(my_plan.hop) {
+            // OP-A onto an occupied cell: merge; every run I hold or
+            // would adopt this round dies with me (cond. 6 + 3).
+            return Action { step: my_plan.hop, state: GatherState::default() };
+        }
+        let mut next: Vec<Run> = my_plan.kept;
+
+        // ...and adopt runs my boundary neighbours hand to me. The
+        //    recipient of a pass is always within Chebyshev distance 1
+        //    of the holder, so scanning the 8 neighbours is complete.
+        for dy in -1..=1 {
+            for dx in -1..=1 {
+                let d = V2::new(dx, dy);
+                if d == V2::ZERO || view.empty(d) {
+                    continue;
+                }
+                let their = runner::plan(view, d, starting, &self.cfg);
+                for (to, run) in their.passes {
+                    // Pass targets are expressed in the observer's own
+                    // frame already; the run is ours if it lands here.
+                    if to == V2::ZERO {
+                        next.push(run);
+                    }
+                }
+            }
+        }
+
+        Action { step: my_plan.hop, state: GatherState::from_runs(next) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grid_engine::{
+        ConnectivityCheck, Engine, EngineConfig, EngineError, OrientationMode, Point, Swarm,
+    };
+
+    fn engine_for(cells: &[(i32, i32)]) -> Engine<GatherController> {
+        let pts: Vec<Point> = cells.iter().map(|&(x, y)| Point::new(x, y)).collect();
+        Engine::new(
+            Swarm::new(&pts, OrientationMode::Aligned),
+            GatherController::paper(),
+            EngineConfig {
+                connectivity: ConnectivityCheck::Always,
+                ..EngineConfig::default()
+            },
+        )
+    }
+
+    fn gathers(cells: &[(i32, i32)], budget: u64) -> u64 {
+        let mut e = engine_for(cells);
+        match e.run_until_gathered(budget) {
+            Ok(out) => out.rounds,
+            Err(EngineError::Disconnected { round }) => {
+                panic!("disconnected at round {round}")
+            }
+            Err(err) => panic!("did not gather: {err}"),
+        }
+    }
+
+    #[test]
+    fn tiny_swarms_gather_immediately_or_fast() {
+        assert_eq!(gathers(&[(0, 0)], 10), 0);
+        assert_eq!(gathers(&[(0, 0), (1, 0)], 10), 0);
+        assert_eq!(gathers(&[(0, 0), (1, 0), (0, 1), (1, 1)], 10), 0);
+        // A 1×3 line is not within a 2×2 box; both tips hop in.
+        assert!(gathers(&[(0, 0), (1, 0), (2, 0)], 10) <= 2);
+    }
+
+    #[test]
+    fn line_gathers_linearly() {
+        let cells: Vec<(i32, i32)> = (0..40).map(|x| (x, 0)).collect();
+        let rounds = gathers(&cells, 400);
+        // Tips erode by one from each side per round: ~n/2 rounds.
+        assert!(rounds <= 40, "took {rounds} rounds");
+    }
+
+    #[test]
+    fn small_square_gathers() {
+        let mut cells = Vec::new();
+        for y in 0..5 {
+            for x in 0..5 {
+                cells.push((x, y));
+            }
+        }
+        let rounds = gathers(&cells, 2000);
+        assert!(rounds > 0);
+    }
+
+    #[test]
+    fn plateau_gathers_via_runners() {
+        // Mergeless Fig. 4 shape: requires run reshapement.
+        let mut cells: Vec<(i32, i32)> = (0..20).map(|x| (x, 0)).collect();
+        for y in 1..=9 {
+            cells.push((0, -y));
+            cells.push((19, -y));
+        }
+        let rounds = gathers(&cells, 10_000);
+        assert!(rounds > 0);
+    }
+}

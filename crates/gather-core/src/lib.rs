@@ -1,0 +1,62 @@
+//! # gather-core
+//!
+//! The primary contribution of *"Asymptotically Optimal Gathering on a
+//! Grid"* (SPAA 2016): a distributed, fully-local FSYNC strategy that
+//! gathers any connected swarm of `n` robots on the grid into a 2×2
+//! area in `O(n)` rounds.
+//!
+//! ## Structure (mirrors the paper)
+//!
+//! * merges — merge operations (§3.1, Fig. 2/3): maximal straight
+//!   sub-boundaries hop sideways onto grey witnesses and remove robots.
+//! * [`state`] — the run states (§3.2): up to two reshapement tokens
+//!   per robot, each pinned to a boundary side with a fixed travel
+//!   direction.
+//! * [`chain`] — local boundary-chain traversal (the vector chain of
+//!   Lemma 1 / Fig. 18).
+//! * runner ops — OP-A/OP-B/OP-C (Fig. 8), run passing (Fig. 9b) and
+//!   the Table-1 stop conditions.
+//! * starts — the Start-A/Start-B patterns (Fig. 7), checked every
+//!   `L = 22` rounds.
+//! * [`boundary`] — whole-swarm analysis used by the Lemma-1
+//!   experiments: outer-boundary tracing and quasi-line/stairway
+//!   decomposition, plus the mergeless-swarm predicate.
+//!
+//! ## Usage
+//!
+//! ```
+//! use gather_core::GatherController;
+//! use grid_engine::{Engine, EngineConfig, OrientationMode, Point};
+//!
+//! let line: Vec<Point> = (0..32).map(|x| Point::new(x, 0)).collect();
+//! let mut engine = Engine::from_positions(
+//!     &line,
+//!     OrientationMode::Scrambled(1),
+//!     GatherController::paper(),
+//!     EngineConfig::default(),
+//! );
+//! let out = engine.run_until_gathered(10 * 32).unwrap();
+//! assert!(out.rounds <= 32);
+//! ```
+
+pub mod boundary;
+pub mod chain;
+mod config;
+mod controller;
+mod merge;
+mod runner;
+mod start;
+pub mod state;
+
+pub use config::GatherConfig;
+pub use controller::GatherController;
+pub use state::{GatherState, Run};
+
+/// Probe API used by tests, benches and the experiment harness: the
+/// merge move a robot would take (Fig. 2/3), `None` if it must stay.
+pub fn merge_move(
+    view: &grid_engine::View<'_, GatherState>,
+    cfg: &GatherConfig,
+) -> Option<grid_engine::V2> {
+    merge::merge_step(view, grid_engine::V2::ZERO, cfg.k_max())
+}

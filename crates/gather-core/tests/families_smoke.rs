@@ -1,0 +1,33 @@
+//! Cross-family robustness smoke test (debug build, small sizes).
+use gather_core::GatherController;
+use grid_engine::{ConnectivityCheck, Engine, EngineConfig, OrientationMode};
+use gather_workloads::{all_families, family};
+
+#[test]
+fn all_families_gather_small() {
+    for f in all_families() {
+        for n in [24usize, 64, 150] {
+            for seed in [1u64, 2] {
+                let pts = family(f, n, seed);
+                let count = pts.len() as u64;
+                let mut e = Engine::from_positions(
+                    &pts,
+                    OrientationMode::Scrambled(seed),
+                    GatherController::paper(),
+                    EngineConfig {
+                        connectivity: ConnectivityCheck::Always,
+                        stall_limit: 40 * 22 + 2000,
+                        ..Default::default()
+                    },
+                );
+                match e.run_until_gathered(400 * count + 10_000) {
+                    Ok(out) => eprintln!(
+                        "{:>13} n={:<4} seed={} rounds={} ({:.2} rounds/robot)",
+                        f.name(), count, seed, out.rounds, out.rounds as f64 / count as f64
+                    ),
+                    Err(err) => panic!("{} n={} seed={}: {err}", f.name(), count, seed),
+                }
+            }
+        }
+    }
+}

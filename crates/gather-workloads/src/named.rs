@@ -1,0 +1,134 @@
+//! Named workload families with a common `(n, seed) -> swarm` interface,
+//! so sweeps and benches can iterate "all families" uniformly.
+
+use grid_engine::Point;
+
+/// A named family of swarms parameterised by target robot count.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Family {
+    /// 1×n line (worst-case diameter).
+    Line,
+    /// Filled square, side ≈ √n.
+    Square,
+    /// Filled diamond (stairway boundary), radius chosen for ≈ n cells.
+    Diamond,
+    /// Hollow square ring of wall thickness 2 (inner boundary).
+    HollowSquare,
+    /// Fig. 4 plateau: wide top row with short legs.
+    Table,
+    /// Random Eden-cluster blob.
+    RandomBlob,
+    /// Random sparse tree.
+    RandomTree,
+    /// Random skyline of columns.
+    Skyline,
+    /// Comb with long teeth.
+    Comb,
+    /// One-cell-wide rectangular spiral.
+    Spiral,
+}
+
+impl Family {
+    pub fn name(self) -> &'static str {
+        match self {
+            Family::Line => "line",
+            Family::Square => "square",
+            Family::Diamond => "diamond",
+            Family::HollowSquare => "hollow-square",
+            Family::Table => "table",
+            Family::RandomBlob => "random-blob",
+            Family::RandomTree => "random-tree",
+            Family::Skyline => "skyline",
+            Family::Comb => "comb",
+            Family::Spiral => "spiral",
+        }
+    }
+}
+
+/// Every named family, in a stable report order.
+pub fn all_families() -> [Family; 10] {
+    [
+        Family::Line,
+        Family::Square,
+        Family::Diamond,
+        Family::HollowSquare,
+        Family::Table,
+        Family::RandomBlob,
+        Family::RandomTree,
+        Family::Skyline,
+        Family::Comb,
+        Family::Spiral,
+    ]
+}
+
+/// Instantiate a family with *approximately* `n` robots (exact for the
+/// random families and the line). Deterministic in `(family, n, seed)`.
+pub fn family(f: Family, n: usize, seed: u64) -> Vec<Point> {
+    let n = n.max(4);
+    match f {
+        Family::Line => crate::line(n),
+        Family::Square => {
+            let side = (n as f64).sqrt().round().max(2.0) as usize;
+            crate::square(side)
+        }
+        Family::Diamond => {
+            // 2r(r+1)+1 cells.
+            let r = (((n as f64) / 2.0).sqrt() - 0.5).round().max(1.0) as usize;
+            crate::diamond(r)
+        }
+        Family::HollowSquare => {
+            // side^2 - (side-2t)^2 cells with t = 2 => 8(side-2) - 16.
+            let side = (n / 8 + 4).max(6);
+            crate::hollow_rectangle(side, side, 2)
+        }
+        Family::Table => {
+            let legs = 4usize.min(n / 4);
+            crate::table(n.saturating_sub(2 * legs).max(2), legs)
+        }
+        Family::RandomBlob => crate::random_blob(n, seed),
+        Family::RandomTree => crate::random_tree(n, seed),
+        Family::Skyline => {
+            let max_h = (n as f64).sqrt().ceil().max(2.0) as usize;
+            let cols = (n / ((max_h + 1) / 2)).max(2);
+            crate::skyline(cols, max_h, seed)
+        }
+        Family::Comb => {
+            // spine + teeth; pick teeth count ~ sqrt(n).
+            let teeth = ((n as f64).sqrt() / 1.5).ceil().max(2.0) as usize;
+            let pitch = 3;
+            let spine = (teeth - 1) * pitch + 1;
+            let tooth_len = (n.saturating_sub(spine) / teeth).max(1);
+            crate::comb(teeth, tooth_len, pitch)
+        }
+        Family::Spiral => crate::spiral(n),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grid_engine::connectivity::points_connected;
+
+    #[test]
+    fn families_hit_approximate_sizes() {
+        for f in all_families() {
+            for n in [32usize, 128, 512] {
+                let pts = family(f, n, 7);
+                assert!(points_connected(&pts), "{} n={n}", f.name());
+                let got = pts.len();
+                assert!(
+                    got as f64 >= n as f64 * 0.4 && got as f64 <= n as f64 * 2.5,
+                    "{}: asked {n}, got {got}",
+                    f.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn names_unique() {
+        let names: std::collections::HashSet<_> =
+            all_families().iter().map(|f| f.name()).collect();
+        assert_eq!(names.len(), all_families().len());
+    }
+}

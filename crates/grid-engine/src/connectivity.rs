@@ -1,0 +1,112 @@
+//! Swarm connectivity checks (4-neighbourhood), used both as the
+//! simulator's safety oracle and by the analysis tooling.
+
+use crate::geom::Point;
+use crate::swarm::{RobotState, Swarm};
+
+/// Is the swarm connected under the paper's definition (horizontal or
+/// vertical adjacency)? O(n) BFS over the occupancy index.
+pub fn is_connected<S: RobotState>(swarm: &Swarm<S>) -> bool {
+    component_count_bounded(swarm, 2) == 1
+}
+
+/// Number of 4-connected components.
+pub fn component_count<S: RobotState>(swarm: &Swarm<S>) -> usize {
+    component_count_bounded(swarm, usize::MAX)
+}
+
+/// Count components, stopping early once `limit` have been seen.
+fn component_count_bounded<S: RobotState>(swarm: &Swarm<S>, limit: usize) -> usize {
+    let n = swarm.len();
+    if n == 0 {
+        return 0;
+    }
+    let mut visited = vec![false; n];
+    let mut stack: Vec<usize> = Vec::with_capacity(64);
+    let mut components = 0;
+    for start in 0..n {
+        if visited[start] {
+            continue;
+        }
+        components += 1;
+        if components >= limit {
+            return components;
+        }
+        visited[start] = true;
+        stack.push(start);
+        while let Some(i) = stack.pop() {
+            let p = swarm.robots()[i].pos;
+            for q in p.neighbors4() {
+                if let Some(j) = swarm.robot_at(q) {
+                    if !visited[j] {
+                        visited[j] = true;
+                        stack.push(j);
+                    }
+                }
+            }
+        }
+    }
+    components
+}
+
+/// Check whether a *set of points* is 4-connected — used by workload
+/// generators before a swarm object exists.
+pub fn points_connected(points: &[Point]) -> bool {
+    if points.is_empty() {
+        return false;
+    }
+    let set: crate::fxhash::FxHashSet<Point> = points.iter().copied().collect();
+    let mut visited: crate::fxhash::FxHashSet<Point> = Default::default();
+    let mut stack = vec![points[0]];
+    visited.insert(points[0]);
+    while let Some(p) = stack.pop() {
+        for q in p.neighbors4() {
+            if set.contains(&q) && visited.insert(q) {
+                stack.push(q);
+            }
+        }
+    }
+    visited.len() == set.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::swarm::OrientationMode;
+
+    #[test]
+    fn line_is_connected() {
+        let pts: Vec<Point> = (0..10).map(|x| Point::new(x, 0)).collect();
+        let s: Swarm<()> = Swarm::new(&pts, OrientationMode::Aligned);
+        assert!(is_connected(&s));
+        assert_eq!(component_count(&s), 1);
+    }
+
+    #[test]
+    fn diagonal_only_is_disconnected() {
+        // Diagonal adjacency does NOT count for connectivity in the
+        // paper's model, only for movement.
+        let s: Swarm<()> = Swarm::new(
+            &[Point::new(0, 0), Point::new(1, 1)],
+            OrientationMode::Aligned,
+        );
+        assert!(!is_connected(&s));
+        assert_eq!(component_count(&s), 2);
+    }
+
+    #[test]
+    fn three_islands() {
+        let s: Swarm<()> = Swarm::new(
+            &[Point::new(0, 0), Point::new(5, 0), Point::new(10, 0)],
+            OrientationMode::Aligned,
+        );
+        assert_eq!(component_count(&s), 3);
+    }
+
+    #[test]
+    fn points_connected_helper() {
+        assert!(points_connected(&[Point::new(0, 0), Point::new(0, 1)]));
+        assert!(!points_connected(&[Point::new(0, 0), Point::new(2, 0)]));
+        assert!(!points_connected(&[]));
+    }
+}

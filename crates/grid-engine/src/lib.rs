@@ -1,0 +1,42 @@
+//! # grid-engine
+//!
+//! Discrete-grid robot-swarm substrate for the SPAA 2016 paper
+//! *"Asymptotically Optimal Gathering on a Grid"* (Cord-Landwehr,
+//! Fischer, Jung, Meyer auf der Heide).
+//!
+//! The crate implements the paper's robot and time model, independent of
+//! any particular gathering strategy:
+//!
+//! * **Grid world** — robots live on ℤ², move to one of their eight
+//!   neighbouring cells per round, and *merge* when co-located
+//!   ([`Swarm::apply`]).
+//! * **Connectivity** — two robots are connected when they are
+//!   horizontal or vertical neighbours; the swarm must stay connected
+//!   ([`connectivity`]).
+//! * **Locality** — a robot sees occupancy and robot states only within
+//!   a constant L1 radius, in its own frame: no compass, no IDs, no
+//!   global communication ([`View`]).
+//! * **FSYNC** — all robots execute look-compute-move in lockstep; the
+//!   compute step is evaluated as a deterministic parallel map
+//!   ([`Engine`], [`parallel`]).
+//!
+//! Strategies implement [`Controller`]; the paper's algorithm lives in
+//! the `gather-core` crate, comparators in `gather-baselines`.
+
+pub mod connectivity;
+pub mod engine;
+pub mod fxhash;
+pub mod geom;
+pub mod grid;
+pub mod metrics;
+pub mod parallel;
+pub mod swarm;
+pub mod view;
+
+pub use engine::{
+    ConnectivityCheck, Controller, Engine, EngineConfig, EngineError, RoundCtx, RunOutcome,
+};
+pub use geom::{Bounds, D4, Point, V2};
+pub use metrics::{Metrics, RoundStats};
+pub use swarm::{Action, ApplyOutcome, OrientationMode, Robot, RobotState, Swarm};
+pub use view::View;

@@ -1,0 +1,88 @@
+//! Round-level instrumentation of a simulation run.
+
+/// What happened in one FSYNC round.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RoundStats {
+    pub round: u64,
+    /// Robots removed by merges this round.
+    pub merged: usize,
+    /// Robots that changed position this round.
+    pub moved: usize,
+    /// Robots alive after the round.
+    pub population: usize,
+}
+
+/// Aggregated metrics for a run, optionally with full per-round history.
+#[derive(Clone, Debug, Default)]
+pub struct Metrics {
+    pub rounds: u64,
+    pub total_merged: usize,
+    pub total_moves: usize,
+    /// Longest stretch of consecutive rounds without a single merge —
+    /// the quantity Lemma 1 bounds by O(L · n) overall and the stall
+    /// detector watches.
+    pub longest_mergeless_streak: u64,
+    current_mergeless_streak: u64,
+    pub history: Option<Vec<RoundStats>>,
+}
+
+impl Metrics {
+    pub fn new(keep_history: bool) -> Self {
+        Metrics {
+            history: keep_history.then(Vec::new),
+            ..Metrics::default()
+        }
+    }
+
+    pub fn record(&mut self, stats: RoundStats) {
+        self.rounds += 1;
+        self.total_merged += stats.merged;
+        self.total_moves += stats.moved;
+        if stats.merged == 0 {
+            self.current_mergeless_streak += 1;
+            self.longest_mergeless_streak = self
+                .longest_mergeless_streak
+                .max(self.current_mergeless_streak);
+        } else {
+            self.current_mergeless_streak = 0;
+        }
+        if let Some(h) = &mut self.history {
+            h.push(stats);
+        }
+    }
+
+    /// Rounds since the last merge (the live stall counter).
+    pub fn mergeless_streak(&self) -> u64 {
+        self.current_mergeless_streak
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(round: u64, merged: usize) -> RoundStats {
+        RoundStats { round, merged, moved: 0, population: 10 }
+    }
+
+    #[test]
+    fn aggregates() {
+        let mut m = Metrics::new(true);
+        m.record(s(0, 0));
+        m.record(s(1, 0));
+        m.record(s(2, 3));
+        m.record(s(3, 0));
+        assert_eq!(m.rounds, 4);
+        assert_eq!(m.total_merged, 3);
+        assert_eq!(m.longest_mergeless_streak, 2);
+        assert_eq!(m.mergeless_streak(), 1);
+        assert_eq!(m.history.as_ref().unwrap().len(), 4);
+    }
+
+    #[test]
+    fn history_opt_out() {
+        let mut m = Metrics::new(false);
+        m.record(s(0, 1));
+        assert!(m.history.is_none());
+    }
+}

@@ -1,0 +1,95 @@
+//! Data-parallel execution of the FSYNC compute step.
+//!
+//! One round of the simulation is a textbook parallel map: every robot's
+//! decision is a pure function of the immutable snapshot, so the compute
+//! step partitions the robot array into chunks and evaluates them on
+//! scoped threads (the rayon pattern from the domain guide, hand-rolled
+//! so the workspace keeps its minimal dependency footprint). Results are
+//! written back in index order, so the outcome is bit-identical to the
+//! sequential execution regardless of thread count — a property the
+//! determinism tests rely on.
+
+use std::num::NonZeroUsize;
+
+/// Below this many items the spawn overhead dominates; run sequentially.
+const PARALLEL_THRESHOLD: usize = 1024;
+
+/// Resolve a thread-count request: `0` means "use available parallelism".
+pub fn resolve_threads(requested: usize) -> usize {
+    if requested > 0 {
+        requested
+    } else {
+        std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1)
+    }
+}
+
+/// Evaluate `f(0..n)` and collect results in index order, splitting the
+/// range over `threads` scoped threads when worthwhile.
+pub fn parallel_map<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = resolve_threads(threads);
+    if threads <= 1 || n < PARALLEL_THRESHOLD {
+        return (0..n).map(f).collect();
+    }
+    let chunks = threads.min(n.div_ceil(PARALLEL_THRESHOLD / 4).max(1));
+    let chunk_len = n.div_ceil(chunks);
+    let mut out: Vec<Vec<T>> = Vec::with_capacity(chunks);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(chunks);
+        for c in 0..chunks {
+            let lo = c * chunk_len;
+            let hi = ((c + 1) * chunk_len).min(n);
+            let f = &f;
+            handles.push(scope.spawn(move || (lo..hi).map(f).collect::<Vec<T>>()));
+        }
+        for h in handles {
+            out.push(h.join().expect("compute worker panicked"));
+        }
+    });
+    let mut flat = Vec::with_capacity(n);
+    for chunk in out {
+        flat.extend(chunk);
+    }
+    flat
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_sequential_small() {
+        let seq: Vec<usize> = (0..100).map(|i| i * i).collect();
+        assert_eq!(parallel_map(100, 4, |i| i * i), seq);
+    }
+
+    #[test]
+    fn matches_sequential_large() {
+        let n = 50_000;
+        let seq: Vec<u64> = (0..n).map(|i| (i as u64).wrapping_mul(2654435761)).collect();
+        for threads in [1, 2, 3, 8] {
+            assert_eq!(
+                parallel_map(n, threads, |i| (i as u64).wrapping_mul(2654435761)),
+                seq,
+                "threads = {threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<u8> = parallel_map(0, 8, |_| 0u8);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn resolve_threads_defaults() {
+        assert!(resolve_threads(0) >= 1);
+        assert_eq!(resolve_threads(3), 3);
+    }
+}

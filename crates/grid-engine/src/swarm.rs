@@ -1,0 +1,340 @@
+//! The swarm: robot positions plus per-robot constant-size state, with a
+//! dense occupancy index and the FSYNC *simultaneous move + merge*
+//! semantics of the paper's model.
+
+use crate::geom::{Bounds, D4, Point, V2};
+use crate::grid::OccupancyGrid;
+
+/// Per-robot algorithm state carried between rounds.
+///
+/// The model grants each robot a constant number of bits of persistent
+/// memory (the paper's *run states*). States may contain direction
+/// vectors; because robots do not share a compass, a state is always
+/// stored in its owner's local frame and must be re-expressed when
+/// another robot observes it — that is what [`RobotState::transform`]
+/// implements.
+pub trait RobotState: Clone + Default + Send + Sync + 'static {
+    /// Return a copy with every direction vector `d` replaced by
+    /// `m.apply(d)`.
+    fn transform(&self, m: D4) -> Self;
+}
+
+impl RobotState for () {
+    fn transform(&self, _m: D4) -> Self {}
+}
+
+/// How per-robot local frames are assigned.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OrientationMode {
+    /// All robots share the world frame. Decision-equivalent to
+    /// `Scrambled` for a compass-free (equivariant) controller; used as
+    /// the reference in the equivariance tests.
+    Aligned,
+    /// Every robot gets a pseudo-random fixed rotation/reflection of the
+    /// world frame, derived from the seed — the honest "no compass, no
+    /// common handedness" model.
+    Scrambled(u64),
+}
+
+#[derive(Clone, Debug)]
+pub struct Robot<S> {
+    pub pos: Point,
+    pub state: S,
+    /// Maps this robot's frame into the world frame.
+    pub orient: D4,
+}
+
+/// A robot's chosen operation for one round: a king-move step (or the
+/// zero vector to stay) plus its next state, both in the robot's frame.
+#[derive(Clone, Debug, Default)]
+pub struct Action<S> {
+    pub step: V2,
+    pub state: S,
+}
+
+impl<S> Action<S> {
+    pub fn stay(state: S) -> Self {
+        Action { step: V2::ZERO, state }
+    }
+}
+
+/// Result of applying one synchronous round of actions.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ApplyOutcome {
+    /// Robots removed because they ended the round co-located.
+    pub merged: usize,
+    /// Robots whose position changed.
+    pub moved: usize,
+}
+
+#[derive(Clone)]
+pub struct Swarm<S: RobotState> {
+    robots: Vec<Robot<S>>,
+    grid: OccupancyGrid,
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+impl<S: RobotState> Swarm<S> {
+    /// Build a swarm from distinct positions with default state.
+    ///
+    /// # Panics
+    /// Panics if `positions` is empty or contains duplicates.
+    pub fn new(positions: &[Point], orientation: OrientationMode) -> Self {
+        assert!(!positions.is_empty(), "a swarm has at least one robot");
+        let bounds = Bounds::of(positions.iter().copied()).expect("non-empty");
+        let mut grid = OccupancyGrid::covering(bounds, 8);
+        let mut robots = Vec::with_capacity(positions.len());
+        for (i, &pos) in positions.iter().enumerate() {
+            let orient = match orientation {
+                OrientationMode::Aligned => D4::IDENTITY,
+                OrientationMode::Scrambled(seed) => D4::from_index(
+                    (splitmix64(seed ^ (i as u64).wrapping_mul(0x9e37_79b9)) & 7) as u8,
+                ),
+            };
+            let prev = grid.set(pos, i as u32);
+            assert!(prev.is_none(), "duplicate start position {pos:?}");
+            robots.push(Robot { pos, state: S::default(), orient });
+        }
+        Swarm { robots, grid }
+    }
+
+    pub fn len(&self) -> usize {
+        self.robots.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.robots.is_empty()
+    }
+
+    pub fn robots(&self) -> &[Robot<S>] {
+        &self.robots
+    }
+
+    pub fn robots_mut(&mut self) -> &mut [Robot<S>] {
+        &mut self.robots
+    }
+
+    pub fn positions(&self) -> impl Iterator<Item = Point> + '_ {
+        self.robots.iter().map(|r| r.pos)
+    }
+
+    pub fn bounds(&self) -> Bounds {
+        Bounds::of(self.positions()).expect("non-empty swarm")
+    }
+
+    /// The paper's goal predicate: all robots within a 2×2 area.
+    pub fn is_gathered(&self) -> bool {
+        self.bounds().fits_2x2()
+    }
+
+    #[inline]
+    pub fn occupied(&self, p: Point) -> bool {
+        self.grid.occupied(p)
+    }
+
+    /// Index of the robot at `p`, if any.
+    #[inline]
+    pub fn robot_at(&self, p: Point) -> Option<usize> {
+        self.grid.get(p).map(|id| id as usize)
+    }
+
+    #[allow(dead_code)]
+    pub(crate) fn grid(&self) -> &OccupancyGrid {
+        &self.grid
+    }
+
+    /// Apply one synchronous round: every robot simultaneously executes
+    /// its action (steps are given in each robot's own frame); robots
+    /// that end on the same cell are merged into one.
+    ///
+    /// Survivor rule (the paper removes "one of them", unspecified): a
+    /// robot that did not move wins over movers, then the lexicographically
+    /// smallest *previous* position wins. The rule is ID-free and
+    /// deterministic, so runs are reproducible.
+    pub fn apply(&mut self, actions: Vec<Action<S>>) -> ApplyOutcome {
+        assert_eq!(actions.len(), self.robots.len());
+        let n = self.robots.len();
+
+        let mut targets: Vec<Point> = Vec::with_capacity(n);
+        let mut moved = 0usize;
+        for (robot, action) in self.robots.iter().zip(&actions) {
+            debug_assert!(action.step.is_step(), "illegal step {:?}", action.step);
+            let world_step = robot.orient.apply(action.step);
+            let target = robot.pos + world_step;
+            if target != robot.pos {
+                moved += 1;
+            }
+            targets.push(target);
+        }
+
+        // Group robots by target cell to find merges. The common case is
+        // "no merge anywhere", so detect duplicates with a map from cell
+        // to first-arriving robot index.
+        let mut owner: crate::fxhash::FxHashMap<Point, usize> =
+            crate::fxhash::FxHashMap::default();
+        owner.reserve(n);
+        // survivor[i] = does robot i survive this round?
+        let mut survives = vec![true; n];
+        let mut merged = 0usize;
+        for i in 0..n {
+            match owner.entry(targets[i]) {
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(i);
+                }
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    let j = *e.get();
+                    // Decide between i and j.
+                    let i_wins = {
+                        let i_stay = targets[i] == self.robots[i].pos;
+                        let j_stay = targets[j] == self.robots[j].pos;
+                        match (i_stay, j_stay) {
+                            (true, false) => true,
+                            (false, true) => false,
+                            _ => self.robots[i].pos < self.robots[j].pos,
+                        }
+                    };
+                    if i_wins {
+                        survives[j] = false;
+                        e.insert(i);
+                    } else {
+                        survives[i] = false;
+                    }
+                    merged += 1;
+                }
+            }
+        }
+
+        // Clear old occupancy, then rebuild from survivors.
+        for robot in &self.robots {
+            self.grid.clear(robot.pos);
+        }
+        let mut next: Vec<Robot<S>> = Vec::with_capacity(n - merged);
+        for (i, (mut robot, action)) in self.robots.drain(..).zip(actions).enumerate() {
+            if !survives[i] {
+                continue;
+            }
+            robot.pos = targets[i];
+            robot.state = action.state;
+            let id = next.len() as u32;
+            next.push(robot);
+            let prev = self.grid.set(targets[i], id);
+            debug_assert!(prev.is_none(), "survivor collision at {:?}", targets[i]);
+        }
+        self.robots = next;
+        ApplyOutcome { merged, moved }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(n: i32) -> Vec<Point> {
+        (0..n).map(|x| Point::new(x, 0)).collect()
+    }
+
+    #[test]
+    fn construction_and_queries() {
+        let s: Swarm<()> = Swarm::new(&line(5), OrientationMode::Aligned);
+        assert_eq!(s.len(), 5);
+        assert!(s.occupied(Point::new(3, 0)));
+        assert!(!s.occupied(Point::new(5, 0)));
+        assert_eq!(s.robot_at(Point::new(2, 0)), Some(2));
+        assert!(!s.is_gathered());
+        let t: Swarm<()> = Swarm::new(&[Point::new(0, 0), Point::new(1, 1)], OrientationMode::Aligned);
+        assert!(t.is_gathered());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn duplicate_positions_rejected() {
+        let _: Swarm<()> = Swarm::new(
+            &[Point::new(0, 0), Point::new(0, 0)],
+            OrientationMode::Aligned,
+        );
+    }
+
+    #[test]
+    fn apply_moves_and_merges() {
+        let mut s: Swarm<()> = Swarm::new(&line(3), OrientationMode::Aligned);
+        // Robot 0 hops east onto robot 1; robots 1 and 2 stay.
+        let actions = vec![
+            Action { step: V2::E, state: () },
+            Action::stay(()),
+            Action::stay(()),
+        ];
+        let out = s.apply(actions);
+        assert_eq!(out.merged, 1);
+        assert_eq!(out.moved, 1);
+        assert_eq!(s.len(), 2);
+        assert!(s.occupied(Point::new(1, 0)));
+        assert!(s.occupied(Point::new(2, 0)));
+        assert!(!s.occupied(Point::new(0, 0)));
+    }
+
+    #[test]
+    fn stationary_robot_survives_merge() {
+        #[derive(Clone, Default, PartialEq, Debug)]
+        struct Tag(u8);
+        impl RobotState for Tag {
+            fn transform(&self, _m: D4) -> Self {
+                self.clone()
+            }
+        }
+        let mut s: Swarm<Tag> = Swarm::new(&line(2), OrientationMode::Aligned);
+        let actions = vec![
+            Action { step: V2::E, state: Tag(1) },
+            Action { step: V2::ZERO, state: Tag(2) },
+        ];
+        s.apply(actions);
+        assert_eq!(s.len(), 1);
+        // The stationary robot (old index 1) survives and keeps its state.
+        assert_eq!(s.robots()[0].state, Tag(2));
+        assert_eq!(s.robots()[0].pos, Point::new(1, 0));
+    }
+
+    #[test]
+    fn three_way_merge() {
+        let mut s: Swarm<()> = Swarm::new(
+            &[Point::new(0, 0), Point::new(2, 0), Point::new(1, 1)],
+            OrientationMode::Aligned,
+        );
+        let actions = vec![
+            Action { step: V2::E, state: () },
+            Action { step: V2::W, state: () },
+            Action { step: V2::S, state: () },
+        ];
+        let out = s.apply(actions);
+        assert_eq!(out.merged, 2);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.robots()[0].pos, Point::new(1, 0));
+    }
+
+    #[test]
+    fn scrambled_orientation_transforms_steps() {
+        // A robot with a rotated frame stepping "east" in its own frame
+        // must move along its rotated axis in the world.
+        let mut s: Swarm<()> = Swarm::new(&[Point::new(0, 0)], OrientationMode::Aligned);
+        s.robots_mut()[0].orient = D4 { rot: 1, flip: false }; // frame E -> world N
+        s.apply(vec![Action { step: V2::E, state: () }]);
+        assert_eq!(s.robots()[0].pos, Point::new(0, 1));
+    }
+
+    #[test]
+    fn swap_is_not_a_merge() {
+        let mut s: Swarm<()> = Swarm::new(&line(2), OrientationMode::Aligned);
+        let actions = vec![
+            Action { step: V2::E, state: () },
+            Action { step: V2::W, state: () },
+        ];
+        let out = s.apply(actions);
+        assert_eq!(out.merged, 0);
+        assert_eq!(s.len(), 2);
+    }
+}

@@ -1,0 +1,172 @@
+//! Egocentric local views — the *look* step of look-compute-move.
+//!
+//! A [`View`] exposes exactly what the paper's robot model grants: cell
+//! occupancy and other robots' states within a constant L1 radius, in
+//! the observing robot's own frame (no compass, no global coordinates).
+//! Views are lazy: they borrow the swarm snapshot and answer probes on
+//! demand, so extracting a view is free and the compute step only pays
+//! for the cells it actually inspects.
+//!
+//! Radius enforcement: every probe asserts (in debug builds) that the
+//! queried cell lies within the viewing range, so an algorithm that
+//! accidentally relies on super-constant vision fails loudly in tests.
+
+use crate::geom::{D4, Point, V2};
+use crate::swarm::{RobotState, Swarm};
+
+pub struct View<'a, S: RobotState> {
+    swarm: &'a Swarm<S>,
+    id: usize,
+    center: Point,
+    /// Robot frame -> world frame.
+    orient: D4,
+    /// World frame -> robot frame.
+    inv: D4,
+    radius: i32,
+}
+
+impl<'a, S: RobotState> View<'a, S> {
+    pub fn new(swarm: &'a Swarm<S>, id: usize, radius: i32) -> Self {
+        let robot = &swarm.robots()[id];
+        View {
+            swarm,
+            id,
+            center: robot.pos,
+            orient: robot.orient,
+            inv: robot.orient.inverse(),
+            radius,
+        }
+    }
+
+    /// The L1 viewing radius this view enforces.
+    pub fn radius(&self) -> i32 {
+        self.radius
+    }
+
+    /// Index of the observing robot (simulator bookkeeping, not visible
+    /// to the algorithm — robots are anonymous).
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    #[inline]
+    fn world(&self, v: V2) -> Point {
+        debug_assert!(
+            v.l1() <= self.radius,
+            "probe {v:?} outside viewing radius {}",
+            self.radius
+        );
+        self.center + self.orient.apply(v)
+    }
+
+    /// Is the cell at offset `v` (robot frame) occupied?
+    #[inline]
+    pub fn occupied(&self, v: V2) -> bool {
+        self.swarm.occupied(self.world(v))
+    }
+
+    #[inline]
+    pub fn empty(&self, v: V2) -> bool {
+        !self.occupied(v)
+    }
+
+    /// The observing robot's own state (already in its frame).
+    pub fn self_state(&self) -> &S {
+        &self.swarm.robots()[self.id].state
+    }
+
+    /// The state of the robot at offset `v`, re-expressed in the
+    /// observing robot's frame. `None` if the cell is empty.
+    pub fn state(&self, v: V2) -> Option<S> {
+        let p = self.world(v);
+        let j = self.swarm.robot_at(p)?;
+        let other = &self.swarm.robots()[j];
+        // other frame -> world -> my frame.
+        let m = other.orient.then(self.inv);
+        Some(other.state.transform(m))
+    }
+
+    /// Offsets (robot frame) of all robots within L1 distance `r` of the
+    /// observer, excluding the observer itself. `r` must not exceed the
+    /// viewing radius. Order is deterministic (scanline in robot frame).
+    pub fn robots_within(&self, r: i32) -> Vec<V2> {
+        assert!(r <= self.radius);
+        let mut out = Vec::new();
+        for dy in -r..=r {
+            let w = r - dy.abs();
+            for dx in -w..=w {
+                let v = V2::new(dx, dy);
+                if v != V2::ZERO && self.occupied(v) {
+                    out.push(v);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::swarm::OrientationMode;
+
+    #[test]
+    fn aligned_view_sees_world_offsets() {
+        let s: Swarm<()> = Swarm::new(
+            &[Point::new(0, 0), Point::new(1, 0), Point::new(0, 2)],
+            OrientationMode::Aligned,
+        );
+        let v = View::new(&s, 0, 5);
+        assert!(v.occupied(V2::new(1, 0)));
+        assert!(v.occupied(V2::new(0, 2)));
+        assert!(v.empty(V2::new(-1, 0)));
+        assert_eq!(v.robots_within(3), vec![V2::new(1, 0), V2::new(0, 2)]);
+    }
+
+    #[test]
+    fn rotated_view_rotates_offsets() {
+        let mut s: Swarm<()> = Swarm::new(
+            &[Point::new(0, 0), Point::new(0, 1)],
+            OrientationMode::Aligned,
+        );
+        // Robot 0's frame: east points to world north.
+        s.robots_mut()[0].orient = D4 { rot: 1, flip: false };
+        let v = View::new(&s, 0, 5);
+        // World (0,1) should appear at... world = center + orient.apply(v)
+        // => v = inv.apply(world - center). orient rot1: E->N, so inv maps
+        // N->E: the neighbour appears to the robot's east.
+        assert!(v.occupied(V2::E));
+        assert!(v.empty(V2::N));
+    }
+
+    #[test]
+    fn state_is_reexpressed_between_frames() {
+        #[derive(Clone, Default, PartialEq, Debug)]
+        struct Arrow(V2);
+        impl RobotState for Arrow {
+            fn transform(&self, m: D4) -> Self {
+                Arrow(m.apply(self.0))
+            }
+        }
+        let mut s: Swarm<Arrow> = Swarm::new(
+            &[Point::new(0, 0), Point::new(1, 0)],
+            OrientationMode::Aligned,
+        );
+        // Robot 1 stores "east" in a frame rotated so its east is world north.
+        s.robots_mut()[1].orient = D4 { rot: 1, flip: false };
+        s.robots_mut()[1].state = Arrow(V2::E); // world north
+        // Robot 0 is world-aligned, so it must see the arrow as north.
+        let v = View::new(&s, 0, 5);
+        assert_eq!(v.state(V2::E), Some(Arrow(V2::N)));
+        assert_eq!(v.state(V2::W), None);
+    }
+
+    #[test]
+    #[should_panic]
+    #[cfg(debug_assertions)]
+    fn probe_outside_radius_panics_in_debug() {
+        let s: Swarm<()> = Swarm::new(&[Point::new(0, 0)], OrientationMode::Aligned);
+        let v = View::new(&s, 0, 3);
+        let _ = v.occupied(V2::new(4, 0));
+    }
+}

@@ -1,0 +1,75 @@
+//! Property tests on the substrate: simultaneous-move semantics, the
+//! occupancy index, and view/frame coherence under random actions.
+
+use grid_engine::*;
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+fn arb_positions() -> impl Strategy<Value = Vec<Point>> {
+    proptest::collection::btree_set((0i32..12, 0i32..12), 1..40).prop_map(|set| {
+        set.into_iter().map(|(x, y)| Point::new(x, y)).collect()
+    })
+}
+
+fn arb_steps(n: usize) -> impl Strategy<Value = Vec<(i8, i8)>> {
+    proptest::collection::vec((-1i8..=1, -1i8..=1), n..=n)
+}
+
+proptest! {
+    /// Robot count is conserved: survivors + merged == before, and the
+    /// occupancy index agrees with the robot list after any round.
+    #[test]
+    fn apply_conserves_and_indexes((pts, steps) in arb_positions().prop_flat_map(|p| {
+        let n = p.len();
+        (Just(p), arb_steps(n))
+    })) {
+        let mut swarm: Swarm<()> = Swarm::new(&pts, OrientationMode::Aligned);
+        let before = swarm.len();
+        let actions: Vec<Action<()>> = steps
+            .iter()
+            .map(|&(dx, dy)| Action { step: V2::new(dx as i32, dy as i32), state: () })
+            .collect();
+        let out = swarm.apply(actions);
+        prop_assert_eq!(swarm.len() + out.merged, before);
+        // Index coherence: every robot is where the grid says it is,
+        // and positions are unique.
+        let mut seen = BTreeSet::new();
+        for (i, r) in swarm.robots().iter().enumerate() {
+            prop_assert_eq!(swarm.robot_at(r.pos), Some(i));
+            prop_assert!(seen.insert(r.pos), "duplicate survivor cell");
+        }
+    }
+
+    /// Views are frame-coherent: for any robot orientation, a probe at
+    /// offset v sees exactly the world cell center + orient(v).
+    #[test]
+    fn view_frame_coherence(pts in arb_positions(), seed in any::<u64>()) {
+        let swarm: Swarm<()> = Swarm::new(&pts, OrientationMode::Scrambled(seed));
+        for i in 0..swarm.len().min(8) {
+            let view = View::new(&swarm, i, 6);
+            let me = swarm.robots()[i].pos;
+            let o = swarm.robots()[i].orient;
+            for dx in -3i32..=3 {
+                for dy in -3i32..=3 {
+                    let v = V2::new(dx, dy);
+                    if v.l1() > 6 { continue; }
+                    let world = me + o.apply(v);
+                    prop_assert_eq!(view.occupied(v), swarm.occupied(world));
+                }
+            }
+        }
+    }
+
+    /// Stationary rounds are perfect no-ops.
+    #[test]
+    fn stay_round_is_identity(pts in arb_positions()) {
+        let mut swarm: Swarm<()> = Swarm::new(&pts, OrientationMode::Aligned);
+        let before: Vec<Point> = swarm.positions().collect();
+        let n = swarm.len();
+        let out = swarm.apply((0..n).map(|_| Action::stay(())).collect());
+        prop_assert_eq!(out.merged, 0);
+        prop_assert_eq!(out.moved, 0);
+        let after: Vec<Point> = swarm.positions().collect();
+        prop_assert_eq!(before, after);
+    }
+}

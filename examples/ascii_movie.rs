@@ -1,0 +1,42 @@
+//! Record a full gathering as an ASCII trace plus a final SVG snapshot.
+//!
+//! ```sh
+//! cargo run --release --example ascii_movie -- diamond 200 > movie.txt
+//! ```
+
+use gather_viz::{svg, Trace};
+use gather_workloads::{all_families, family};
+use grid_gathering::prelude::*;
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "diamond".into());
+    let n: usize = std::env::args().nth(2).and_then(|a| a.parse().ok()).unwrap_or(150);
+    let fam = all_families()
+        .into_iter()
+        .find(|f| f.name() == which)
+        .unwrap_or_else(|| panic!("unknown family {which}; try one of {:?}",
+            all_families().map(|f| f.name())));
+
+    let cells = family(fam, n, 1);
+    let mut engine = Engine::from_positions(
+        &cells,
+        OrientationMode::Scrambled(1),
+        GatherController::paper(),
+        EngineConfig::default(),
+    );
+    let mut trace = Trace::new();
+    let mut round = 0u64;
+    trace.record(round, &engine.swarm);
+    while !engine.swarm.is_gathered() && round < 200_000 {
+        engine.step().expect("steps");
+        round += 1;
+        if round.is_multiple_of(10) {
+            trace.record(round, &engine.swarm);
+        }
+    }
+    trace.record(round, &engine.swarm);
+    println!("{}", trace.render());
+    let doc = svg(&engine.swarm, 8);
+    std::fs::write("final.svg", &doc).ok();
+    eprintln!("gathered {} robots in {round} rounds; final.svg written", cells.len());
+}

@@ -1,0 +1,30 @@
+//! E8 in miniature: race the paper's O(n) algorithm against the
+//! GoToCenter baseline (grid adaptation of the O(n²) plane strategy
+//! [DKL+11]) and the sequential greedy strawman.
+//!
+//! ```sh
+//! cargo run --release --example baseline_race -- 512
+//! ```
+
+use grid_gathering::prelude::*;
+
+fn run<C: Controller>(name: &str, pts: &[grid_gathering::engine::Point], c: C) {
+    let n = pts.len();
+    let mut e = Engine::from_positions(pts, OrientationMode::Scrambled(3), c, EngineConfig::default());
+    match e.run_until_gathered(500 * n as u64 + 20_000) {
+        Ok(out) => println!("{name:>12}: {:>7} rounds ({:.2}/robot)", out.rounds, out.rounds as f64 / n as f64),
+        Err(err) => println!("{name:>12}: DID NOT GATHER ({err})"),
+    }
+}
+
+fn main() {
+    let n: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(256);
+    let pts = workloads::random_blob(n, 3);
+    println!("random blob, n = {}", pts.len());
+    run("paper", &pts, GatherController::paper());
+    run("go-to-center", &pts, GoToCenter::paper_radius());
+    match AsyncGreedy::new(&pts).run(10_000) {
+        Ok(out) => println!("{:>12}: {:>7} passes (sequential fair scheduler)", "greedy", out.rounds),
+        Err(e) => println!("{:>12}: stalled: {e}", "greedy"),
+    }
+}

@@ -1,0 +1,37 @@
+//! Inner boundaries (Fig. 1): a thick hollow fortress must erode both
+//! its outer wall and the rim of its courtyard. The algorithm cannot
+//! tell the two boundaries apart and shortens both — exactly as the
+//! paper prescribes.
+//!
+//! ```sh
+//! cargo run --release --example hollow_fortress
+//! ```
+
+use gather_viz::ascii_runs;
+use grid_gathering::prelude::*;
+
+fn main() {
+    let cells = workloads::hollow_rectangle(24, 18, 3);
+    let n = cells.len();
+    let mut engine = Engine::from_positions(
+        &cells,
+        OrientationMode::Scrambled(7),
+        GatherController::paper(),
+        EngineConfig { connectivity: ConnectivityCheck::Every(8), ..Default::default() },
+    );
+    println!("start ({n} robots):\n{}", ascii_runs(&engine.swarm, 0));
+
+    let mut round = 0u64;
+    while !engine.swarm.is_gathered() && round < 100_000 {
+        engine.step().expect("connected");
+        round += 1;
+        if engine.metrics().rounds % 200 == 0 {
+            println!(
+                "round {round}: {} robots left",
+                engine.swarm.len()
+            );
+        }
+    }
+    println!("\nfinal (round {round}):\n{}", ascii_runs(&engine.swarm, 1));
+    println!("gathered {n} robots in {round} rounds ({:.2}/robot)", round as f64 / n as f64);
+}

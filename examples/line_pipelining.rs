@@ -1,0 +1,33 @@
+//! Watch the Fig. 13/15 dynamics: a mergeless plateau (Fig. 4) whose
+//! top row can only shrink through runner reshapement; run states are
+//! rendered as `R`, start waves appear every L = 22 rounds.
+//!
+//! ```sh
+//! cargo run --release --example line_pipelining
+//! ```
+
+use gather_viz::ascii_runs;
+use grid_gathering::prelude::*;
+
+fn main() {
+    // Fig. 4 plateau: a 40-wide top row with 9-deep legs. The top row
+    // is longer than any local merge, so only good pairs shorten it.
+    let cells = workloads::table(40, 9);
+    let mut engine = Engine::from_positions(
+        &cells,
+        OrientationMode::Aligned,
+        GatherController::paper(),
+        EngineConfig { connectivity: ConnectivityCheck::Always, ..Default::default() },
+    );
+
+    let mut round = 0u64;
+    while !engine.swarm.is_gathered() && round < 2000 {
+        if round % 11 == 0 {
+            println!("--- round {round}, robots {} ---", engine.swarm.len());
+            println!("{}", ascii_runs(&engine.swarm, 0));
+        }
+        engine.step().expect("connectivity never breaks");
+        round += 1;
+    }
+    println!("gathered after {round} rounds");
+}

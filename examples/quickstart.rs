@@ -1,0 +1,32 @@
+//! Quickstart: gather a worst-case line of robots and print the result.
+//!
+//! ```sh
+//! cargo run --release --example quickstart -- 256
+//! ```
+
+use grid_gathering::prelude::*;
+
+fn main() {
+    let n: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(128);
+
+    // The Ω(n)-diameter worst case: a 1×n line.
+    let swarm = workloads::line(n);
+
+    // Scrambled orientations = the honest "no compass" model.
+    let mut engine = Engine::from_positions(
+        &swarm,
+        OrientationMode::Scrambled(42),
+        GatherController::paper(),
+        EngineConfig::default(),
+    );
+
+    let out = engine
+        .run_until_gathered(500 * n as u64 + 10_000)
+        .expect("the paper's algorithm gathers every connected swarm");
+
+    println!("workload        : 1x{n} line (diameter = n)");
+    println!("rounds          : {} ({:.2} per robot)", out.rounds, out.rounds as f64 / n as f64);
+    println!("merges          : {}", out.metrics.total_merged);
+    println!("robots remaining: {} (within a 2x2 area)", out.final_robots);
+    assert!(engine.swarm.is_gathered());
+}
