@@ -1,0 +1,159 @@
+//! Minimal, dependency-free stand-in for the subset of the `criterion`
+//! 0.5 API the bench target uses. The build runs with no network and no
+//! registry cache, so the real crate cannot be fetched.
+//!
+//! Semantics: every benchmark runs a short warm-up followed by a fixed
+//! number of timed batches, and one line per benchmark is printed with
+//! the mean time per iteration. No statistics, plots, or baselines —
+//! shapes and relative ordering are all the workspace's benches assert.
+
+use std::fmt;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+const WARMUP_ITERS: u64 = 1;
+const DEFAULT_SAMPLES: u64 = 5;
+
+/// Benchmark identifier: `group/function/parameter`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId { id: format!("{name}/{parameter}") }
+    }
+
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Times closures handed to it by a benchmark body.
+pub struct Bencher {
+    samples: u64,
+    mean: Duration,
+}
+
+impl Bencher {
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        for _ in 0..WARMUP_ITERS {
+            black_box(f());
+        }
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            black_box(f());
+        }
+        self.mean = start.elapsed() / self.samples as u32;
+    }
+}
+
+fn run_one(label: &str, samples: u64, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher { samples, mean: Duration::ZERO };
+    f(&mut b);
+    println!("{label:<50} {:>12.2?}/iter  ({samples} samples)", b.mean);
+}
+
+/// Top-level driver, constructed by [`criterion_group!`].
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), samples: DEFAULT_SAMPLES, _criterion: self }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(name, DEFAULT_SAMPLES, &mut f);
+        self
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: u64,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        // Real criterion requires >= 10; the stub just caps the work.
+        self.samples = (n as u64).clamp(1, DEFAULT_SAMPLES);
+        self
+    }
+
+    pub fn bench_function<D: fmt::Display, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: D,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&format!("{}/{id}", self.name), self.samples, &mut f);
+        self
+    }
+
+    pub fn bench_with_input<D: fmt::Display, I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: D,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&format!("{}/{id}", self.name), self.samples, &mut |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_and_function_run_bodies() {
+        let mut c = Criterion::default();
+        let mut runs = 0u64;
+        c.bench_function("unit", |b| b.iter(|| runs += 1));
+        assert!(runs >= DEFAULT_SAMPLES);
+
+        let mut g = c.benchmark_group("g");
+        g.sample_size(10);
+        let mut calls = 0u64;
+        g.bench_with_input(BenchmarkId::new("f", 3), &3u32, |b, &x| b.iter(|| calls += x as u64));
+        g.finish();
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn id_formats() {
+        assert_eq!(BenchmarkId::new("f", 12).to_string(), "f/12");
+        assert_eq!(BenchmarkId::from_parameter(7).to_string(), "7");
+    }
+}

@@ -15,11 +15,7 @@ fn r_squared(ys: &[f64], predicted: impl Fn(usize) -> f64) -> f64 {
     let n = ys.len() as f64;
     let mean = ys.iter().sum::<f64>() / n;
     let ss_tot: f64 = ys.iter().map(|y| (y - mean).powi(2)).sum();
-    let ss_res: f64 = ys
-        .iter()
-        .enumerate()
-        .map(|(i, y)| (y - predicted(i)).powi(2))
-        .sum();
+    let ss_res: f64 = ys.iter().enumerate().map(|(i, y)| (y - predicted(i)).powi(2)).sum();
     if ss_tot == 0.0 {
         if ss_res == 0.0 {
             1.0

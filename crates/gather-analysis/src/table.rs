@@ -31,10 +31,7 @@ pub fn render_markdown(t: &Table) -> String {
         out.push_str(&format!("### {}\n\n", t.title));
     }
     out.push_str(&format!("| {} |\n", t.headers.join(" | ")));
-    out.push_str(&format!(
-        "|{}\n",
-        t.headers.iter().map(|_| "---|").collect::<String>()
-    ));
+    out.push_str(&format!("|{}\n", t.headers.iter().map(|_| "---|").collect::<String>()));
     for row in &t.rows {
         out.push_str(&format!("| {} |\n", row.join(" | ")));
     }

@@ -12,7 +12,7 @@
 //! the comparison fair (no disconnections) at the cost of liveness on
 //! some shapes, which is part of what experiment E8 measures.
 
-use grid_engine::{Action, Controller, RoundCtx, V2, View};
+use grid_engine::{Action, Controller, RoundCtx, View, V2};
 
 #[derive(Clone, Debug)]
 pub struct GoToCenter {
@@ -43,8 +43,7 @@ fn step_safe(view: &View<'_, ()>, step: V2) -> bool {
     let idx = |v: V2| -> Option<usize> {
         let dx = v.x + R;
         let dy = v.y + R;
-        (dx >= 0 && dy >= 0 && dx <= 2 * R && dy <= 2 * R)
-            .then(|| (dy as usize) * W + dx as usize)
+        (dx >= 0 && dy >= 0 && dx <= 2 * R && dy <= 2 * R).then(|| (dy as usize) * W + dx as usize)
     };
     let mut occ = [false; W * W];
     for dy in -R..=R {

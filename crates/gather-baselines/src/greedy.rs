@@ -67,9 +67,7 @@ impl AsyncGreedy {
                 }
             }
         }
-        pos.neighbors4()
-            .into_iter()
-            .all(|nb| !inside(nb) || !occ(nb) || seen.contains(&nb))
+        pos.neighbors4().into_iter().all(|nb| !inside(nb) || !occ(nb) || seen.contains(&nb))
     }
 
     /// Run until gathered. One round = one activation pass over the

@@ -15,17 +15,13 @@ fn gathering_scaling(c: &mut Criterion) {
     for f in [Family::Line, Family::Square, Family::RandomBlob] {
         for n in [64usize, 256] {
             let cells = family(f, n, 3);
-            g.bench_with_input(
-                BenchmarkId::new(f.name(), cells.len()),
-                &cells,
-                |b, cells| {
-                    b.iter(|| {
-                        let m = run_paper(cells, 3, GatherConfig::paper(), budget_for(cells.len()));
-                        assert!(m.gathered);
-                        m.rounds
-                    })
-                },
-            );
+            g.bench_with_input(BenchmarkId::new(f.name(), cells.len()), &cells, |b, cells| {
+                b.iter(|| {
+                    let m = run_paper(cells, 3, GatherConfig::paper(), budget_for(cells.len()));
+                    assert!(m.gathered);
+                    m.rounds
+                })
+            });
         }
     }
     g.finish();

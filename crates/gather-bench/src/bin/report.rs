@@ -11,9 +11,7 @@ use gather_bench::{budget_for, run_center, run_greedy, run_paper};
 use gather_core::boundary::{boundary_stats, is_mergeless};
 use gather_core::{GatherConfig, GatherController, GatherState};
 use gather_workloads::{all_families, family, Family};
-use grid_engine::{
-    ConnectivityCheck, Engine, EngineConfig, OrientationMode, Swarm,
-};
+use grid_engine::{ConnectivityCheck, Engine, EngineConfig, OrientationMode, Swarm};
 use std::time::Instant;
 
 fn main() {
@@ -91,15 +89,30 @@ fn e1_scaling(quick: bool) {
 
 /// E2 — Fig. 2/3: merge operations on constructed fixtures.
 fn e2_merges() {
-    use grid_engine::{Point, V2, View};
+    use grid_engine::{Point, View, V2};
+    /// One merge fixture: name, cells, probed robot, expected move.
+    type Fixture = (&'static str, Vec<(i32, i32)>, (i32, i32), Option<V2>);
     let cfg = GatherConfig::paper();
-    let fixtures: Vec<(&str, Vec<(i32, i32)>, (i32, i32), Option<V2>)> = vec![
+    let fixtures: Vec<Fixture> = vec![
         ("k=1 pendant", vec![(0, 0), (1, 0), (2, 0)], (0, 0), Some(V2::E)),
-        ("k=2 bump", vec![(0, 0), (1, 0), (2, 0), (3, 0), (4, 0), (1, 1), (2, 1)], (1, 1), Some(V2::S)),
+        (
+            "k=2 bump",
+            vec![(0, 0), (1, 0), (2, 0), (3, 0), (4, 0), (1, 1), (2, 1)],
+            (1, 1),
+            Some(V2::S),
+        ),
         ("apex", vec![(0, 0), (1, 0), (2, 0), (1, 1)], (1, 1), Some(V2::S)),
-        ("stable interior", vec![(0, 0), (1, 0), (2, 0), (0, 1), (1, 1), (2, 1), (0, 2), (1, 2), (2, 2)], (1, 1), None),
+        (
+            "stable interior",
+            vec![(0, 0), (1, 0), (2, 0), (0, 1), (1, 1), (2, 1), (0, 2), (1, 2), (2, 2)],
+            (1, 1),
+            None,
+        ),
     ];
-    let mut t = Table::new("E2 — merge operations (Fig. 2/3)", &["fixture", "robot", "expected", "measured", "ok"]);
+    let mut t = Table::new(
+        "E2 — merge operations (Fig. 2/3)",
+        &["fixture", "robot", "expected", "measured", "ok"],
+    );
     for (name, cells, probe, expected) in fixtures {
         let pts: Vec<Point> = cells.iter().map(|&(x, y)| Point::new(x, y)).collect();
         let swarm: Swarm<GatherState> = Swarm::new(&pts, OrientationMode::Aligned);
@@ -129,7 +142,11 @@ fn e3_runs() {
         &cells,
         OrientationMode::Aligned,
         GatherController::paper(),
-        EngineConfig { connectivity: ConnectivityCheck::Always, keep_history: true, ..Default::default() },
+        EngineConfig {
+            connectivity: ConnectivityCheck::Always,
+            keep_history: true,
+            ..Default::default()
+        },
     );
     let mut t = Table::new(
         "E3 — runner life cycle on the Fig. 4 plateau",
@@ -375,11 +392,7 @@ fn e10_throughput(quick: bool) {
             &cells,
             OrientationMode::Scrambled(1),
             GatherController::paper(),
-            EngineConfig {
-                threads,
-                connectivity: ConnectivityCheck::Never,
-                ..Default::default()
-            },
+            EngineConfig { threads, connectivity: ConnectivityCheck::Never, ..Default::default() },
         );
         let start = Instant::now();
         let mut robot_rounds = 0u64;

@@ -24,6 +24,42 @@ pub struct Measurement {
     pub connected: bool,
 }
 
+/// The strategies a measured run can execute — the shared registry used
+/// by the campaign engine, the report binary, and the benches.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ControllerKind {
+    /// The paper's O(n) algorithm with the §5 constants.
+    Paper,
+    /// The GoToCenter baseline (grid adaptation of [DKL+11]).
+    Center,
+    /// The sequential fair-scheduler greedy baseline.
+    Greedy,
+}
+
+impl ControllerKind {
+    /// Every controller, in a stable report order.
+    pub const ALL: [ControllerKind; 3] =
+        [ControllerKind::Paper, ControllerKind::Center, ControllerKind::Greedy];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            ControllerKind::Paper => "paper",
+            ControllerKind::Center => "center",
+            ControllerKind::Greedy => "greedy",
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<ControllerKind> {
+        Self::ALL.into_iter().find(|k| k.name() == s)
+    }
+}
+
+impl std::fmt::Display for ControllerKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 fn engine_config(threads: usize) -> EngineConfig {
     EngineConfig {
         threads,
@@ -33,39 +69,70 @@ fn engine_config(threads: usize) -> EngineConfig {
     }
 }
 
-/// Run the paper's algorithm on `points` until gathered (or the budget
-/// dies). `seed` scrambles per-robot orientations (no-compass model).
-pub fn run_paper(points: &[Point], seed: u64, cfg: GatherConfig, budget: u64) -> Measurement {
+/// The shared job-execution path: run `kind` on `points` until gathered
+/// or the budget dies, with `engine_threads` compute workers inside the
+/// engine (0 = available parallelism; campaign jobs pass 1 because they
+/// parallelise across scenarios instead). Results are independent of the
+/// thread count — the engine's compute step is a deterministic parallel
+/// map.
+pub fn run_measured(
+    kind: ControllerKind,
+    points: &[Point],
+    seed: u64,
+    budget: u64,
+    engine_threads: usize,
+) -> Measurement {
+    match kind {
+        ControllerKind::Paper => {
+            run_paper_configured(points, seed, GatherConfig::paper(), budget, engine_threads)
+        }
+        ControllerKind::Center => run_center_threads(points, seed, budget, engine_threads),
+        ControllerKind::Greedy => run_greedy(points, budget),
+    }
+}
+
+fn run_paper_configured(
+    points: &[Point],
+    seed: u64,
+    cfg: GatherConfig,
+    budget: u64,
+    threads: usize,
+) -> Measurement {
     let controller = GatherController::with_config(cfg).expect("valid config");
     let mut engine = Engine::from_positions(
         points,
         OrientationMode::Scrambled(seed),
         controller,
-        engine_config(0),
+        engine_config(threads),
     );
     finish(points.len(), engine.run_until_gathered(budget), &mut engine)
 }
 
+/// Run the paper's algorithm on `points` until gathered (or the budget
+/// dies). `seed` scrambles per-robot orientations (no-compass model).
+pub fn run_paper(points: &[Point], seed: u64, cfg: GatherConfig, budget: u64) -> Measurement {
+    run_paper_configured(points, seed, cfg, budget, 0)
+}
+
 /// Same, pinned to a given worker-thread count (E10).
 pub fn run_paper_threads(points: &[Point], seed: u64, threads: usize, budget: u64) -> Measurement {
-    let mut engine = Engine::from_positions(
-        points,
-        OrientationMode::Scrambled(seed),
-        GatherController::paper(),
-        engine_config(threads),
-    );
-    finish(points.len(), engine.run_until_gathered(budget), &mut engine)
+    run_paper_configured(points, seed, GatherConfig::paper(), budget, threads)
 }
 
 /// Run the GoToCenter baseline (E8). Connectivity is *observed*, not
 /// enforced: the baseline is allowed to break the model's invariant so
 /// the experiment can report how often it does.
 pub fn run_center(points: &[Point], seed: u64, budget: u64) -> Measurement {
+    run_center_threads(points, seed, budget, 0)
+}
+
+/// [`run_center`] pinned to a given engine worker-thread count.
+pub fn run_center_threads(points: &[Point], seed: u64, budget: u64, threads: usize) -> Measurement {
     let mut engine = Engine::from_positions(
         points,
         OrientationMode::Scrambled(seed),
         GoToCenter::paper_radius(),
-        engine_config(0),
+        engine_config(threads),
     );
     let result = engine.run_until_gathered(budget);
     let connected = grid_engine::connectivity::is_connected(&engine.swarm);
@@ -78,9 +145,13 @@ pub fn run_center(points: &[Point], seed: u64, budget: u64) -> Measurement {
 pub fn run_greedy(points: &[Point], budget: u64) -> Measurement {
     let n = points.len();
     match AsyncGreedy::new(points).run(budget) {
-        Ok(out) => {
-            Measurement { n, rounds: out.rounds, merges: out.merged, gathered: true, connected: true }
-        }
+        Ok(out) => Measurement {
+            n,
+            rounds: out.rounds,
+            merges: out.merged,
+            gathered: true,
+            connected: true,
+        },
         Err(_) => Measurement { n, rounds: budget, merges: 0, gathered: false, connected: true },
     }
 }
@@ -131,5 +202,27 @@ mod tests {
         let pts = gather_workloads::random_blob(64, 5);
         assert!(run_center(&pts, 1, 5000).gathered);
         assert!(run_greedy(&pts, 500).gathered);
+    }
+
+    #[test]
+    fn controller_kind_registry_round_trips() {
+        for kind in ControllerKind::ALL {
+            assert_eq!(ControllerKind::parse(kind.name()), Some(kind));
+        }
+        assert_eq!(ControllerKind::parse("nope"), None);
+    }
+
+    #[test]
+    fn run_measured_matches_dedicated_runners() {
+        let pts = gather_workloads::line(48);
+        let direct = run_paper(&pts, 9, GatherConfig::paper(), 5_000);
+        let shared = run_measured(ControllerKind::Paper, &pts, 9, 5_000, 1);
+        assert_eq!(direct.rounds, shared.rounds);
+        assert_eq!(direct.merges, shared.merges);
+        for kind in ControllerKind::ALL {
+            let m = run_measured(kind, &pts, 9, 25_000, 1);
+            assert_eq!(m.n, 48, "{kind}");
+            assert!(m.gathered, "{kind} did not gather a short line");
+        }
     }
 }

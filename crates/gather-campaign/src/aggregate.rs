@@ -1,0 +1,162 @@
+//! Fold a campaign result set into the summary tables the analysis
+//! crate renders: per-controller scaling tables with one row per
+//! family, plus a reliability table for runs that stalled, panicked, or
+//! broke connectivity.
+
+use std::collections::BTreeMap;
+
+use gather_analysis::{linear_fit, loglog_slope, Table};
+
+use crate::record::ScenarioRecord;
+
+/// Per-family scaling tables (one per controller, controllers and
+/// families alphabetical) followed by a reliability table when any run
+/// failed.
+pub fn summarize(records: &[ScenarioRecord]) -> Vec<Table> {
+    // controller -> family -> n -> rounds of gathered runs.
+    type Series = BTreeMap<usize, Vec<u64>>;
+    let mut groups: BTreeMap<&str, BTreeMap<&str, Series>> = BTreeMap::new();
+    let mut failures: BTreeMap<(&str, &str), (usize, usize, usize, usize)> = BTreeMap::new();
+
+    for r in records {
+        let cell = failures.entry((r.controller.as_str(), r.family.as_str())).or_default();
+        cell.0 += 1;
+        if r.panicked {
+            cell.3 += 1;
+            continue;
+        }
+        if !r.connected {
+            cell.2 += 1;
+        }
+        if !r.gathered {
+            cell.1 += 1;
+            continue;
+        }
+        groups
+            .entry(r.controller.as_str())
+            .or_default()
+            .entry(r.family.as_str())
+            .or_default()
+            .entry(r.n)
+            .or_default()
+            .push(r.rounds);
+    }
+
+    let mut tables = Vec::new();
+    for (controller, families) in &groups {
+        let mut t = Table::new(
+            format!("Campaign scaling — controller `{controller}` (gathered runs)"),
+            &["family", "series (n -> mean rounds)", "rounds/n slope", "log-log exp", "runs"],
+        );
+        for (family, by_n) in families {
+            let mut pts: Vec<(f64, f64)> = Vec::new();
+            let mut series = String::new();
+            let mut runs = 0usize;
+            for (&n, rounds) in by_n {
+                runs += rounds.len();
+                let mean = rounds.iter().sum::<u64>() as f64 / rounds.len() as f64;
+                pts.push((n as f64, mean));
+                series.push_str(&format!("{n}→{mean:.0} "));
+            }
+            let (slope, exp) = if pts.len() >= 2 {
+                (
+                    format!("{:.3}", linear_fit(&pts).coefficient),
+                    format!("{:.2}", loglog_slope(&pts)),
+                )
+            } else {
+                ("n/a".into(), "n/a".into())
+            };
+            t.push(vec![
+                family.to_string(),
+                series.trim().to_string(),
+                slope,
+                exp,
+                runs.to_string(),
+            ]);
+        }
+        tables.push(t);
+    }
+
+    if failures.values().any(|&(_, stalled, disc, panicked)| stalled + disc + panicked > 0) {
+        let mut t = Table::new(
+            "Campaign reliability — non-gathering outcomes",
+            &["controller", "family", "runs", "stalled", "disconnected", "panicked"],
+        );
+        for (&(controller, family), &(total, stalled, disconnected, panicked)) in &failures {
+            if stalled + disconnected + panicked == 0 {
+                continue;
+            }
+            t.push(vec![
+                controller.to_string(),
+                family.to_string(),
+                total.to_string(),
+                stalled.to_string(),
+                disconnected.to_string(),
+                panicked.to_string(),
+            ]);
+        }
+        tables.push(t);
+    }
+
+    tables
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::Scenario;
+    use gather_bench::{ControllerKind, Measurement};
+    use gather_workloads::Family;
+
+    fn rec(family: Family, n: usize, seed: u64, rounds: u64, gathered: bool) -> ScenarioRecord {
+        let sc = Scenario { family, n, seed, controller: ControllerKind::Paper };
+        let m = Measurement { n, rounds, merges: n / 2, gathered, connected: true };
+        ScenarioRecord::from_measurement(&sc, &m)
+    }
+
+    #[test]
+    fn linear_series_summarised_with_unit_exponent() {
+        let mut records = Vec::new();
+        for n in [32usize, 64, 128, 256] {
+            for seed in 0..3u64 {
+                records.push(rec(Family::Line, n, seed, (2 * n) as u64 + seed, true));
+            }
+        }
+        let tables = summarize(&records);
+        assert_eq!(tables.len(), 1, "no reliability table for all-gathered");
+        let row = &tables[0].rows[0];
+        assert_eq!(row[0], "line");
+        let slope: f64 = row[2].parse().unwrap();
+        assert!((slope - 2.0).abs() < 0.05, "slope {slope}");
+        let exp: f64 = row[3].parse().unwrap();
+        assert!((exp - 1.0).abs() < 0.05, "exponent {exp}");
+        assert_eq!(row[4], "12");
+    }
+
+    #[test]
+    fn failures_fold_into_reliability_table() {
+        let records = vec![
+            rec(Family::Line, 32, 0, 64, true),
+            rec(Family::Line, 64, 0, 99999, false),
+            ScenarioRecord::for_panic(&Scenario {
+                family: Family::Square,
+                n: 16,
+                seed: 1,
+                controller: ControllerKind::Center,
+            }),
+        ];
+        let tables = summarize(&records);
+        let reliability = tables.last().unwrap();
+        assert!(reliability.title.contains("reliability"));
+        assert_eq!(reliability.rows.len(), 2);
+        assert_eq!(reliability.rows[0], vec!["center", "square", "1", "0", "0", "1"]);
+        assert_eq!(reliability.rows[1], vec!["paper", "line", "2", "1", "0", "0"]);
+    }
+
+    #[test]
+    fn single_size_series_has_no_fit() {
+        let records = vec![rec(Family::Line, 32, 0, 64, true)];
+        let tables = summarize(&records);
+        assert_eq!(tables[0].rows[0][2], "n/a");
+    }
+}

@@ -1,0 +1,125 @@
+//! The campaign CLI: `run`, `resume`, and `summarize` subcommands over
+//! the gather-campaign library. See `--help` for flags.
+
+use std::ops::ControlFlow;
+use std::path::Path;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use gather_campaign::cli::{self, Command, RunArgs, USAGE};
+use gather_campaign::{
+    executor, load_completed, load_records, summarize, JsonlSink, Scenario, ScenarioRecord,
+};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let command = match cli::parse(&args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match command {
+        Command::Help => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        Command::Run(run) => execute(run, false),
+        Command::Resume(run) => execute(run, true),
+        Command::Summarize { input } => summarize_file(&input),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn execute(args: RunArgs, resume: bool) -> Result<(), String> {
+    let RunArgs { spec, threads, out } = args;
+    let jobs = spec.expand();
+    let completed = if resume {
+        load_completed(&out).map_err(|e| format!("reading {}: {e}", out.display()))?
+    } else {
+        Default::default()
+    };
+    let pending: Vec<Scenario> =
+        jobs.iter().copied().filter(|sc| !completed.contains(&sc.id())).collect();
+    let skipped = jobs.len() - pending.len();
+
+    let mut sink = if resume { JsonlSink::append(&out) } else { JsonlSink::create(&out) }
+        .map_err(|e| format!("opening {}: {e}", out.display()))?;
+
+    eprintln!(
+        "campaign `{}`: {} scenarios ({} already done), {} threads -> {}",
+        spec.name,
+        jobs.len(),
+        skipped,
+        if threads == 0 { "all".to_string() } else { threads.to_string() },
+        out.display(),
+    );
+
+    let start = Instant::now();
+    let total = pending.len();
+    let mut write_error: Option<String> = None;
+    let mut done = 0usize;
+    let mut panicked = 0usize;
+    // A failed write aborts the whole campaign (ControlFlow::Break):
+    // results that cannot be persisted are not worth computing, and the
+    // file on disk is a valid checkpoint for `resume`.
+    executor::execute_jobs(
+        &pending,
+        threads,
+        Scenario::run,
+        ScenarioRecord::for_panic,
+        |_i, rec| {
+            done += 1;
+            if rec.panicked {
+                panicked += 1;
+            }
+            if let Err(e) = sink.write(&rec) {
+                write_error = Some(format!("writing {}: {e}", out.display()));
+                return ControlFlow::Break(());
+            }
+            let status = if rec.panicked {
+                "PANIC"
+            } else if !rec.gathered {
+                "stall"
+            } else {
+                "ok"
+            };
+            eprintln!("[{done}/{total}] {:<32} {status:>5}  rounds={}", rec.id, rec.rounds);
+            ControlFlow::Continue(())
+        },
+    );
+    if let Some(e) = write_error {
+        return Err(format!("{e} (campaign aborted; completed scenarios are resumable)"));
+    }
+    eprintln!(
+        "campaign `{}` complete: {} run, {} skipped, {} panicked in {:.1?}",
+        spec.name,
+        done,
+        skipped,
+        panicked,
+        start.elapsed(),
+    );
+    Ok(())
+}
+
+fn summarize_file(input: &Path) -> Result<(), String> {
+    let (records, skipped) =
+        load_records(input).map_err(|e| format!("reading {}: {e}", input.display()))?;
+    if records.is_empty() {
+        return Err(format!("no records in {}", input.display()));
+    }
+    if skipped > 0 {
+        eprintln!("warning: skipped {skipped} malformed line(s)");
+    }
+    for table in summarize(&records) {
+        println!("{}", gather_analysis::render_markdown(&table));
+    }
+    Ok(())
+}

@@ -1,0 +1,223 @@
+//! Hand-rolled argument parsing for the `campaign` binary (no external
+//! dependencies, same policy as `gather-bench/src/bin/report.rs`).
+
+use std::path::PathBuf;
+
+use gather_bench::ControllerKind;
+use gather_workloads::Family;
+
+use crate::spec::CampaignSpec;
+
+pub const USAGE: &str = "\
+campaign — parallel scenario sweeps for the grid-gathering reproduction
+
+USAGE:
+    campaign run       [--threads N] [--out PATH] [axis flags]
+    campaign resume    [--threads N] [--out PATH] [axis flags]
+    campaign summarize [--in PATH]
+
+SUBCOMMANDS:
+    run        Execute the sweep from scratch (truncates --out)
+    resume     Re-run the sweep, skipping scenarios already in --out
+    summarize  Fold a result file into per-family scaling tables
+
+OPTIONS:
+    --threads N        Worker threads; 0 = all cores (default 0)
+    --out PATH         Result JSONL file (default campaign.jsonl)
+    --in PATH          Input for summarize (default campaign.jsonl)
+    --families A,B     Workload families (default line,square,hollow-square,random-blob)
+    --sizes N1,N2      Target swarm sizes (default 16,32,64,128)
+    --seeds S1,S2      Orientation seeds, or LO..HI for a range (default 1,2,3)
+    --controllers A,B  paper,center,greedy (default all three)
+    --name NAME        Campaign name recorded in logs (default standard)
+    -h, --help         Show this help
+";
+
+/// A parsed invocation of the binary.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Command {
+    Run(RunArgs),
+    Resume(RunArgs),
+    Summarize { input: PathBuf },
+    Help,
+}
+
+#[derive(Clone, Debug, PartialEq)]
+pub struct RunArgs {
+    pub spec: CampaignSpec,
+    pub threads: usize,
+    pub out: PathBuf,
+}
+
+impl Default for RunArgs {
+    fn default() -> Self {
+        RunArgs { spec: CampaignSpec::standard(), threads: 0, out: PathBuf::from("campaign.jsonl") }
+    }
+}
+
+/// Parse the process arguments (without the program name).
+pub fn parse(args: &[String]) -> Result<Command, String> {
+    let mut it = args.iter().map(String::as_str);
+    let sub = match it.next() {
+        None | Some("-h" | "--help" | "help") => return Ok(Command::Help),
+        Some(s) => s,
+    };
+    let rest: Vec<&str> = it.collect();
+    match sub {
+        "run" => Ok(Command::Run(parse_run_args(&rest)?)),
+        "resume" => Ok(Command::Resume(parse_run_args(&rest)?)),
+        "summarize" => {
+            let mut input = PathBuf::from("campaign.jsonl");
+            let mut it = rest.iter();
+            while let Some(&flag) = it.next() {
+                match flag {
+                    "--in" | "--out" => {
+                        input = PathBuf::from(value_of(flag, it.next().copied())?);
+                    }
+                    "-h" | "--help" => return Ok(Command::Help),
+                    other => return Err(format!("unknown summarize flag {other:?}")),
+                }
+            }
+            Ok(Command::Summarize { input })
+        }
+        other => Err(format!("unknown subcommand {other:?} (try --help)")),
+    }
+}
+
+fn value_of<'a>(flag: &str, value: Option<&'a str>) -> Result<&'a str, String> {
+    value.ok_or_else(|| format!("{flag} needs a value"))
+}
+
+fn parse_run_args(args: &[&str]) -> Result<RunArgs, String> {
+    let mut out = RunArgs::default();
+    let mut it = args.iter();
+    while let Some(&flag) = it.next() {
+        match flag {
+            "--threads" => {
+                let v = value_of(flag, it.next().copied())?;
+                out.threads =
+                    v.parse().map_err(|e| format!("--threads {v:?} is not a count: {e}"))?;
+            }
+            "--out" => out.out = PathBuf::from(value_of(flag, it.next().copied())?),
+            "--name" => out.spec.name = value_of(flag, it.next().copied())?.to_string(),
+            "--families" => {
+                out.spec.families = split_list(value_of(flag, it.next().copied())?)
+                    .map(|s| Family::parse(s).ok_or_else(|| format!("unknown family {s:?}")))
+                    .collect::<Result<_, _>>()?;
+            }
+            "--sizes" => {
+                out.spec.sizes = split_list(value_of(flag, it.next().copied())?)
+                    .map(|s| s.parse().map_err(|e| format!("bad size {s:?}: {e}")))
+                    .collect::<Result<_, _>>()?;
+            }
+            "--seeds" => {
+                out.spec.seeds = parse_seeds(value_of(flag, it.next().copied())?)?;
+            }
+            "--controllers" => {
+                out.spec.controllers = split_list(value_of(flag, it.next().copied())?)
+                    .map(|s| {
+                        ControllerKind::parse(s).ok_or_else(|| format!("unknown controller {s:?}"))
+                    })
+                    .collect::<Result<_, _>>()?;
+            }
+            other => return Err(format!("unknown flag {other:?} (try --help)")),
+        }
+    }
+    out.spec.validate()?;
+    Ok(out)
+}
+
+fn split_list(s: &str) -> impl Iterator<Item = &str> {
+    s.split(',').map(str::trim).filter(|t| !t.is_empty())
+}
+
+/// Seeds: either a comma list (`1,5,9`) or an exclusive range (`0..8`).
+fn parse_seeds(s: &str) -> Result<Vec<u64>, String> {
+    if let Some((lo, hi)) = s.split_once("..") {
+        let lo: u64 = lo.trim().parse().map_err(|e| format!("bad seed range start: {e}"))?;
+        let hi: u64 = hi.trim().parse().map_err(|e| format!("bad seed range end: {e}"))?;
+        if lo >= hi {
+            return Err(format!("empty seed range {s:?}"));
+        }
+        Ok((lo..hi).collect())
+    } else {
+        split_list(s).map(|t| t.parse().map_err(|e| format!("bad seed {t:?}: {e}"))).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strings(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn default_run_is_the_standard_sweep() {
+        let cmd = parse(&strings(&["run"])).unwrap();
+        let Command::Run(args) = cmd else { panic!("not run: {cmd:?}") };
+        assert_eq!(args.spec, CampaignSpec::standard());
+        assert_eq!(args.threads, 0);
+        assert!(args.spec.len() >= 100);
+    }
+
+    #[test]
+    fn axis_flags_override_the_matrix() {
+        let cmd = parse(&strings(&[
+            "run",
+            "--threads",
+            "4",
+            "--out",
+            "/tmp/x.jsonl",
+            "--families",
+            "line,table",
+            "--sizes",
+            "8,16",
+            "--seeds",
+            "0..4",
+            "--controllers",
+            "paper",
+            "--name",
+            "mini",
+        ]))
+        .unwrap();
+        let Command::Run(args) = cmd else { panic!() };
+        assert_eq!(args.threads, 4);
+        assert_eq!(args.out, PathBuf::from("/tmp/x.jsonl"));
+        assert_eq!(args.spec.families, vec![Family::Line, Family::Table]);
+        assert_eq!(args.spec.sizes, vec![8, 16]);
+        assert_eq!(args.spec.seeds, vec![0, 1, 2, 3]);
+        assert_eq!(args.spec.controllers, vec![ControllerKind::Paper]);
+        assert_eq!(args.spec.name, "mini");
+        assert_eq!(args.spec.len(), 2 * 2 * 4);
+    }
+
+    #[test]
+    fn seed_lists_and_bad_input() {
+        assert_eq!(parse_seeds("1, 5,9").unwrap(), vec![1, 5, 9]);
+        assert_eq!(parse_seeds("2..5").unwrap(), vec![2, 3, 4]);
+        assert!(parse_seeds("5..5").is_err());
+        assert!(parse_seeds("x").is_err());
+    }
+
+    #[test]
+    fn resume_and_summarize_parse() {
+        assert!(matches!(parse(&strings(&["resume"])).unwrap(), Command::Resume(_)));
+        let Command::Summarize { input } =
+            parse(&strings(&["summarize", "--in", "r.jsonl"])).unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(input, PathBuf::from("r.jsonl"));
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(parse(&strings(&["frobnicate"])).is_err());
+        assert!(parse(&strings(&["run", "--families", "mystery"])).is_err());
+        assert!(parse(&strings(&["run", "--controllers", ""])).is_err());
+        assert!(parse(&strings(&["run", "--threads"])).is_err());
+        assert!(matches!(parse(&[]).unwrap(), Command::Help));
+    }
+}

@@ -1,0 +1,218 @@
+//! Work-stealing parallel job execution with per-job panic isolation.
+//!
+//! The scheduling idiom mirrors `grid_engine::parallel`: scoped threads
+//! over an immutable job slice. Campaign jobs have wildly uneven costs
+//! (a stalled GoToCenter run burns its whole budget while a paper run
+//! finishes in O(n) rounds), so instead of pre-chunking, workers pull
+//! the next job index from a shared atomic cursor — the classic
+//! work-stealing counter — and runtimes balance automatically.
+//!
+//! Results stream back to the caller's callback on the submitting
+//! thread, in completion order, while workers keep running.
+
+use std::ops::ControlFlow;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+use grid_engine::parallel::resolve_threads;
+
+use crate::record::ScenarioRecord;
+use crate::spec::Scenario;
+
+/// Run every job and hand each result to `consume` on the calling
+/// thread as it completes. `run` executes on worker threads; a panic
+/// inside it is caught and converted via `on_panic` instead of tearing
+/// the campaign down. Returns the number of panicked jobs.
+///
+/// `consume` returning [`ControlFlow::Break`] aborts the campaign:
+/// workers stop pulling new jobs and in-flight results are discarded
+/// (a sink failure must not burn cores computing results nobody can
+/// persist).
+///
+/// `threads == 0` means available parallelism; `threads == 1` runs
+/// inline, in job order, with the same panic isolation.
+pub fn execute_jobs<J, R, F, P, C>(
+    jobs: &[J],
+    threads: usize,
+    run: F,
+    on_panic: P,
+    mut consume: C,
+) -> usize
+where
+    J: Sync,
+    R: Send,
+    F: Fn(&J) -> R + Sync,
+    P: Fn(&J) -> R + Sync,
+    C: FnMut(usize, R) -> ControlFlow<()>,
+{
+    let threads = resolve_threads(threads).min(jobs.len().max(1));
+    let panics = AtomicUsize::new(0);
+    let guarded = |job: &J| -> R {
+        catch_unwind(AssertUnwindSafe(|| run(job))).unwrap_or_else(|_| {
+            panics.fetch_add(1, Ordering::Relaxed);
+            on_panic(job)
+        })
+    };
+
+    if threads <= 1 {
+        for (i, job) in jobs.iter().enumerate() {
+            let result = guarded(job);
+            if consume(i, result).is_break() {
+                break;
+            }
+        }
+        return panics.into_inner();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, R)>();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let tx = tx.clone();
+            let cursor = &cursor;
+            let guarded = &guarded;
+            scope.spawn(move || loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(job) = jobs.get(i) else { break };
+                if tx.send((i, guarded(job))).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        for (i, result) in rx {
+            if consume(i, result).is_break() {
+                // Dropping the receiver makes every worker's next
+                // send fail, so they stop pulling jobs.
+                break;
+            }
+        }
+    });
+    panics.into_inner()
+}
+
+/// Execute scenarios; `progress(done, total, record)` fires on the
+/// calling thread after each completion.
+pub fn execute_scenarios(
+    jobs: &[Scenario],
+    threads: usize,
+    mut progress: impl FnMut(usize, usize, &ScenarioRecord),
+) -> Vec<ScenarioRecord> {
+    let mut records = Vec::with_capacity(jobs.len());
+    let mut done = 0usize;
+    execute_jobs(jobs, threads, Scenario::run, ScenarioRecord::for_panic, |_i, rec| {
+        done += 1;
+        progress(done, jobs.len(), &rec);
+        records.push(rec);
+        ControlFlow::Continue(())
+    });
+    records
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_jobs_run_exactly_once() {
+        let jobs: Vec<usize> = (0..200).collect();
+        for threads in [1usize, 2, 8] {
+            let mut seen = vec![0u32; jobs.len()];
+            let panics = execute_jobs(
+                &jobs,
+                threads,
+                |&j| j * 3,
+                |_| usize::MAX,
+                |i, r| {
+                    assert_eq!(r, jobs[i] * 3);
+                    seen[i] += 1;
+                    ControlFlow::Continue(())
+                },
+            );
+            assert_eq!(panics, 0);
+            assert!(seen.iter().all(|&c| c == 1), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn break_from_consume_aborts_the_campaign() {
+        let jobs: Vec<usize> = (0..10_000).collect();
+        for threads in [1usize, 4] {
+            let mut consumed = 0usize;
+            execute_jobs(
+                &jobs,
+                threads,
+                |&j| j,
+                |_| 0,
+                |_i, _r| {
+                    consumed += 1;
+                    if consumed == 5 {
+                        ControlFlow::Break(())
+                    } else {
+                        ControlFlow::Continue(())
+                    }
+                },
+            );
+            assert_eq!(consumed, 5, "threads={threads}: consume ran after Break");
+        }
+    }
+
+    #[test]
+    fn panics_are_isolated_per_job() {
+        let jobs: Vec<usize> = (0..50).collect();
+        for threads in [1usize, 4] {
+            let mut ok = 0usize;
+            let mut poisoned = 0usize;
+            let panics = execute_jobs(
+                &jobs,
+                threads,
+                |&j| {
+                    if j % 10 == 3 {
+                        panic!("job {j} exploded");
+                    }
+                    j
+                },
+                |_| usize::MAX,
+                |_i, r| {
+                    if r == usize::MAX {
+                        poisoned += 1;
+                    } else {
+                        ok += 1;
+                    }
+                    ControlFlow::Continue(())
+                },
+            );
+            assert_eq!(panics, 5, "threads={threads}");
+            assert_eq!(poisoned, 5);
+            assert_eq!(ok, 45);
+        }
+    }
+
+    #[test]
+    fn empty_job_list_is_fine() {
+        let jobs: Vec<usize> = Vec::new();
+        let panics = execute_jobs(&jobs, 8, |&j| j, |_| 0, |_, _| unreachable!());
+        assert_eq!(panics, 0);
+    }
+
+    #[test]
+    fn uneven_workloads_still_complete_with_many_threads() {
+        // More threads than jobs, and costs spanning three orders of
+        // magnitude — the cursor must not lose or duplicate work.
+        let jobs: Vec<u64> = vec![1, 1000, 1, 500, 1, 1, 2000];
+        let mut total = 0u64;
+        execute_jobs(
+            &jobs,
+            16,
+            |&j| (0..j).sum::<u64>(),
+            |_| 0,
+            |_i, r| {
+                total += r;
+                ControlFlow::Continue(())
+            },
+        );
+        let expected: u64 = jobs.iter().map(|&j| (0..j).sum::<u64>()).sum();
+        assert_eq!(total, expected);
+    }
+}

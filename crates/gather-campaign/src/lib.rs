@@ -1,0 +1,59 @@
+//! # gather-campaign
+//!
+//! A parallel scenario-campaign engine for stress-testing the paper's
+//! O(n) gathering claim at scale: declare a sweep once, fan it out over
+//! every core, stream results to disk as they land, resume interrupted
+//! runs, and fold the result set into the scaling tables the analysis
+//! crate renders.
+//!
+//! The subsystem replaces the hand-written experiment loops that used to
+//! live in `gather-bench` callers:
+//!
+//! * [`CampaignSpec`] — a declarative scenario matrix (workload families
+//!   × swarm sizes × orientation seeds × controllers) that expands to a
+//!   deterministic list of [`Scenario`] jobs with stable string IDs.
+//! * [`executor`] — a work-stealing multi-threaded executor (shared
+//!   atomic job cursor + scoped threads, the same idiom as
+//!   `grid_engine::parallel`) with per-job panic isolation and a
+//!   streaming progress callback.
+//! * [`JsonlSink`] — one JSON object per scenario, flushed per line, so
+//!   a killed run loses at most the line being written; re-running the
+//!   campaign skips every scenario already on disk ([`load_completed`]).
+//! * [`aggregate`] — folds a result file into per-family rounds/n
+//!   scaling tables via `gather-analysis`.
+//! * The `campaign` binary — `run` / `resume` / `summarize` subcommands
+//!   over all of the above.
+//!
+//! Results are pure functions of the scenario, so a campaign executed
+//! with 1 thread and with 8 threads produces the same result *set*
+//! (only the arrival order differs — compare sorted lines).
+//!
+//! ```
+//! use gather_campaign::{CampaignSpec, executor};
+//!
+//! let mut spec = CampaignSpec::named("doc");
+//! spec.families = vec![gather_workloads::Family::Line];
+//! spec.sizes = vec![24];
+//! spec.seeds = vec![1, 2];
+//! spec.controllers = vec![gather_bench::ControllerKind::Paper];
+//! let jobs = spec.expand();
+//! assert_eq!(jobs.len(), 2);
+//! let records = executor::execute_scenarios(&jobs, 1, |_done, _total, _rec| {});
+//! assert!(records.iter().all(|r| r.gathered));
+//! ```
+
+pub mod aggregate;
+pub mod cli;
+pub mod executor;
+pub mod record;
+pub mod sink;
+pub mod spec;
+
+pub use aggregate::summarize;
+pub use record::ScenarioRecord;
+pub use sink::{load_completed, load_records, JsonlSink};
+pub use spec::{CampaignSpec, Scenario};
+
+// Axis types, re-exported so campaign callers need only this crate.
+pub use gather_bench::ControllerKind;
+pub use gather_workloads::Family;

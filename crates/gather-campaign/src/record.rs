@@ -1,0 +1,167 @@
+//! The per-scenario result record and its JSONL wire format.
+
+use gather_analysis::{parse_flat_json, JsonObjWriter};
+use gather_bench::Measurement;
+
+use crate::spec::Scenario;
+
+/// Outcome of one scenario, as streamed to the result file. Every field
+/// is a pure function of the scenario, so records are byte-identical
+/// across runs and thread counts (wall-clock timing is deliberately
+/// excluded for exactly that reason).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ScenarioRecord {
+    /// Stable scenario ID (`family/n<size>/s<seed>/<controller>`).
+    pub id: String,
+    pub family: String,
+    pub controller: String,
+    /// Requested swarm size (the generator's target).
+    pub n_requested: usize,
+    pub seed: u64,
+    /// Actual swarm size.
+    pub n: usize,
+    /// Rounds until gathered, or until the run stopped.
+    pub rounds: u64,
+    pub merges: usize,
+    pub gathered: bool,
+    /// Whether the swarm was still connected when the run ended.
+    pub connected: bool,
+    /// True when the job panicked (isolated by the executor); all
+    /// numeric fields are zero in that case.
+    pub panicked: bool,
+}
+
+impl ScenarioRecord {
+    pub fn from_measurement(sc: &Scenario, m: &Measurement) -> Self {
+        ScenarioRecord {
+            id: sc.id(),
+            family: sc.family.name().to_string(),
+            controller: sc.controller.name().to_string(),
+            n_requested: sc.n,
+            seed: sc.seed,
+            n: m.n,
+            rounds: m.rounds,
+            merges: m.merges,
+            gathered: m.gathered,
+            connected: m.connected,
+            panicked: false,
+        }
+    }
+
+    /// Record for a job whose controller panicked.
+    pub fn for_panic(sc: &Scenario) -> Self {
+        ScenarioRecord {
+            id: sc.id(),
+            family: sc.family.name().to_string(),
+            controller: sc.controller.name().to_string(),
+            n_requested: sc.n,
+            seed: sc.seed,
+            n: 0,
+            rounds: 0,
+            merges: 0,
+            gathered: false,
+            connected: false,
+            panicked: true,
+        }
+    }
+
+    /// One line of the campaign JSONL stream (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        JsonObjWriter::new()
+            .field_str("id", &self.id)
+            .field_str("family", &self.family)
+            .field_str("controller", &self.controller)
+            .field_usize("n_requested", self.n_requested)
+            .field_u64("seed", self.seed)
+            .field_usize("n", self.n)
+            .field_u64("rounds", self.rounds)
+            .field_usize("merges", self.merges)
+            .field_bool("gathered", self.gathered)
+            .field_bool("connected", self.connected)
+            .field_bool("panicked", self.panicked)
+            .finish()
+    }
+
+    /// Parse one line; `Err` covers malformed and truncated lines.
+    pub fn from_json_line(line: &str) -> Result<Self, String> {
+        let map = parse_flat_json(line)?;
+        let str_field = |key: &str| -> Result<String, String> {
+            map.get(key)
+                .and_then(|v| v.as_str())
+                .map(str::to_string)
+                .ok_or_else(|| format!("missing string field {key:?}"))
+        };
+        let u64_field = |key: &str| -> Result<u64, String> {
+            map.get(key)
+                .and_then(|v| v.as_u64())
+                .ok_or_else(|| format!("missing integer field {key:?}"))
+        };
+        let bool_field = |key: &str| -> Result<bool, String> {
+            map.get(key)
+                .and_then(|v| v.as_bool())
+                .ok_or_else(|| format!("missing bool field {key:?}"))
+        };
+        Ok(ScenarioRecord {
+            id: str_field("id")?,
+            family: str_field("family")?,
+            controller: str_field("controller")?,
+            n_requested: u64_field("n_requested")? as usize,
+            seed: u64_field("seed")?,
+            n: u64_field("n")? as usize,
+            rounds: u64_field("rounds")?,
+            merges: u64_field("merges")? as usize,
+            gathered: bool_field("gathered")?,
+            connected: bool_field("connected")?,
+            panicked: bool_field("panicked")?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gather_bench::ControllerKind;
+    use gather_workloads::Family;
+
+    fn sample() -> ScenarioRecord {
+        let sc = Scenario {
+            family: Family::RandomBlob,
+            n: 96,
+            seed: 7,
+            controller: ControllerKind::Center,
+        };
+        let m = Measurement { n: 96, rounds: 412, merges: 95, gathered: true, connected: true };
+        ScenarioRecord::from_measurement(&sc, &m)
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let rec = sample();
+        let line = rec.to_json_line();
+        assert!(!line.contains('\n'));
+        assert_eq!(ScenarioRecord::from_json_line(&line).unwrap(), rec);
+    }
+
+    #[test]
+    fn truncated_lines_fail_to_parse() {
+        let line = sample().to_json_line();
+        for cut in [1, line.len() / 2, line.len() - 1] {
+            assert!(ScenarioRecord::from_json_line(&line[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn panic_record_is_marked() {
+        let sc =
+            Scenario { family: Family::Line, n: 10, seed: 0, controller: ControllerKind::Paper };
+        let rec = ScenarioRecord::for_panic(&sc);
+        assert!(rec.panicked && !rec.gathered);
+        let back = ScenarioRecord::from_json_line(&rec.to_json_line()).unwrap();
+        assert_eq!(back, rec);
+    }
+
+    #[test]
+    fn missing_fields_rejected() {
+        assert!(ScenarioRecord::from_json_line(r#"{"id":"x"}"#).is_err());
+    }
+}

@@ -1,0 +1,174 @@
+//! Declarative campaign specification and its expansion into jobs.
+
+use gather_bench::ControllerKind;
+use gather_workloads::Family;
+use grid_engine::Point;
+
+use crate::record::ScenarioRecord;
+
+/// A declarative scenario matrix. Expansion order is the nested product
+/// family → size → seed → controller, so the job list (and every job
+/// index) is a pure function of the spec.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CampaignSpec {
+    /// Campaign name, recorded for humans only.
+    pub name: String,
+    /// Workload families to instantiate (see `gather_workloads::family`).
+    pub families: Vec<Family>,
+    /// Target swarm sizes, passed to the family generators.
+    pub sizes: Vec<usize>,
+    /// Orientation seeds; random families also derive their shape from
+    /// the seed, so one seed pins the entire scenario.
+    pub seeds: Vec<u64>,
+    /// Strategies to run on every (family, size, seed) cell.
+    pub controllers: Vec<ControllerKind>,
+}
+
+impl CampaignSpec {
+    /// An empty spec with the given name; fill the axes before use.
+    pub fn named(name: impl Into<String>) -> Self {
+        CampaignSpec {
+            name: name.into(),
+            families: Vec::new(),
+            sizes: Vec::new(),
+            seeds: Vec::new(),
+            controllers: Vec::new(),
+        }
+    }
+
+    /// The standard acceptance sweep: lines, blocks, hollow shapes and
+    /// random blobs × four sizes × three seeds × all three controllers
+    /// (144 scenarios).
+    pub fn standard() -> Self {
+        CampaignSpec {
+            name: "standard".into(),
+            families: vec![Family::Line, Family::Square, Family::HollowSquare, Family::RandomBlob],
+            sizes: vec![16, 32, 64, 128],
+            seeds: vec![1, 2, 3],
+            controllers: ControllerKind::ALL.to_vec(),
+        }
+    }
+
+    /// Total number of scenarios the spec expands to.
+    pub fn len(&self) -> usize {
+        self.families.len() * self.sizes.len() * self.seeds.len() * self.controllers.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn validate(&self) -> Result<(), String> {
+        for (axis, empty) in [
+            ("families", self.families.is_empty()),
+            ("sizes", self.sizes.is_empty()),
+            ("seeds", self.seeds.is_empty()),
+            ("controllers", self.controllers.is_empty()),
+        ] {
+            if empty {
+                return Err(format!("campaign spec has no {axis}"));
+            }
+        }
+        if self.sizes.contains(&0) {
+            return Err("campaign spec has a zero size".into());
+        }
+        Ok(())
+    }
+
+    /// Expand the matrix into the deterministic, seeded job list.
+    pub fn expand(&self) -> Vec<Scenario> {
+        let mut out = Vec::with_capacity(self.len());
+        for &family in &self.families {
+            for &n in &self.sizes {
+                for &seed in &self.seeds {
+                    for &controller in &self.controllers {
+                        out.push(Scenario { family, n, seed, controller });
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// One fully-pinned experiment: everything needed to reproduce the run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Scenario {
+    pub family: Family,
+    /// Requested swarm size (generators hit it approximately).
+    pub n: usize,
+    pub seed: u64,
+    pub controller: ControllerKind,
+}
+
+impl Scenario {
+    /// Stable string ID — the resume key and the JSONL primary key.
+    pub fn id(&self) -> String {
+        format!("{}/n{}/s{}/{}", self.family.name(), self.n, self.seed, self.controller.name())
+    }
+
+    /// The scenario's swarm (deterministic in family, n, seed).
+    pub fn points(&self) -> Vec<Point> {
+        gather_workloads::family(self.family, self.n, self.seed)
+    }
+
+    /// Round budget: the generous multiple of the theoretical O(n)
+    /// bound the scaling experiments use, on the *actual* swarm size.
+    pub fn budget(points_len: usize) -> u64 {
+        gather_bench::budget_for(points_len)
+    }
+
+    /// Execute the scenario on one engine thread (campaigns parallelise
+    /// across scenarios, not within them) and record the outcome.
+    pub fn run(&self) -> ScenarioRecord {
+        let points = self.points();
+        let budget = Self::budget(points.len());
+        let m = gather_bench::run_measured(self.controller, &points, self.seed, budget, 1);
+        ScenarioRecord::from_measurement(self, &m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expansion_is_deterministic_and_ids_unique() {
+        let spec = CampaignSpec::standard();
+        let a = spec.expand();
+        let b = spec.expand();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), spec.len());
+        assert!(a.len() >= 100, "standard sweep must cover >= 100 scenarios");
+        let ids: std::collections::HashSet<String> = a.iter().map(Scenario::id).collect();
+        assert_eq!(ids.len(), a.len(), "duplicate scenario IDs");
+    }
+
+    #[test]
+    fn validate_rejects_empty_axes() {
+        assert!(CampaignSpec::standard().validate().is_ok());
+        let mut spec = CampaignSpec::standard();
+        spec.seeds.clear();
+        assert!(spec.validate().is_err());
+        let mut spec = CampaignSpec::standard();
+        spec.sizes = vec![16, 0];
+        assert!(spec.validate().is_err());
+    }
+
+    #[test]
+    fn id_shape() {
+        let sc =
+            Scenario { family: Family::Line, n: 64, seed: 3, controller: ControllerKind::Paper };
+        assert_eq!(sc.id(), "line/n64/s3/paper");
+    }
+
+    #[test]
+    fn scenario_runs_end_to_end() {
+        let sc =
+            Scenario { family: Family::Line, n: 24, seed: 1, controller: ControllerKind::Paper };
+        let rec = sc.run();
+        assert!(rec.gathered && !rec.panicked);
+        assert_eq!(rec.n, 24);
+        assert!(rec.rounds <= 24);
+    }
+}

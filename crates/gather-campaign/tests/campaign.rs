@@ -1,0 +1,118 @@
+//! End-to-end campaign tests: determinism across worker-thread counts
+//! and resume-after-kill semantics.
+
+use std::collections::HashSet;
+use std::path::PathBuf;
+
+use gather_bench::ControllerKind;
+use gather_campaign::{executor, load_completed, load_records, CampaignSpec, JsonlSink, Scenario};
+use gather_workloads::Family;
+
+/// A small but heterogeneous sweep: every controller, a worst-case
+/// line, a dense block, and a seeded random family. 24 scenarios.
+fn small_spec() -> CampaignSpec {
+    let mut spec = CampaignSpec::named("test");
+    spec.families = vec![Family::Line, Family::Square, Family::RandomBlob];
+    spec.sizes = vec![16, 32];
+    spec.seeds = vec![1, 2];
+    spec.controllers = vec![ControllerKind::Paper, ControllerKind::Greedy];
+    spec
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("gather-campaign-test-{name}-{}", std::process::id()));
+    p
+}
+
+fn run_to_file(jobs: &[Scenario], threads: usize, path: &PathBuf) {
+    let mut sink = JsonlSink::create(path).unwrap();
+    executor::execute_scenarios(jobs, threads, |_done, _total, rec| {
+        sink.write(rec).unwrap();
+    });
+}
+
+fn sorted_lines(path: &PathBuf) -> Vec<String> {
+    let mut lines: Vec<String> =
+        std::fs::read_to_string(path).unwrap().lines().map(str::to_string).collect();
+    lines.sort();
+    lines
+}
+
+/// The acceptance property: the same spec run with 1 and with 8 worker
+/// threads produces byte-identical sorted JSONL.
+#[test]
+fn results_are_identical_across_thread_counts() {
+    let jobs = small_spec().expand();
+    let single = tmp("threads1");
+    let many = tmp("threads8");
+    run_to_file(&jobs, 1, &single);
+    run_to_file(&jobs, 8, &many);
+    let a = sorted_lines(&single);
+    let b = sorted_lines(&many);
+    assert_eq!(a.len(), jobs.len());
+    assert_eq!(a, b, "thread count changed campaign results");
+    std::fs::remove_file(&single).unwrap();
+    std::fs::remove_file(&many).unwrap();
+}
+
+/// Killing a campaign halfway (simulated by truncating the stream,
+/// including a partial trailing line) and resuming yields exactly the
+/// full result set, and re-runs only the missing scenarios.
+#[test]
+fn resume_after_kill_completes_the_result_set() {
+    let jobs = small_spec().expand();
+    let full = tmp("resume-full");
+    run_to_file(&jobs, 4, &full);
+    let expected = sorted_lines(&full);
+
+    // "Kill" a run halfway: keep the first half of the stream plus a
+    // torn trailing line, exactly what a killed process leaves behind.
+    let half = tmp("resume-half");
+    let all = std::fs::read_to_string(&full).unwrap();
+    let lines: Vec<&str> = all.lines().collect();
+    let keep = lines.len() / 2;
+    let mut content: String = lines[..keep].iter().map(|l| format!("{l}\n")).collect();
+    content.push_str(&lines[keep][..lines[keep].len() / 2]);
+    std::fs::write(&half, &content).unwrap();
+
+    // Resume: completed IDs are skipped (torn line does not count).
+    let completed = load_completed(&half).unwrap();
+    assert_eq!(completed.len(), keep);
+    let pending: Vec<Scenario> =
+        jobs.iter().copied().filter(|sc| !completed.contains(&sc.id())).collect();
+    assert_eq!(pending.len(), jobs.len() - keep, "resume re-ran or lost scenarios");
+
+    let mut sink = JsonlSink::append(&half).unwrap();
+    executor::execute_scenarios(&pending, 4, |_d, _t, rec| sink.write(rec).unwrap());
+    drop(sink);
+
+    // The torn line is still in the file; parseable records must equal
+    // the uninterrupted run exactly.
+    let (records, skipped) = load_records(&half).unwrap();
+    assert_eq!(skipped, 1, "torn trailing line should be skipped");
+    let mut resumed: Vec<String> = records.iter().map(|r| r.to_json_line()).collect();
+    resumed.sort();
+    assert_eq!(resumed, expected, "resume diverged from the uninterrupted run");
+
+    std::fs::remove_file(&full).unwrap();
+    std::fs::remove_file(&half).unwrap();
+}
+
+/// Completed scenario IDs are skipped even under `run`-then-`resume`
+/// with zero pending work: nothing is re-executed.
+#[test]
+fn resume_of_a_finished_campaign_runs_nothing() {
+    let mut spec = small_spec();
+    spec.sizes = vec![16];
+    let jobs = spec.expand();
+    let path = tmp("resume-noop");
+    run_to_file(&jobs, 2, &path);
+    let completed = load_completed(&path).unwrap();
+    let pending: Vec<Scenario> =
+        jobs.iter().copied().filter(|sc| !completed.contains(&sc.id())).collect();
+    assert!(pending.is_empty());
+    let ids: HashSet<String> = jobs.iter().map(Scenario::id).collect();
+    assert_eq!(completed, ids);
+    std::fs::remove_file(&path).unwrap();
+}

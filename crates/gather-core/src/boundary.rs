@@ -15,7 +15,7 @@
 use crate::config::GatherConfig;
 use crate::merge_move;
 use crate::state::GatherState;
-use grid_engine::{Point, Swarm, V2, View};
+use grid_engine::{Point, Swarm, View, V2};
 
 /// Is the swarm a *Mergeless Swarm* (§3.2): no robot anywhere can
 /// perform a merge operation this round?
@@ -57,10 +57,7 @@ fn global_next(
 pub fn outer_chain(swarm: &Swarm<GatherState>) -> Vec<Point> {
     let occ = |p: Point| swarm.occupied(p);
     // Bottom-most, then left-most robot: its south side is exterior.
-    let start = swarm
-        .positions()
-        .min_by_key(|p| (p.y, p.x))
-        .expect("non-empty swarm");
+    let start = swarm.positions().min_by_key(|p| (p.y, p.x)).expect("non-empty swarm");
     let (mut at, mut travel, mut side) = (start, V2::E, V2::S);
     let start_state = (at, travel, side);
     let mut out = vec![at];
@@ -103,9 +100,7 @@ impl Leg {
     /// A bump: ≤ 2 robots between two convex turns — the shape a merge
     /// operation removes.
     pub fn is_bump(&self) -> bool {
-        self.steps <= 1
-            && self.enter_concave == Some(false)
-            && self.exit_concave == Some(false)
+        self.steps <= 1 && self.enter_concave == Some(false) && self.exit_concave == Some(false)
     }
 
     /// A stairway element: a short leg with alternating turn chirality
@@ -127,10 +122,7 @@ impl Leg {
 /// Decompose the outer boundary into legs.
 pub fn legs(swarm: &Swarm<GatherState>) -> Vec<Leg> {
     let occ = |p: Point| swarm.occupied(p);
-    let start = swarm
-        .positions()
-        .min_by_key(|p| (p.y, p.x))
-        .expect("non-empty swarm");
+    let start = swarm.positions().min_by_key(|p| (p.y, p.x)).expect("non-empty swarm");
     let (mut at, mut travel, mut side) = (start, V2::E, V2::S);
     let start_state = (at, travel, side);
 
@@ -144,12 +136,8 @@ pub fn legs(swarm: &Swarm<GatherState>) -> Vec<Leg> {
                 let concave = turn == GlobalTurn::Concave;
                 current.exit_concave = Some(concave);
                 out.push(current);
-                current = Leg {
-                    dir: nt,
-                    steps: 0,
-                    enter_concave: Some(concave),
-                    exit_concave: None,
-                };
+                current =
+                    Leg { dir: nt, steps: 0, enter_concave: Some(concave), exit_concave: None };
             }
         }
         at = nat;

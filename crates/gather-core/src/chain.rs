@@ -17,7 +17,7 @@
 //! can carry two independent run states.
 
 use crate::state::GatherState;
-use grid_engine::{V2, View};
+use grid_engine::{View, V2};
 
 /// One cursor of a boundary-chain walk.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -46,28 +46,18 @@ pub fn chain_next(view: &View<'_, GatherState>, c: Cursor) -> (Cursor, Turn) {
     let diag = c.at + c.travel + c.side;
     let ahead = c.at + c.travel;
     if view.occupied(diag) {
-        (
-            Cursor { at: diag, travel: c.side, side: -c.travel },
-            Turn::Concave,
-        )
+        (Cursor { at: diag, travel: c.side, side: -c.travel }, Turn::Concave)
     } else if view.occupied(ahead) {
         (Cursor { at: ahead, ..c }, Turn::Straight)
     } else {
-        (
-            Cursor { at: c.at, travel: -c.side, side: c.travel },
-            Turn::Convex,
-        )
+        (Cursor { at: c.at, travel: -c.side, side: c.travel }, Turn::Convex)
     }
 }
 
 /// Walk up to `depth` steps from `start`, yielding each new cursor and
 /// the turn that produced it. Stops early if the walk's preconditions
 /// break (possible mid-round while other robots are about to move).
-pub fn walk(
-    view: &View<'_, GatherState>,
-    start: Cursor,
-    depth: i32,
-) -> Vec<(Cursor, Turn)> {
+pub fn walk(view: &View<'_, GatherState>, start: Cursor, depth: i32) -> Vec<(Cursor, Turn)> {
     let mut out = Vec::with_capacity(depth as usize);
     let mut cur = start;
     for _ in 0..depth {

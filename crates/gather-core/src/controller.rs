@@ -5,7 +5,7 @@ use crate::config::GatherConfig;
 use crate::merge::merge_step;
 use crate::runner;
 use crate::state::{GatherState, Run};
-use grid_engine::{Action, Controller, RoundCtx, V2, View};
+use grid_engine::{Action, Controller, RoundCtx, View, V2};
 
 /// The paper's gathering strategy as a [`Controller`] for the FSYNC
 /// engine. Stateless apart from its constants; all per-robot memory
@@ -51,7 +51,7 @@ impl Controller for GatherController {
         // 2./3. Run operations (Fig. 11 steps 2 and 3): resolve my own
         //    runs, including any started this round (OP-C acts in the
         //    start round itself).
-        let starting = ctx.round % self.cfg.period == 0;
+        let starting = ctx.round.is_multiple_of(self.cfg.period);
         let my_plan = runner::plan(view, V2::ZERO, starting, &self.cfg);
         if my_plan.hop != V2::ZERO && view.occupied(my_plan.hop) {
             // OP-A onto an occupied cell: merge; every run I hold or
@@ -96,10 +96,7 @@ mod tests {
         Engine::new(
             Swarm::new(&pts, OrientationMode::Aligned),
             GatherController::paper(),
-            EngineConfig {
-                connectivity: ConnectivityCheck::Always,
-                ..EngineConfig::default()
-            },
+            EngineConfig { connectivity: ConnectivityCheck::Always, ..EngineConfig::default() },
         )
     }
 

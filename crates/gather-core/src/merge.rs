@@ -33,7 +33,7 @@
 //! the paper uses in §3.1).
 
 use crate::state::GatherState;
-use grid_engine::{V2, View};
+use grid_engine::{View, V2};
 
 pub(crate) type GView<'a, 'b> = &'a View<'b, GatherState>;
 
@@ -123,9 +123,7 @@ fn head_on_member(view: GView, w: V2, d: V2, k_max: i32) -> bool {
 /// paper's Fig. 3 overlap cases — runs meeting at corners or sharing
 /// boundary robots sideways — all execute concurrently.
 pub(crate) fn run_executes(view: GView, run: &AxisRun, d: V2, k_max: i32) -> bool {
-    witness_cells(run, d)
-        .iter()
-        .any(|&w| view.occupied(w) && !head_on_member(view, w, d, k_max))
+    witness_cells(run, d).iter().any(|&w| view.occupied(w) && !head_on_member(view, w, d, k_max))
 }
 
 /// The merge move of the robot at offset `at` this round: `None` if it
@@ -219,9 +217,16 @@ mod tests {
         // o o o o
         // o o o o
         let s = swarm(&[
-            (0, 2), (3, 2),
-            (0, 1), (1, 1), (2, 1), (3, 1),
-            (0, 0), (1, 0), (2, 0), (3, 0),
+            (0, 2),
+            (3, 2),
+            (0, 1),
+            (1, 1),
+            (2, 1),
+            (3, 1),
+            (0, 0),
+            (1, 0),
+            (2, 0),
+            (3, 0),
         ]);
         // The end columns are valid runs folding inward (their witnesses
         // move perpendicular to them, which is safe), and the bottom row
@@ -261,10 +266,13 @@ mod tests {
         // (1,2) is east of r but is a member of the horizontal run; add
         // a stationary witness east of (0,0): (1,0).
         let s = swarm(&[
-            (0, 2), (1, 2), (2, 2), // horizontal arm, r = (0,2)
-            (0, 1), (0, 0),         // vertical arm
-            (2, 1),                 // stationary witness for horizontal drop S
-            (1, 0),                 // stationary witness for vertical drop E
+            (0, 2),
+            (1, 2),
+            (2, 2), // horizontal arm, r = (0,2)
+            (0, 1),
+            (0, 0), // vertical arm
+            (2, 1), // stationary witness for horizontal drop S
+            (1, 0), // stationary witness for vertical drop E
         ]);
         // Is (2,1) stationary? Its vertical run {(2,1)}: above (2,2)
         // occupied -> run = {(2,2),(2,1)}... that run: maximal (checks

@@ -86,11 +86,7 @@ pub(crate) fn starts(view: GView, at: V2, _cfg: &GatherConfig) -> Vec<Run> {
         return mine;
     }
     let score = |base: V2, matches: &[Run]| -> i32 {
-        matches
-            .iter()
-            .map(|r| segment_len(view, base, r.travel))
-            .max()
-            .unwrap_or(1)
+        matches.iter().map(|r| segment_len(view, base, r.travel)).max().unwrap_or(1)
     };
     let my_score = score(at, &mine);
     for d in V2::axis_units() {

@@ -1,6 +1,6 @@
 //! Per-robot constant memory: the *run states* of §3.2.
 
-use grid_engine::{D4, RobotState, V2};
+use grid_engine::{RobotState, D4, V2};
 
 /// One run state (§3.2): a reshapement token travelling along the
 /// swarm's boundary.

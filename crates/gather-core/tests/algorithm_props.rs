@@ -5,15 +5,12 @@
 
 use gather_core::{GatherConfig, GatherController, GatherState};
 use grid_engine::connectivity::is_connected;
-use grid_engine::{
-    Action, Controller, OrientationMode, Point, RoundCtx, Swarm, View,
-};
+use grid_engine::{Action, Controller, OrientationMode, Point, RoundCtx, Swarm, View};
 use proptest::prelude::*;
 
 fn arb_swarm() -> impl Strategy<Value = (Vec<Point>, u64)> {
-    (10usize..100, any::<u64>()).prop_map(|(n, seed)| {
-        (gather_workloads::random_blob(n, seed), seed)
-    })
+    (10usize..100, any::<u64>())
+        .prop_map(|(n, seed)| (gather_workloads::random_blob(n, seed), seed))
 }
 
 proptest! {

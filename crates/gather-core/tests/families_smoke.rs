@@ -1,7 +1,7 @@
 //! Cross-family robustness smoke test (debug build, small sizes).
 use gather_core::GatherController;
-use grid_engine::{ConnectivityCheck, Engine, EngineConfig, OrientationMode};
 use gather_workloads::{all_families, family};
+use grid_engine::{ConnectivityCheck, Engine, EngineConfig, OrientationMode};
 
 #[test]
 fn all_families_gather_small() {
@@ -23,7 +23,11 @@ fn all_families_gather_small() {
                 match e.run_until_gathered(400 * count + 10_000) {
                     Ok(out) => eprintln!(
                         "{:>13} n={:<4} seed={} rounds={} ({:.2} rounds/robot)",
-                        f.name(), count, seed, out.rounds, out.rounds as f64 / count as f64
+                        f.name(),
+                        count,
+                        seed,
+                        out.rounds,
+                        out.rounds as f64 / count as f64
                     ),
                     Err(err) => panic!("{} n={} seed={}: {err}", f.name(), count, seed),
                 }

@@ -1,7 +1,7 @@
 //! Large-scale stress (run in release: `cargo test --release -- --ignored`).
 use gather_core::GatherController;
-use grid_engine::{ConnectivityCheck, Engine, EngineConfig, OrientationMode};
 use gather_workloads::{all_families, family};
+use grid_engine::{ConnectivityCheck, Engine, EngineConfig, OrientationMode};
 
 #[test]
 #[ignore]
@@ -29,7 +29,10 @@ fn all_families_gather_large() {
             match e.run_until_gathered(500 * count + 20_000) {
                 Ok(out) => eprintln!(
                     "{:>13} n={:<5} rounds={:<7} ({:.2} r/robot)",
-                    f.name(), count, out.rounds, out.rounds as f64 / count as f64
+                    f.name(),
+                    count,
+                    out.rounds,
+                    out.rounds as f64 / count as f64
                 ),
                 Err(err) => panic!("{} n={}: {err}", f.name(), count),
             }

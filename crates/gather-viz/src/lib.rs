@@ -24,11 +24,7 @@ pub fn ascii_runs(swarm: &Swarm<GatherState>, pad: i32) -> String {
     })
 }
 
-fn ascii_with<S: RobotState>(
-    swarm: &Swarm<S>,
-    pad: i32,
-    glyph: impl Fn(usize) -> char,
-) -> String {
+fn ascii_with<S: RobotState>(swarm: &Swarm<S>, pad: i32, glyph: impl Fn(usize) -> char) -> String {
     let b: Bounds = swarm.bounds().inflated(pad.max(0));
     let mut out = String::with_capacity((b.width() as usize + 1) * b.height() as usize);
     for y in (b.min.y..=b.max.y).rev() {

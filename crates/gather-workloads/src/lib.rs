@@ -53,10 +53,7 @@ pub fn square(side: usize) -> Vec<Point> {
 /// exists) and `thickness >= 1`.
 pub fn hollow_rectangle(w: usize, h: usize, thickness: usize) -> Vec<Point> {
     assert!(thickness >= 1);
-    assert!(
-        w > 2 * thickness && h > 2 * thickness,
-        "no hole: {w}x{h} walls {thickness}"
-    );
+    assert!(w > 2 * thickness && h > 2 * thickness, "no hole: {w}x{h} walls {thickness}");
     let (w, h, t) = (w as i32, h as i32, thickness as i32);
     let mut out = Vec::new();
     for y in 0..h {

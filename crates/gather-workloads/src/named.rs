@@ -29,6 +29,13 @@ pub enum Family {
 }
 
 impl Family {
+    /// Look a family up by its registry name (the inverse of [`name`]).
+    ///
+    /// [`name`]: Family::name
+    pub fn parse(s: &str) -> Option<Family> {
+        all_families().into_iter().find(|f| f.name() == s)
+    }
+
     pub fn name(self) -> &'static str {
         match self {
             Family::Line => "line",
@@ -42,6 +49,12 @@ impl Family {
             Family::Comb => "comb",
             Family::Spiral => "spiral",
         }
+    }
+}
+
+impl std::fmt::Display for Family {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
     }
 }
 
@@ -89,7 +102,7 @@ pub fn family(f: Family, n: usize, seed: u64) -> Vec<Point> {
         Family::RandomTree => crate::random_tree(n, seed),
         Family::Skyline => {
             let max_h = (n as f64).sqrt().ceil().max(2.0) as usize;
-            let cols = (n / ((max_h + 1) / 2)).max(2);
+            let cols = (n / max_h.div_ceil(2)).max(2);
             crate::skyline(cols, max_h, seed)
         }
         Family::Comb => {
@@ -127,8 +140,16 @@ mod tests {
 
     #[test]
     fn names_unique() {
-        let names: std::collections::HashSet<_> =
-            all_families().iter().map(|f| f.name()).collect();
+        let names: std::collections::HashSet<_> = all_families().iter().map(|f| f.name()).collect();
         assert_eq!(names.len(), all_families().len());
+    }
+
+    #[test]
+    fn registry_round_trips_names() {
+        for f in all_families() {
+            assert_eq!(Family::parse(f.name()), Some(f));
+            assert_eq!(f.to_string(), f.name());
+        }
+        assert_eq!(Family::parse("no-such-family"), None);
     }
 }

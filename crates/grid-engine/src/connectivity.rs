@@ -86,10 +86,8 @@ mod tests {
     fn diagonal_only_is_disconnected() {
         // Diagonal adjacency does NOT count for connectivity in the
         // paper's model, only for movement.
-        let s: Swarm<()> = Swarm::new(
-            &[Point::new(0, 0), Point::new(1, 1)],
-            OrientationMode::Aligned,
-        );
+        let s: Swarm<()> =
+            Swarm::new(&[Point::new(0, 0), Point::new(1, 1)], OrientationMode::Aligned);
         assert!(!is_connected(&s));
         assert_eq!(component_count(&s), 2);
     }

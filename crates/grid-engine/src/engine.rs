@@ -168,13 +168,12 @@ impl<C: Controller> Engine<C> {
         let check = match self.config.connectivity {
             ConnectivityCheck::Never => false,
             ConnectivityCheck::Always => true,
-            ConnectivityCheck::Every(k) => k != 0 && self.round % k == 0,
+            ConnectivityCheck::Every(k) => k != 0 && self.round.is_multiple_of(k),
         };
         if check && !is_connected(&self.swarm) {
             return Err(EngineError::Disconnected { round: stats.round });
         }
-        if self.metrics.mergeless_streak() >= self.config.stall_limit && !self.swarm.is_gathered()
-        {
+        if self.metrics.mergeless_streak() >= self.config.stall_limit && !self.swarm.is_gathered() {
             return Err(EngineError::Stalled {
                 round: stats.round,
                 streak: self.metrics.mergeless_streak(),

@@ -202,10 +202,7 @@ impl D4 {
 
     /// Construct from an index in `0..8` (useful for seeding).
     pub fn from_index(i: u8) -> D4 {
-        D4 {
-            rot: i & 3,
-            flip: (i & 4) != 0,
-        }
+        D4 { rot: i & 3, flip: (i & 4) != 0 }
     }
 
     pub fn apply(self, v: V2) -> V2 {

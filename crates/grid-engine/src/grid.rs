@@ -85,10 +85,7 @@ impl OccupancyGrid {
         // Grow generously so repeated single-cell escapes do not cause
         // quadratic re-allocation.
         let pad = 16.max(self.width / 4).max(self.height / 4);
-        let old_max = Point::new(
-            self.origin.x + self.width - 1,
-            self.origin.y + self.height - 1,
-        );
+        let old_max = Point::new(self.origin.x + self.width - 1, self.origin.y + self.height - 1);
         let b = Bounds {
             min: Point::new(self.origin.x.min(p.x - pad), self.origin.y.min(p.y - pad)),
             max: Point::new(old_max.x.max(p.x + pad), old_max.y.max(p.y + pad)),
@@ -118,10 +115,7 @@ mod tests {
     use crate::geom::{Bounds, Point};
 
     fn grid() -> OccupancyGrid {
-        OccupancyGrid::covering(
-            Bounds::of([Point::new(0, 0), Point::new(9, 9)]).unwrap(),
-            2,
-        )
+        OccupancyGrid::covering(Bounds::of([Point::new(0, 0), Point::new(9, 9)]).unwrap(), 2)
     }
 
     #[test]

@@ -36,7 +36,7 @@ pub mod view;
 pub use engine::{
     ConnectivityCheck, Controller, Engine, EngineConfig, EngineError, RoundCtx, RunOutcome,
 };
-pub use geom::{Bounds, D4, Point, V2};
+pub use geom::{Bounds, Point, D4, V2};
 pub use metrics::{Metrics, RoundStats};
 pub use swarm::{Action, ApplyOutcome, OrientationMode, Robot, RobotState, Swarm};
 pub use view::View;

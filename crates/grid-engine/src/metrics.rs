@@ -28,10 +28,7 @@ pub struct Metrics {
 
 impl Metrics {
     pub fn new(keep_history: bool) -> Self {
-        Metrics {
-            history: keep_history.then(Vec::new),
-            ..Metrics::default()
-        }
+        Metrics { history: keep_history.then(Vec::new), ..Metrics::default() }
     }
 
     pub fn record(&mut self, stats: RoundStats) {
@@ -40,9 +37,8 @@ impl Metrics {
         self.total_moves += stats.moved;
         if stats.merged == 0 {
             self.current_mergeless_streak += 1;
-            self.longest_mergeless_streak = self
-                .longest_mergeless_streak
-                .max(self.current_mergeless_streak);
+            self.longest_mergeless_streak =
+                self.longest_mergeless_streak.max(self.current_mergeless_streak);
         } else {
             self.current_mergeless_streak = 0;
         }

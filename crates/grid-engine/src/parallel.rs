@@ -19,10 +19,16 @@ pub fn resolve_threads(requested: usize) -> usize {
     if requested > 0 {
         requested
     } else {
-        std::thread::available_parallelism()
-            .map(NonZeroUsize::get)
-            .unwrap_or(1)
+        std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
     }
+}
+
+/// Partition `0..n` into exactly `min(threads, n)` contiguous chunks
+/// whose lengths differ by at most one, so every worker gets an equal
+/// share even when `n` is barely above [`PARALLEL_THRESHOLD`].
+pub fn chunk_bounds(n: usize, threads: usize) -> Vec<(usize, usize)> {
+    let chunks = threads.max(1).min(n.max(1));
+    (0..chunks).map(|c| (c * n / chunks, (c + 1) * n / chunks)).collect()
 }
 
 /// Evaluate `f(0..n)` and collect results in index order, splitting the
@@ -36,14 +42,11 @@ where
     if threads <= 1 || n < PARALLEL_THRESHOLD {
         return (0..n).map(f).collect();
     }
-    let chunks = threads.min(n.div_ceil(PARALLEL_THRESHOLD / 4).max(1));
-    let chunk_len = n.div_ceil(chunks);
-    let mut out: Vec<Vec<T>> = Vec::with_capacity(chunks);
+    let bounds = chunk_bounds(n, threads);
+    let mut out: Vec<Vec<T>> = Vec::with_capacity(bounds.len());
     std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(chunks);
-        for c in 0..chunks {
-            let lo = c * chunk_len;
-            let hi = ((c + 1) * chunk_len).min(n);
+        let mut handles = Vec::with_capacity(bounds.len());
+        for &(lo, hi) in &bounds {
             let f = &f;
             handles.push(scope.spawn(move || (lo..hi).map(f).collect::<Vec<T>>()));
         }
@@ -91,5 +94,48 @@ mod tests {
     fn resolve_threads_defaults() {
         assert!(resolve_threads(0) >= 1);
         assert_eq!(resolve_threads(3), 3);
+    }
+
+    /// Regression: chunk count must track the requested thread count
+    /// exactly (it used to be capped near n / 256, idling most workers
+    /// for n just above PARALLEL_THRESHOLD), with balanced chunks.
+    #[test]
+    fn chunking_uses_every_thread_exactly() {
+        for threads in [1usize, 2, 3, 8, 16] {
+            for n in [
+                PARALLEL_THRESHOLD,
+                PARALLEL_THRESHOLD + 1,
+                PARALLEL_THRESHOLD + threads - 1,
+                4 * PARALLEL_THRESHOLD + 3,
+            ] {
+                let bounds = chunk_bounds(n, threads);
+                assert_eq!(bounds.len(), threads.min(n), "n={n} threads={threads}");
+                assert_eq!(bounds[0].0, 0);
+                assert_eq!(bounds.last().unwrap().1, n);
+                let (min_len, max_len) = bounds.iter().fold((usize::MAX, 0), |acc, &(lo, hi)| {
+                    assert!(lo <= hi);
+                    (acc.0.min(hi - lo), acc.1.max(hi - lo))
+                });
+                assert!(max_len - min_len <= 1, "unbalanced: n={n} threads={threads}");
+                for w in bounds.windows(2) {
+                    assert_eq!(w[0].1, w[1].0, "gap/overlap: n={n} threads={threads}");
+                }
+            }
+        }
+    }
+
+    /// Determinism across thread counts, pinned at a size just above the
+    /// parallel threshold where the old chunking under-used threads.
+    #[test]
+    fn determinism_across_thread_counts() {
+        let n = PARALLEL_THRESHOLD + 7;
+        let seq: Vec<u64> = (0..n).map(|i| (i as u64).wrapping_mul(0x9E3779B9)).collect();
+        for threads in [1usize, 2, 3, 8] {
+            assert_eq!(
+                parallel_map(n, threads, |i| (i as u64).wrapping_mul(0x9E3779B9)),
+                seq,
+                "threads = {threads}"
+            );
+        }
     }
 }

@@ -2,7 +2,7 @@
 //! dense occupancy index and the FSYNC *simultaneous move + merge*
 //! semantics of the paper's model.
 
-use crate::geom::{Bounds, D4, Point, V2};
+use crate::geom::{Bounds, Point, D4, V2};
 use crate::grid::OccupancyGrid;
 
 /// Per-robot algorithm state carried between rounds.
@@ -176,8 +176,7 @@ impl<S: RobotState> Swarm<S> {
         // Group robots by target cell to find merges. The common case is
         // "no merge anywhere", so detect duplicates with a map from cell
         // to first-arriving robot index.
-        let mut owner: crate::fxhash::FxHashMap<Point, usize> =
-            crate::fxhash::FxHashMap::default();
+        let mut owner: crate::fxhash::FxHashMap<Point, usize> = crate::fxhash::FxHashMap::default();
         owner.reserve(n);
         // survivor[i] = does robot i survive this round?
         let mut survives = vec![true; n];
@@ -247,28 +246,23 @@ mod tests {
         assert!(!s.occupied(Point::new(5, 0)));
         assert_eq!(s.robot_at(Point::new(2, 0)), Some(2));
         assert!(!s.is_gathered());
-        let t: Swarm<()> = Swarm::new(&[Point::new(0, 0), Point::new(1, 1)], OrientationMode::Aligned);
+        let t: Swarm<()> =
+            Swarm::new(&[Point::new(0, 0), Point::new(1, 1)], OrientationMode::Aligned);
         assert!(t.is_gathered());
     }
 
     #[test]
     #[should_panic(expected = "duplicate")]
     fn duplicate_positions_rejected() {
-        let _: Swarm<()> = Swarm::new(
-            &[Point::new(0, 0), Point::new(0, 0)],
-            OrientationMode::Aligned,
-        );
+        let _: Swarm<()> =
+            Swarm::new(&[Point::new(0, 0), Point::new(0, 0)], OrientationMode::Aligned);
     }
 
     #[test]
     fn apply_moves_and_merges() {
         let mut s: Swarm<()> = Swarm::new(&line(3), OrientationMode::Aligned);
         // Robot 0 hops east onto robot 1; robots 1 and 2 stay.
-        let actions = vec![
-            Action { step: V2::E, state: () },
-            Action::stay(()),
-            Action::stay(()),
-        ];
+        let actions = vec![Action { step: V2::E, state: () }, Action::stay(()), Action::stay(())];
         let out = s.apply(actions);
         assert_eq!(out.merged, 1);
         assert_eq!(out.moved, 1);
@@ -288,10 +282,8 @@ mod tests {
             }
         }
         let mut s: Swarm<Tag> = Swarm::new(&line(2), OrientationMode::Aligned);
-        let actions = vec![
-            Action { step: V2::E, state: Tag(1) },
-            Action { step: V2::ZERO, state: Tag(2) },
-        ];
+        let actions =
+            vec![Action { step: V2::E, state: Tag(1) }, Action { step: V2::ZERO, state: Tag(2) }];
         s.apply(actions);
         assert_eq!(s.len(), 1);
         // The stationary robot (old index 1) survives and keeps its state.
@@ -329,10 +321,7 @@ mod tests {
     #[test]
     fn swap_is_not_a_merge() {
         let mut s: Swarm<()> = Swarm::new(&line(2), OrientationMode::Aligned);
-        let actions = vec![
-            Action { step: V2::E, state: () },
-            Action { step: V2::W, state: () },
-        ];
+        let actions = vec![Action { step: V2::E, state: () }, Action { step: V2::W, state: () }];
         let out = s.apply(actions);
         assert_eq!(out.merged, 0);
         assert_eq!(s.len(), 2);

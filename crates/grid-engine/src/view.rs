@@ -11,7 +11,7 @@
 //! queried cell lies within the viewing range, so an algorithm that
 //! accidentally relies on super-constant vision fails loudly in tests.
 
-use crate::geom::{D4, Point, V2};
+use crate::geom::{Point, D4, V2};
 use crate::swarm::{RobotState, Swarm};
 
 pub struct View<'a, S: RobotState> {
@@ -51,11 +51,7 @@ impl<'a, S: RobotState> View<'a, S> {
 
     #[inline]
     fn world(&self, v: V2) -> Point {
-        debug_assert!(
-            v.l1() <= self.radius,
-            "probe {v:?} outside viewing radius {}",
-            self.radius
-        );
+        debug_assert!(v.l1() <= self.radius, "probe {v:?} outside viewing radius {}", self.radius);
         self.center + self.orient.apply(v)
     }
 
@@ -125,10 +121,8 @@ mod tests {
 
     #[test]
     fn rotated_view_rotates_offsets() {
-        let mut s: Swarm<()> = Swarm::new(
-            &[Point::new(0, 0), Point::new(0, 1)],
-            OrientationMode::Aligned,
-        );
+        let mut s: Swarm<()> =
+            Swarm::new(&[Point::new(0, 0), Point::new(0, 1)], OrientationMode::Aligned);
         // Robot 0's frame: east points to world north.
         s.robots_mut()[0].orient = D4 { rot: 1, flip: false };
         let v = View::new(&s, 0, 5);
@@ -148,14 +142,12 @@ mod tests {
                 Arrow(m.apply(self.0))
             }
         }
-        let mut s: Swarm<Arrow> = Swarm::new(
-            &[Point::new(0, 0), Point::new(1, 0)],
-            OrientationMode::Aligned,
-        );
+        let mut s: Swarm<Arrow> =
+            Swarm::new(&[Point::new(0, 0), Point::new(1, 0)], OrientationMode::Aligned);
         // Robot 1 stores "east" in a frame rotated so its east is world north.
         s.robots_mut()[1].orient = D4 { rot: 1, flip: false };
         s.robots_mut()[1].state = Arrow(V2::E); // world north
-        // Robot 0 is world-aligned, so it must see the arrow as north.
+                                                // Robot 0 is world-aligned, so it must see the arrow as north.
         let v = View::new(&s, 0, 5);
         assert_eq!(v.state(V2::E), Some(Arrow(V2::N)));
         assert_eq!(v.state(V2::W), None);

@@ -6,9 +6,8 @@ use proptest::prelude::*;
 use std::collections::BTreeSet;
 
 fn arb_positions() -> impl Strategy<Value = Vec<Point>> {
-    proptest::collection::btree_set((0i32..12, 0i32..12), 1..40).prop_map(|set| {
-        set.into_iter().map(|(x, y)| Point::new(x, y)).collect()
-    })
+    proptest::collection::btree_set((0i32..12, 0i32..12), 1..40)
+        .prop_map(|set| set.into_iter().map(|(x, y)| Point::new(x, y)).collect())
 }
 
 fn arb_steps(n: usize) -> impl Strategy<Value = Vec<(i8, i8)>> {

@@ -5,17 +5,15 @@
 //! ```
 
 use gather_viz::{svg, Trace};
-use gather_workloads::{all_families, family};
+use gather_workloads::{all_families, family, Family};
 use grid_gathering::prelude::*;
 
 fn main() {
     let which = std::env::args().nth(1).unwrap_or_else(|| "diamond".into());
     let n: usize = std::env::args().nth(2).and_then(|a| a.parse().ok()).unwrap_or(150);
-    let fam = all_families()
-        .into_iter()
-        .find(|f| f.name() == which)
-        .unwrap_or_else(|| panic!("unknown family {which}; try one of {:?}",
-            all_families().map(|f| f.name())));
+    let fam = Family::parse(&which).unwrap_or_else(|| {
+        panic!("unknown family {which}; try one of {:?}", all_families().map(|f| f.name()))
+    });
 
     let cells = family(fam, n, 1);
     let mut engine = Engine::from_positions(

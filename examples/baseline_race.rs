@@ -10,9 +10,14 @@ use grid_gathering::prelude::*;
 
 fn run<C: Controller>(name: &str, pts: &[grid_gathering::engine::Point], c: C) {
     let n = pts.len();
-    let mut e = Engine::from_positions(pts, OrientationMode::Scrambled(3), c, EngineConfig::default());
+    let mut e =
+        Engine::from_positions(pts, OrientationMode::Scrambled(3), c, EngineConfig::default());
     match e.run_until_gathered(500 * n as u64 + 20_000) {
-        Ok(out) => println!("{name:>12}: {:>7} rounds ({:.2}/robot)", out.rounds, out.rounds as f64 / n as f64),
+        Ok(out) => println!(
+            "{name:>12}: {:>7} rounds ({:.2}/robot)",
+            out.rounds,
+            out.rounds as f64 / n as f64
+        ),
         Err(err) => println!("{name:>12}: DID NOT GATHER ({err})"),
     }
 }
@@ -24,7 +29,9 @@ fn main() {
     run("paper", &pts, GatherController::paper());
     run("go-to-center", &pts, GoToCenter::paper_radius());
     match AsyncGreedy::new(&pts).run(10_000) {
-        Ok(out) => println!("{:>12}: {:>7} passes (sequential fair scheduler)", "greedy", out.rounds),
+        Ok(out) => {
+            println!("{:>12}: {:>7} passes (sequential fair scheduler)", "greedy", out.rounds)
+        }
         Err(e) => println!("{:>12}: stalled: {e}", "greedy"),
     }
 }

@@ -25,11 +25,8 @@ fn main() {
     while !engine.swarm.is_gathered() && round < 100_000 {
         engine.step().expect("connected");
         round += 1;
-        if engine.metrics().rounds % 200 == 0 {
-            println!(
-                "round {round}: {} robots left",
-                engine.swarm.len()
-            );
+        if engine.metrics().rounds.is_multiple_of(200) {
+            println!("round {round}: {} robots left", engine.swarm.len());
         }
     }
     println!("\nfinal (round {round}):\n{}", ascii_runs(&engine.swarm, 1));

@@ -22,7 +22,7 @@ fn main() {
 
     let mut round = 0u64;
     while !engine.swarm.is_gathered() && round < 2000 {
-        if round % 11 == 0 {
+        if round.is_multiple_of(11) {
             println!("--- round {round}, robots {} ---", engine.swarm.len());
             println!("{}", ascii_runs(&engine.swarm, 0));
         }

@@ -19,6 +19,10 @@
 //!   blobs).
 //! * [`viz`] — ASCII and SVG rendering of swarm traces.
 //! * [`analysis`] — scaling fits and table emission for EXPERIMENTS.md.
+//! * [`campaign`] — the parallel scenario-campaign engine: declarative
+//!   sweeps over (family × size × seed × controller), streamed JSONL
+//!   results with resume, and scaling-table aggregation (see the
+//!   `campaign` CLI binary).
 //!
 //! ## Quickstart
 //!
@@ -40,6 +44,7 @@
 
 pub use gather_analysis as analysis;
 pub use gather_baselines as baselines;
+pub use gather_campaign as campaign;
 pub use gather_core as core;
 pub use gather_viz as viz;
 pub use gather_workloads as workloads;
@@ -52,6 +57,6 @@ pub mod prelude {
     pub use gather_workloads as workloads;
     pub use grid_engine::{
         Action, Bounds, ConnectivityCheck, Controller, Engine, EngineConfig, EngineError,
-        OrientationMode, Point, RoundCtx, RunOutcome, Swarm, V2, View,
+        OrientationMode, Point, RoundCtx, RunOutcome, Swarm, View, V2,
     };
 }

@@ -15,9 +15,8 @@ fn every_family_gathers_with_connectivity_checked() {
             GatherController::paper(),
             EngineConfig { connectivity: ConnectivityCheck::Always, ..Default::default() },
         );
-        let out = e
-            .run_until_gathered(500 * n + 10_000)
-            .unwrap_or_else(|e| panic!("{}: {e}", f.name()));
+        let out =
+            e.run_until_gathered(500 * n + 10_000).unwrap_or_else(|e| panic!("{}: {e}", f.name()));
         assert!(e.swarm.is_gathered(), "{}", f.name());
         assert!(out.final_robots <= 4);
     }
@@ -74,7 +73,7 @@ fn equivariance_under_global_symmetry() {
     // Transform the world by g and pre-compose every robot frame with
     // g: the trace must be exactly the g-image of the original trace.
     // This is the no-compass property of the distributed algorithm.
-    use grid_gathering::engine::{D4, Point, Swarm, V2};
+    use grid_gathering::engine::{Point, Swarm, D4, V2};
     let pts = workloads::random_blob(120, 9);
     let g = D4 { rot: 1, flip: true };
     let center = Point::new(0, 0);
@@ -143,9 +142,7 @@ fn baselines_behave_as_documented() {
 #[test]
 fn robots_never_leave_inflated_bounding_box() {
     let pts = workloads::table(40, 9);
-    let start_bounds = grid_gathering::engine::Bounds::of(pts.iter().copied())
-        .unwrap()
-        .inflated(4);
+    let start_bounds = grid_gathering::engine::Bounds::of(pts.iter().copied()).unwrap().inflated(4);
     let mut e = Engine::from_positions(
         &pts,
         OrientationMode::Aligned,
@@ -174,7 +171,10 @@ fn viz_renders_any_stage() {
     );
     e.step().expect("steps");
     let art = viz::ascii_runs(&e.swarm, 1);
-    assert_eq!(art.matches('o').count() + art.matches('R').count() + art.matches('D').count(), e.swarm.len());
+    assert_eq!(
+        art.matches('o').count() + art.matches('R').count() + art.matches('D').count(),
+        e.swarm.len()
+    );
     let doc = viz::svg(&e.swarm, 4);
     assert!(doc.contains("<svg"));
     assert!(connectivity::is_connected(&e.swarm));

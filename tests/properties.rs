@@ -1,8 +1,8 @@
 //! Property-based tests (proptest) on the core invariants from
 //! DESIGN.md §7.
 
-use grid_gathering::prelude::*;
 use grid_gathering::engine::connectivity::is_connected;
+use grid_gathering::prelude::*;
 use proptest::prelude::*;
 
 /// Random connected swarm: a seeded blob or tree of arbitrary size.
