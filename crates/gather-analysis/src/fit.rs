@@ -23,7 +23,10 @@ fn r_squared(ys: &[f64], predicted: impl Fn(usize) -> f64) -> f64 {
             0.0
         }
     } else {
-        1.0 - ss_res / ss_tot
+        // `1 - ss_res/ss_tot` can dip below 0 for a model that predicts
+        // worse than the mean (and float error can push a perfect fit a
+        // hair past 1); [`FitResult::r2`] documents `[0, 1]`, so clamp.
+        (1.0 - ss_res / ss_tot).clamp(0.0, 1.0)
     }
 }
 
@@ -110,5 +113,24 @@ mod tests {
     #[should_panic(expected = "at least two")]
     fn too_few_points_panics() {
         linear_fit(&[(1.0, 1.0)]);
+    }
+
+    #[test]
+    fn r2_stays_in_unit_interval_even_for_bad_models() {
+        // Regression: quadratic_fit forces y = a·x² + b, which can model
+        // awkward series (decreasing, sign-flipping, degenerate x²)
+        // arbitrarily badly; the documented contract is r2 ∈ [0, 1].
+        let awkward: Vec<Vec<(f64, f64)>> = vec![
+            (1..=20).map(|i| (i as f64, 100.0 - 5.0 * i as f64)).collect(),
+            (1..=10).map(|i| (i as f64, if i % 2 == 0 { 50.0 } else { -50.0 })).collect(),
+            // x = ±1 collapses the transformed x² axis entirely.
+            vec![(-1.0, 0.0), (1.0, 10.0)],
+            vec![(-2.0, 3.0), (-1.0, -4.0), (1.0, 4.0), (2.0, -3.0)],
+        ];
+        for pts in &awkward {
+            for fit in [linear_fit(pts), quadratic_fit(pts)] {
+                assert!((0.0..=1.0).contains(&fit.r2), "r2 = {} out of [0, 1] for {pts:?}", fit.r2);
+            }
+        }
     }
 }

@@ -24,19 +24,46 @@ pub struct GreedyOutcome {
     pub rounds: u64,
     /// Total robots removed by merges.
     pub merged: usize,
+    /// Total robot activations (each pass activates every robot alive
+    /// at its start) — the work measure comparable across schedulers.
+    pub activations: u64,
 }
 
 pub struct AsyncGreedy {
     swarm: Swarm<()>,
+    rounds: u64,
+    merged: usize,
+    activations: u64,
 }
 
 impl AsyncGreedy {
     pub fn new(positions: &[Point]) -> Self {
-        AsyncGreedy { swarm: Swarm::new(positions, OrientationMode::Aligned) }
+        AsyncGreedy {
+            swarm: Swarm::new(positions, OrientationMode::Aligned),
+            rounds: 0,
+            merged: 0,
+            activations: 0,
+        }
     }
 
     pub fn swarm(&self) -> &Swarm<()> {
         &self.swarm
+    }
+
+    /// Passes completed so far — meaningful after a failed [`Self::run`]
+    /// too, so harnesses can report the real progress of a dead run.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// Merges so far (see [`Self::rounds`]).
+    pub fn merged(&self) -> usize {
+        self.merged
+    }
+
+    /// Activations so far (see [`Self::rounds`]).
+    pub fn activations(&self) -> u64 {
+        self.activations
     }
 
     /// Is the robot at `pos` removable: do its 4-neighbours stay
@@ -71,13 +98,13 @@ impl AsyncGreedy {
     }
 
     /// Run until gathered. One round = one activation pass over the
-    /// robots alive at the start of the pass.
-    pub fn run(mut self, max_rounds: u64) -> Result<GreedyOutcome, String> {
-        let mut rounds = 0;
-        let mut merged = 0;
+    /// robots alive at the start of the pass. On failure the counters
+    /// ([`Self::rounds`], [`Self::merged`], [`Self::activations`]) and
+    /// the swarm keep the state the run actually reached.
+    pub fn run(&mut self, max_rounds: u64) -> Result<GreedyOutcome, String> {
         while !self.swarm.is_gathered() {
-            if rounds >= max_rounds {
-                return Err(format!("round budget exhausted at {rounds}"));
+            if self.rounds >= max_rounds {
+                return Err(format!("round budget exhausted at {}", self.rounds));
             }
             let before = self.swarm.len();
             // Activate robots one at a time in deterministic order of
@@ -85,6 +112,7 @@ impl AsyncGreedy {
             let mut order: Vec<Point> = self.swarm.positions().collect();
             order.sort();
             for pos in order {
+                self.activations += 1;
                 let Some(i) = self.swarm.robot_at(pos) else { continue };
                 // Hop onto an adjacent robot if that cannot disconnect.
                 let Some(dst) = pos
@@ -99,18 +127,22 @@ impl AsyncGreedy {
                     (0..n).map(|_| grid_engine::Action::stay(())).collect();
                 actions[i].step = dst - pos;
                 let out = self.swarm.apply(actions);
-                merged += out.merged;
+                self.merged += out.merged;
                 debug_assert!(is_connected(&self.swarm));
                 if self.swarm.is_gathered() {
                     break;
                 }
             }
-            rounds += 1;
+            self.rounds += 1;
             if self.swarm.len() == before && !self.swarm.is_gathered() {
-                return Err(format!("no progress in pass {rounds}"));
+                return Err(format!("no progress in pass {}", self.rounds));
             }
         }
-        Ok(GreedyOutcome { rounds, merged })
+        Ok(GreedyOutcome {
+            rounds: self.rounds,
+            merged: self.merged,
+            activations: self.activations,
+        })
     }
 }
 
@@ -139,5 +171,22 @@ mod tests {
     fn hollow_gathers() {
         let pts = gather_workloads::hollow_rectangle(10, 10, 1);
         AsyncGreedy::new(&pts).run(500).expect("gathers");
+    }
+
+    #[test]
+    fn failed_run_preserves_real_progress_counters() {
+        // Pin a workload that needs at least two passes, then rerun it
+        // with a budget one pass short: the failed run must keep the
+        // rounds/merges/activations it actually achieved, not zeros.
+        let pts = gather_workloads::random_blob(150, 7);
+        let mut full = AsyncGreedy::new(&pts);
+        let total = full.run(1000).expect("gathers").rounds;
+        assert!(total >= 2, "workload gathers in one pass; pick a harder one");
+        let mut g = AsyncGreedy::new(&pts);
+        assert!(g.run(total - 1).is_err());
+        assert_eq!(g.rounds(), total - 1);
+        assert!(g.merged() > 0, "interrupted run lost its merge count");
+        assert!(g.activations() >= pts.len() as u64, "first pass activates everyone");
+        assert!(g.swarm().len() < pts.len(), "swarm did shrink before the budget died");
     }
 }

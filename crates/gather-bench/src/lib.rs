@@ -6,8 +6,10 @@
 
 use gather_baselines::{AsyncGreedy, GoToCenter};
 use gather_core::{GatherConfig, GatherController};
+use grid_engine::connectivity::is_connected;
 use grid_engine::{
     ConnectivityCheck, Engine, EngineConfig, EngineError, OrientationMode, Point, RunOutcome,
+    Scheduler,
 };
 
 /// Outcome of one measured gathering run.
@@ -17,11 +19,16 @@ pub struct Measurement {
     pub rounds: u64,
     pub merges: usize,
     pub gathered: bool,
-    /// Whether the swarm was still 4-connected when the run ended.
-    /// The paper's algorithm never disconnects; the GoToCenter
+    /// Whether the swarm was still 4-connected when the run ended —
+    /// measured on the actual final swarm on every path, success or
+    /// failure. The paper's algorithm never disconnects; the GoToCenter
     /// baseline can (its continuous-motion safety argument does not
     /// transfer to the grid), which E8 reports.
     pub connected: bool,
+    /// Total robot activations across the run — the scheduler-honest
+    /// work measure (`rounds · n`-ish under FSYNC, less under SSYNC and
+    /// round-robin, so rounds alone would flatter the weak schedulers).
+    pub activations: u64,
 }
 
 /// The strategies a measured run can execute — the shared registry used
@@ -60,33 +67,126 @@ impl std::fmt::Display for ControllerKind {
     }
 }
 
-fn engine_config(threads: usize) -> EngineConfig {
-    EngineConfig {
-        threads,
-        connectivity: ConnectivityCheck::Never,
-        keep_history: false,
-        stall_limit: 200_000,
+/// Seed-free activation-policy registry: what a campaign axis stores.
+/// Combined with the scenario's orientation seed it yields the engine's
+/// [`Scheduler`] (so one scenario seed pins the entire run, schedulers
+/// included).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SchedulerKind {
+    /// Fully synchronous (the paper's model; the legacy default).
+    Fsync,
+    /// Semi-synchronous: each robot activates with probability `p`%.
+    Ssync {
+        /// Activation probability in percent, `1..=100`.
+        p: u8,
+    },
+    /// Deterministic rotating window of `k` robots (ASYNC-flavoured).
+    RoundRobin { k: u32 },
+}
+
+impl SchedulerKind {
+    /// Stable name, also the scenario-ID segment: `fsync`, `ssync-p50`,
+    /// `rr4`.
+    pub fn name(self) -> String {
+        match self {
+            SchedulerKind::Fsync => "fsync".into(),
+            SchedulerKind::Ssync { p } => format!("ssync-p{p}"),
+            SchedulerKind::RoundRobin { k } => format!("rr{k}"),
+        }
+    }
+
+    /// Parse a scheduler name as produced by [`SchedulerKind::name`].
+    /// Rejects out-of-range parameters (`p` outside `1..=100`, `k = 0`).
+    pub fn parse(s: &str) -> Option<SchedulerKind> {
+        if s == "fsync" {
+            return Some(SchedulerKind::Fsync);
+        }
+        if let Some(p) = s.strip_prefix("ssync-p") {
+            let p: u8 = p.parse().ok()?;
+            return (1..=100).contains(&p).then_some(SchedulerKind::Ssync { p });
+        }
+        if let Some(k) = s.strip_prefix("rr") {
+            let k: u32 = k.parse().ok()?;
+            return (k >= 1).then_some(SchedulerKind::RoundRobin { k });
+        }
+        None
+    }
+
+    /// The engine policy, with the per-run seed mixed in for SSYNC.
+    pub fn to_policy(self, seed: u64) -> Scheduler {
+        match self {
+            SchedulerKind::Fsync => Scheduler::Fsync,
+            SchedulerKind::Ssync { p } => Scheduler::Ssync { seed, p },
+            SchedulerKind::RoundRobin { k } => Scheduler::RoundRobin { k },
+        }
+    }
+
+    /// Are the kind's parameters in range (`parse` only produces valid
+    /// kinds; hand-built specs go through this in `validate`)?
+    pub fn validate(self) -> Result<(), String> {
+        match self {
+            SchedulerKind::Fsync => Ok(()),
+            SchedulerKind::Ssync { p } if (1..=100).contains(&p) => Ok(()),
+            SchedulerKind::Ssync { p } => Err(format!("ssync p={p} outside 1..=100")),
+            SchedulerKind::RoundRobin { k } if k >= 1 => Ok(()),
+            SchedulerKind::RoundRobin { .. } => Err("round-robin k must be >= 1".into()),
+        }
     }
 }
 
-/// The shared job-execution path: run `kind` on `points` until gathered
-/// or the budget dies, with `engine_threads` compute workers inside the
-/// engine (0 = available parallelism; campaign jobs pass 1 because they
-/// parallelise across scenarios instead). Results are independent of the
-/// thread count — the engine's compute step is a deterministic parallel
-/// map.
+impl std::fmt::Display for SchedulerKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.name())
+    }
+}
+
+fn engine_config(threads: usize, scheduler: Scheduler) -> EngineConfig {
+    // FSYNC keeps the historical no-check configuration so measured
+    // rounds stay bit-identical with pre-scheduler result files. The
+    // weaker schedulers genuinely break the paper's connectivity
+    // invariant on 2-D shapes (the safety argument leans on
+    // simultaneous moves), so probe every 64 rounds and stop a
+    // disconnected run at its violation instead of burning the whole
+    // stall budget on a swarm that can no longer gather.
+    let connectivity = match scheduler {
+        Scheduler::Fsync => ConnectivityCheck::Never,
+        _ => ConnectivityCheck::Every(64),
+    };
+    EngineConfig { threads, connectivity, keep_history: false, stall_limit: 200_000, scheduler }
+}
+
+/// The shared job-execution path: run `kind` on `points` under the
+/// given activation policy until gathered or the budget dies, with
+/// `engine_threads` compute workers inside the engine (0 = available
+/// parallelism; campaign jobs pass 1 because they parallelise across
+/// scenarios instead). Results are independent of the thread count —
+/// the engine's compute step is a deterministic parallel map and the
+/// activation set is a pure function of `(scheduler, seed, round)`.
+///
+/// The greedy baseline is its own sequential fair scheduler (that is
+/// the point of the strawman), so `scheduler` does not apply to it; a
+/// greedy run reports the same result under every policy.
 pub fn run_measured(
     kind: ControllerKind,
+    scheduler: SchedulerKind,
     points: &[Point],
     seed: u64,
     budget: u64,
     engine_threads: usize,
 ) -> Measurement {
+    let policy = scheduler.to_policy(seed);
     match kind {
-        ControllerKind::Paper => {
-            run_paper_configured(points, seed, GatherConfig::paper(), budget, engine_threads)
+        ControllerKind::Paper => run_paper_configured(
+            points,
+            seed,
+            GatherConfig::paper(),
+            budget,
+            engine_threads,
+            policy,
+        ),
+        ControllerKind::Center => {
+            run_center_configured(points, seed, budget, engine_threads, policy)
         }
-        ControllerKind::Center => run_center_threads(points, seed, budget, engine_threads),
         ControllerKind::Greedy => run_greedy(points, budget),
     }
 }
@@ -97,13 +197,14 @@ fn run_paper_configured(
     cfg: GatherConfig,
     budget: u64,
     threads: usize,
+    scheduler: Scheduler,
 ) -> Measurement {
     let controller = GatherController::with_config(cfg).expect("valid config");
     let mut engine = Engine::from_positions(
         points,
         OrientationMode::Scrambled(seed),
         controller,
-        engine_config(threads),
+        engine_config(threads, scheduler),
     );
     finish(points.len(), engine.run_until_gathered(budget), &mut engine)
 }
@@ -111,71 +212,81 @@ fn run_paper_configured(
 /// Run the paper's algorithm on `points` until gathered (or the budget
 /// dies). `seed` scrambles per-robot orientations (no-compass model).
 pub fn run_paper(points: &[Point], seed: u64, cfg: GatherConfig, budget: u64) -> Measurement {
-    run_paper_configured(points, seed, cfg, budget, 0)
+    run_paper_configured(points, seed, cfg, budget, 0, Scheduler::Fsync)
 }
 
 /// Same, pinned to a given worker-thread count (E10).
 pub fn run_paper_threads(points: &[Point], seed: u64, threads: usize, budget: u64) -> Measurement {
-    run_paper_configured(points, seed, GatherConfig::paper(), budget, threads)
+    run_paper_configured(points, seed, GatherConfig::paper(), budget, threads, Scheduler::Fsync)
 }
 
 /// Run the GoToCenter baseline (E8). Connectivity is *observed*, not
 /// enforced: the baseline is allowed to break the model's invariant so
 /// the experiment can report how often it does.
 pub fn run_center(points: &[Point], seed: u64, budget: u64) -> Measurement {
-    run_center_threads(points, seed, budget, 0)
+    run_center_configured(points, seed, budget, 0, Scheduler::Fsync)
 }
 
 /// [`run_center`] pinned to a given engine worker-thread count.
 pub fn run_center_threads(points: &[Point], seed: u64, budget: u64, threads: usize) -> Measurement {
+    run_center_configured(points, seed, budget, threads, Scheduler::Fsync)
+}
+
+fn run_center_configured(
+    points: &[Point],
+    seed: u64,
+    budget: u64,
+    threads: usize,
+    scheduler: Scheduler,
+) -> Measurement {
     let mut engine = Engine::from_positions(
         points,
         OrientationMode::Scrambled(seed),
         GoToCenter::paper_radius(),
-        engine_config(threads),
+        engine_config(threads, scheduler),
     );
-    let result = engine.run_until_gathered(budget);
-    let connected = grid_engine::connectivity::is_connected(&engine.swarm);
-    let mut m = finish(points.len(), result, &mut engine);
-    m.connected = connected;
-    m
+    finish(points.len(), engine.run_until_gathered(budget), &mut engine)
 }
 
-/// Run the sequential greedy baseline (E8/E9 reference).
+/// Run the sequential greedy baseline (E8/E9 reference). A failed run
+/// (budget exhausted, no progress) reports the rounds, merges and
+/// activations it actually achieved — not zeros — and connectivity is
+/// measured on the final swarm, like every other runner.
 pub fn run_greedy(points: &[Point], budget: u64) -> Measurement {
     let n = points.len();
-    match AsyncGreedy::new(points).run(budget) {
-        Ok(out) => Measurement {
-            n,
-            rounds: out.rounds,
-            merges: out.merged,
-            gathered: true,
-            connected: true,
-        },
-        Err(_) => Measurement { n, rounds: budget, merges: 0, gathered: false, connected: true },
+    let mut greedy = AsyncGreedy::new(points);
+    let gathered = greedy.run(budget).is_ok();
+    Measurement {
+        n,
+        rounds: greedy.rounds(),
+        merges: greedy.merged(),
+        gathered,
+        connected: is_connected(greedy.swarm()),
+        activations: greedy.activations(),
     }
 }
 
+/// Fold an engine run into a [`Measurement`]. Truthful on every path:
+/// `connected` is computed from the swarm the run actually ended with,
+/// and a failed run keeps its real rounds/merges/activations (an
+/// earlier version reported `connected: true` even for
+/// [`EngineError::Disconnected`]).
 fn finish<C: grid_engine::Controller>(
     n: usize,
     result: Result<RunOutcome, EngineError>,
     engine: &mut Engine<C>,
 ) -> Measurement {
-    match result {
-        Ok(out) => Measurement {
-            n,
-            rounds: out.rounds,
-            merges: out.metrics.total_merged,
-            gathered: true,
-            connected: true,
-        },
-        Err(_) => Measurement {
-            n,
-            rounds: engine.round(),
-            merges: engine.metrics().total_merged,
-            gathered: false,
-            connected: true,
-        },
+    let (rounds, gathered) = match &result {
+        Ok(out) => (out.rounds, true),
+        Err(_) => (engine.round(), false),
+    };
+    Measurement {
+        n,
+        rounds,
+        merges: engine.metrics().total_merged,
+        gathered,
+        connected: is_connected(&engine.swarm),
+        activations: engine.metrics().total_activations,
     }
 }
 
@@ -195,6 +306,7 @@ mod tests {
         assert!(m.gathered);
         assert!(m.rounds <= 32);
         assert_eq!(m.n, 32);
+        assert!(m.activations >= 32, "FSYNC activates everyone every round");
     }
 
     #[test]
@@ -213,16 +325,123 @@ mod tests {
     }
 
     #[test]
+    fn scheduler_kind_registry_round_trips() {
+        for kind in [
+            SchedulerKind::Fsync,
+            SchedulerKind::Ssync { p: 50 },
+            SchedulerKind::Ssync { p: 1 },
+            SchedulerKind::Ssync { p: 100 },
+            SchedulerKind::RoundRobin { k: 1 },
+            SchedulerKind::RoundRobin { k: 4 },
+        ] {
+            assert_eq!(SchedulerKind::parse(&kind.name()), Some(kind), "{kind}");
+            assert!(kind.validate().is_ok());
+        }
+        for bad in ["nope", "ssync-p0", "ssync-p101", "ssync-p", "rr0", "rr", "rr-1", "fsync2"] {
+            assert_eq!(SchedulerKind::parse(bad), None, "{bad:?} must not parse");
+        }
+        assert!(SchedulerKind::Ssync { p: 0 }.validate().is_err());
+        assert!(SchedulerKind::RoundRobin { k: 0 }.validate().is_err());
+    }
+
+    #[test]
     fn run_measured_matches_dedicated_runners() {
         let pts = gather_workloads::line(48);
         let direct = run_paper(&pts, 9, GatherConfig::paper(), 5_000);
-        let shared = run_measured(ControllerKind::Paper, &pts, 9, 5_000, 1);
+        let shared = run_measured(ControllerKind::Paper, SchedulerKind::Fsync, &pts, 9, 5_000, 1);
         assert_eq!(direct.rounds, shared.rounds);
         assert_eq!(direct.merges, shared.merges);
+        assert_eq!(direct.activations, shared.activations);
         for kind in ControllerKind::ALL {
-            let m = run_measured(kind, &pts, 9, 25_000, 1);
+            let m = run_measured(kind, SchedulerKind::Fsync, &pts, 9, 25_000, 1);
             assert_eq!(m.n, 48, "{kind}");
             assert!(m.gathered, "{kind} did not gather a short line");
+            assert!(m.connected, "{kind} final swarm must be connected");
         }
+    }
+
+    #[test]
+    fn failed_runs_report_truthfully() {
+        // A 1-round budget cannot gather a 32-line under the engine
+        // controllers: the measurement must keep the real (partial)
+        // counters and measure connectivity on the actual final swarm.
+        let pts = gather_workloads::line(32);
+        for kind in [ControllerKind::Paper, ControllerKind::Center] {
+            let m = run_measured(kind, SchedulerKind::Fsync, &pts, 3, 1, 1);
+            assert!(!m.gathered, "{kind}");
+            assert_eq!(m.rounds, 1, "{kind}");
+            assert!(m.connected, "{kind}: neither controller disconnects a line in one round");
+            assert_eq!(m.activations, 32, "{kind}: one FSYNC round activates everyone");
+        }
+        // The greedy cascade eats a line in one pass, so starve it on a
+        // blob that needs several: the partial pass must stay recorded.
+        let blob = gather_workloads::random_blob(150, 7);
+        let m = run_greedy(&blob, 1);
+        assert!(!m.gathered);
+        assert_eq!(m.rounds, 1, "greedy failure must keep its real pass count");
+        assert!(m.merges > 0, "greedy failure must keep its real merge count");
+        assert!(m.connected, "greedy never disconnects");
+    }
+
+    #[test]
+    fn ssync_and_round_robin_runs_are_reproducible_and_gather() {
+        // Combos that empirically survive weak synchrony: the paper's
+        // algorithm on lines, and the GoToCenter baseline on the 2-D
+        // families (see `paper_algorithm_breaks_off_fsync_on_2d_shapes`
+        // for the honest other half).
+        let combos: Vec<(ControllerKind, Vec<Point>)> = vec![
+            (ControllerKind::Paper, gather_workloads::line(24)),
+            (ControllerKind::Paper, gather_workloads::line(48)),
+            (ControllerKind::Center, gather_workloads::square(5)),
+            (ControllerKind::Center, gather_workloads::random_blob(24, 3)),
+            (ControllerKind::Center, gather_workloads::hollow_rectangle(6, 6, 1)),
+        ];
+        for (ctrl, pts) in &combos {
+            for sched in [SchedulerKind::Ssync { p: 50 }, SchedulerKind::RoundRobin { k: 4 }] {
+                // Partial activation stretches rounds by ~n/k (resp.
+                // 100/p), so scale the FSYNC budget accordingly.
+                let budget = budget_for(pts.len()) * pts.len() as u64;
+                let a = run_measured(*ctrl, sched, pts, 5, budget, 1);
+                let b = run_measured(*ctrl, sched, pts, 5, budget, 1);
+                assert_eq!(a.rounds, b.rounds, "{ctrl}/{sched} not reproducible");
+                assert_eq!(a.merges, b.merges, "{ctrl}/{sched} not reproducible");
+                assert_eq!(a.activations, b.activations, "{ctrl}/{sched} not reproducible");
+                assert!(a.gathered, "{ctrl}/{sched} did not gather");
+                assert!(
+                    a.activations < a.rounds * pts.len() as u64,
+                    "{ctrl}/{sched} must do strictly less work per round than FSYNC"
+                );
+            }
+        }
+        // Different seeds give different SSYNC activation draws.
+        let pts = gather_workloads::line(48);
+        let sched = SchedulerKind::Ssync { p: 50 };
+        let budget = budget_for(pts.len()) * pts.len() as u64;
+        let a = run_measured(ControllerKind::Paper, sched, &pts, 5, budget, 1);
+        let c = run_measured(ControllerKind::Paper, sched, &pts, 6, budget, 1);
+        assert!(
+            a.rounds != c.rounds || a.activations != c.activations,
+            "independent seeds should not collide on both rounds and activations"
+        );
+    }
+
+    #[test]
+    fn paper_algorithm_breaks_off_fsync_on_2d_shapes() {
+        // The honest negative result the scheduler sweep exists to
+        // surface: the paper's safety argument leans on simultaneous
+        // moves, and under SSYNC the square family disconnects. The
+        // harness must record that truthfully (this exact path used to
+        // report `connected: true`).
+        let pts = gather_workloads::square(4);
+        let m = run_measured(
+            ControllerKind::Paper,
+            SchedulerKind::Ssync { p: 50 },
+            &pts,
+            1,
+            budget_for(pts.len()) * pts.len() as u64,
+            1,
+        );
+        assert!(!m.gathered && !m.connected, "expected a truthful disconnection record");
+        assert!(m.rounds > 0 && m.activations > 0);
     }
 }

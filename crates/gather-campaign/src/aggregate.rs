@@ -1,7 +1,7 @@
 //! Fold a campaign result set into the summary tables the analysis
-//! crate renders: per-controller scaling tables with one row per
-//! family, plus a reliability table for runs that stalled, panicked, or
-//! broke connectivity.
+//! crate renders: per-(controller, scheduler) scaling tables with one
+//! row per family, plus a reliability table for runs that stalled,
+//! panicked, or broke connectivity.
 
 use std::collections::BTreeMap;
 
@@ -9,52 +9,119 @@ use gather_analysis::{linear_fit, loglog_slope, Table};
 
 use crate::record::ScenarioRecord;
 
-/// Per-family scaling tables (one per controller, controllers and
-/// families alphabetical) followed by a reliability table when any run
-/// failed.
+/// Every run lands in exactly one outcome class, so the reliability
+/// columns are disjoint and `gathered + stalled + disconnected +
+/// panicked == runs` always holds (an earlier version counted a run
+/// that was both unconnected and ungathered twice).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Outcome {
+    Gathered,
+    Stalled,
+    Disconnected,
+    Panicked,
+}
+
+fn classify(r: &ScenarioRecord) -> Outcome {
+    if r.panicked {
+        Outcome::Panicked
+    } else if r.gathered {
+        Outcome::Gathered
+    } else if !r.connected {
+        Outcome::Disconnected
+    } else {
+        Outcome::Stalled
+    }
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct FailureCell {
+    runs: usize,
+    gathered: usize,
+    stalled: usize,
+    disconnected: usize,
+    panicked: usize,
+}
+
+impl FailureCell {
+    fn add(&mut self, outcome: Outcome) {
+        self.runs += 1;
+        match outcome {
+            Outcome::Gathered => self.gathered += 1,
+            Outcome::Stalled => self.stalled += 1,
+            Outcome::Disconnected => self.disconnected += 1,
+            Outcome::Panicked => self.panicked += 1,
+        }
+    }
+
+    fn failures(&self) -> usize {
+        self.stalled + self.disconnected + self.panicked
+    }
+}
+
+/// Per-family scaling tables (one per (controller, scheduler) pair, in
+/// alphabetical order) followed by a reliability table when any run
+/// failed. The `mean act/round` column is the scheduler-honest work
+/// rate: ≈ n under FSYNC, ≈ p·n/100 under SSYNC, ≤ k under round-robin.
 pub fn summarize(records: &[ScenarioRecord]) -> Vec<Table> {
-    // controller -> family -> n -> rounds of gathered runs.
-    type Series = BTreeMap<usize, Vec<u64>>;
-    let mut groups: BTreeMap<&str, BTreeMap<&str, Series>> = BTreeMap::new();
-    let mut failures: BTreeMap<(&str, &str), (usize, usize, usize, usize)> = BTreeMap::new();
+    // (controller, scheduler) -> family -> n -> (rounds, activations)
+    // of gathered runs.
+    type Series = BTreeMap<usize, Vec<(u64, u64)>>;
+    let mut groups: BTreeMap<(&str, &str), BTreeMap<&str, Series>> = BTreeMap::new();
+    let mut failures: BTreeMap<(&str, &str, &str), FailureCell> = BTreeMap::new();
 
     for r in records {
-        let cell = failures.entry((r.controller.as_str(), r.family.as_str())).or_default();
-        cell.0 += 1;
-        if r.panicked {
-            cell.3 += 1;
-            continue;
-        }
-        if !r.connected {
-            cell.2 += 1;
-        }
-        if !r.gathered {
-            cell.1 += 1;
+        let outcome = classify(r);
+        failures
+            .entry((r.controller.as_str(), r.scheduler.as_str(), r.family.as_str()))
+            .or_default()
+            .add(outcome);
+        if outcome != Outcome::Gathered {
             continue;
         }
         groups
-            .entry(r.controller.as_str())
+            .entry((r.controller.as_str(), r.scheduler.as_str()))
             .or_default()
             .entry(r.family.as_str())
             .or_default()
             .entry(r.n)
             .or_default()
-            .push(r.rounds);
+            .push((r.rounds, r.activations));
     }
 
     let mut tables = Vec::new();
-    for (controller, families) in &groups {
+    for (&(controller, scheduler), families) in &groups {
         let mut t = Table::new(
-            format!("Campaign scaling — controller `{controller}` (gathered runs)"),
-            &["family", "series (n -> mean rounds)", "rounds/n slope", "log-log exp", "runs"],
+            format!(
+                "Campaign scaling — controller `{controller}`, scheduler `{scheduler}` \
+                 (gathered runs)"
+            ),
+            &[
+                "family",
+                "series (n -> mean rounds)",
+                "rounds/n slope",
+                "log-log exp",
+                "mean act/round",
+                "runs",
+            ],
         );
         for (family, by_n) in families {
             let mut pts: Vec<(f64, f64)> = Vec::new();
             let mut series = String::new();
             let mut runs = 0usize;
-            for (&n, rounds) in by_n {
-                runs += rounds.len();
-                let mean = rounds.iter().sum::<u64>() as f64 / rounds.len() as f64;
+            let mut total_rounds = 0u64;
+            let mut total_acts = 0u64;
+            for (&n, outcomes) in by_n {
+                runs += outcomes.len();
+                let mean =
+                    outcomes.iter().map(|&(r, _)| r).sum::<u64>() as f64 / outcomes.len() as f64;
+                // Records written before the scheduler axis existed
+                // carry activations = 0; folding them into the work
+                // rate would silently drag it below the true value, so
+                // the rate is computed over measured records only.
+                for &(r, a) in outcomes.iter().filter(|&&(_, a)| a > 0) {
+                    total_rounds += r;
+                    total_acts += a;
+                }
                 pts.push((n as f64, mean));
                 series.push_str(&format!("{n}→{mean:.0} "));
             }
@@ -66,33 +133,55 @@ pub fn summarize(records: &[ScenarioRecord]) -> Vec<Table> {
             } else {
                 ("n/a".into(), "n/a".into())
             };
+            let act_rate = if total_rounds > 0 {
+                format!("{:.1}", total_acts as f64 / total_rounds as f64)
+            } else {
+                "n/a".into()
+            };
             t.push(vec![
                 family.to_string(),
                 series.trim().to_string(),
                 slope,
                 exp,
+                act_rate,
                 runs.to_string(),
             ]);
         }
         tables.push(t);
     }
 
-    if failures.values().any(|&(_, stalled, disc, panicked)| stalled + disc + panicked > 0) {
+    if failures.values().any(|cell| cell.failures() > 0) {
         let mut t = Table::new(
-            "Campaign reliability — non-gathering outcomes",
-            &["controller", "family", "runs", "stalled", "disconnected", "panicked"],
+            "Campaign reliability — non-gathering outcomes (columns are disjoint)",
+            &[
+                "controller",
+                "scheduler",
+                "family",
+                "runs",
+                "gathered",
+                "stalled",
+                "disconnected",
+                "panicked",
+            ],
         );
-        for (&(controller, family), &(total, stalled, disconnected, panicked)) in &failures {
-            if stalled + disconnected + panicked == 0 {
+        for (&(controller, scheduler, family), cell) in &failures {
+            if cell.failures() == 0 {
                 continue;
             }
+            debug_assert_eq!(
+                cell.gathered + cell.failures(),
+                cell.runs,
+                "outcome classes must partition the runs"
+            );
             t.push(vec![
                 controller.to_string(),
+                scheduler.to_string(),
                 family.to_string(),
-                total.to_string(),
-                stalled.to_string(),
-                disconnected.to_string(),
-                panicked.to_string(),
+                cell.runs.to_string(),
+                cell.gathered.to_string(),
+                cell.stalled.to_string(),
+                cell.disconnected.to_string(),
+                cell.panicked.to_string(),
             ]);
         }
         tables.push(t);
@@ -105,13 +194,32 @@ pub fn summarize(records: &[ScenarioRecord]) -> Vec<Table> {
 mod tests {
     use super::*;
     use crate::spec::Scenario;
-    use gather_bench::{ControllerKind, Measurement};
+    use gather_bench::{ControllerKind, Measurement, SchedulerKind};
     use gather_workloads::Family;
 
-    fn rec(family: Family, n: usize, seed: u64, rounds: u64, gathered: bool) -> ScenarioRecord {
-        let sc = Scenario { family, n, seed, controller: ControllerKind::Paper };
-        let m = Measurement { n, rounds, merges: n / 2, gathered, connected: true };
+    fn rec_sched(
+        family: Family,
+        n: usize,
+        seed: u64,
+        rounds: u64,
+        gathered: bool,
+        connected: bool,
+        scheduler: SchedulerKind,
+    ) -> ScenarioRecord {
+        let sc = Scenario { family, n, seed, controller: ControllerKind::Paper, scheduler };
+        let m = Measurement {
+            n,
+            rounds,
+            merges: n / 2,
+            gathered,
+            connected,
+            activations: rounds * n as u64,
+        };
         ScenarioRecord::from_measurement(&sc, &m)
+    }
+
+    fn rec(family: Family, n: usize, seed: u64, rounds: u64, gathered: bool) -> ScenarioRecord {
+        rec_sched(family, n, seed, rounds, gathered, true, SchedulerKind::Fsync)
     }
 
     #[test]
@@ -130,7 +238,23 @@ mod tests {
         assert!((slope - 2.0).abs() < 0.05, "slope {slope}");
         let exp: f64 = row[3].parse().unwrap();
         assert!((exp - 1.0).abs() < 0.05, "exponent {exp}");
-        assert_eq!(row[4], "12");
+        let act_rate: f64 = row[4].parse().unwrap();
+        assert!(act_rate > 32.0, "FSYNC activation rate tracks n, got {act_rate}");
+        assert_eq!(row[5], "12");
+    }
+
+    #[test]
+    fn schedulers_get_their_own_tables() {
+        let records = vec![
+            rec(Family::Line, 32, 0, 64, true),
+            rec(Family::Line, 64, 0, 128, true),
+            rec_sched(Family::Line, 32, 0, 130, true, true, SchedulerKind::Ssync { p: 50 }),
+            rec_sched(Family::Line, 64, 0, 260, true, true, SchedulerKind::Ssync { p: 50 }),
+        ];
+        let tables = summarize(&records);
+        assert_eq!(tables.len(), 2, "one scaling table per (controller, scheduler)");
+        assert!(tables[0].title.contains("`fsync`"));
+        assert!(tables[1].title.contains("`ssync-p50`"));
     }
 
     #[test]
@@ -143,14 +267,63 @@ mod tests {
                 n: 16,
                 seed: 1,
                 controller: ControllerKind::Center,
+                scheduler: SchedulerKind::Fsync,
             }),
         ];
         let tables = summarize(&records);
         let reliability = tables.last().unwrap();
         assert!(reliability.title.contains("reliability"));
         assert_eq!(reliability.rows.len(), 2);
-        assert_eq!(reliability.rows[0], vec!["center", "square", "1", "0", "0", "1"]);
-        assert_eq!(reliability.rows[1], vec!["paper", "line", "2", "1", "0", "0"]);
+        assert_eq!(reliability.rows[0], vec!["center", "fsync", "square", "1", "0", "0", "0", "1"]);
+        assert_eq!(reliability.rows[1], vec!["paper", "fsync", "line", "2", "1", "1", "0", "0"]);
+    }
+
+    #[test]
+    fn outcome_columns_are_disjoint_and_sum_to_runs() {
+        // A run that is both unconnected and ungathered used to be
+        // counted in two columns at once; it must land in exactly one.
+        let records = vec![
+            rec_sched(Family::Line, 32, 0, 64, true, true, SchedulerKind::Fsync),
+            // disconnected AND not gathered -> `disconnected` only.
+            rec_sched(Family::Line, 32, 1, 500, false, false, SchedulerKind::Fsync),
+            // not gathered but still connected -> `stalled` only.
+            rec_sched(Family::Line, 32, 2, 500, false, true, SchedulerKind::Fsync),
+            // gathered (diagonal pair can read as unconnected) -> success.
+            rec_sched(Family::Line, 32, 3, 64, true, false, SchedulerKind::Fsync),
+        ];
+        let tables = summarize(&records);
+        let reliability = tables.last().unwrap();
+        assert_eq!(reliability.rows.len(), 1);
+        let row = &reliability.rows[0];
+        let [runs, gathered, stalled, disconnected, panicked] =
+            [&row[3], &row[4], &row[5], &row[6], &row[7]].map(|s| s.parse::<usize>().unwrap());
+        assert_eq!((runs, gathered, stalled, disconnected, panicked), (4, 2, 1, 1, 0));
+        assert_eq!(
+            gathered + stalled + disconnected + panicked,
+            runs,
+            "outcome columns must partition the runs"
+        );
+    }
+
+    #[test]
+    fn legacy_records_without_activations_do_not_skew_the_work_rate() {
+        // Pre-scheduler JSONL lines parse with activations = 0; the
+        // mean act/round column must be computed from measured records
+        // only, not diluted toward zero.
+        let mut legacy = rec(Family::Line, 32, 0, 64, true);
+        legacy.activations = 0;
+        let measured_a = rec(Family::Line, 32, 1, 64, true); // 64·32 activations
+        let measured_b = rec(Family::Line, 64, 0, 128, true); // 128·64 activations
+        let tables = summarize(&[legacy.clone(), measured_a, measured_b]);
+        let act_rate: f64 = tables[0].rows[0][4].parse().unwrap();
+        let expected = (64.0 * 32.0 + 128.0 * 64.0) / (64.0 + 128.0);
+        assert!(
+            (act_rate - expected).abs() < 0.05,
+            "act/round {act_rate} diluted by the legacy record (expected {expected:.1})"
+        );
+        // An all-legacy series has no measured work at all.
+        let tables = summarize(&[legacy]);
+        assert_eq!(tables[0].rows[0][4], "n/a");
     }
 
     #[test]

@@ -86,6 +86,8 @@ fn execute(args: RunArgs, resume: bool) -> Result<(), String> {
             }
             let status = if rec.panicked {
                 "PANIC"
+            } else if !rec.gathered && !rec.connected {
+                "disc"
             } else if !rec.gathered {
                 "stall"
             } else {

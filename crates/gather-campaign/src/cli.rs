@@ -3,7 +3,7 @@
 
 use std::path::PathBuf;
 
-use gather_bench::ControllerKind;
+use gather_bench::{ControllerKind, SchedulerKind};
 use gather_workloads::Family;
 
 use crate::spec::CampaignSpec;
@@ -19,16 +19,25 @@ USAGE:
 SUBCOMMANDS:
     run        Execute the sweep from scratch (truncates --out)
     resume     Re-run the sweep, skipping scenarios already in --out
-    summarize  Fold a result file into per-family scaling tables
+    summarize  Fold a result file into per-family scaling tables,
+               grouped per (controller, scheduler)
 
 OPTIONS:
     --threads N        Worker threads; 0 = all cores (default 0)
-    --out PATH         Result JSONL file (default campaign.jsonl)
+    --out PATH         Result JSONL file (default campaign.jsonl; run/resume only)
     --in PATH          Input for summarize (default campaign.jsonl)
     --families A,B     Workload families (default line,square,hollow-square,random-blob)
     --sizes N1,N2      Target swarm sizes (default 16,32,64,128)
     --seeds S1,S2      Orientation seeds, or LO..HI for a range (default 1,2,3)
     --controllers A,B  paper,center,greedy (default all three)
+    --schedulers A,B   Activation policies: fsync, ssync-pP (P = activation
+                       probability in percent, e.g. ssync-p50), rrK (round-robin
+                       window of K robots, e.g. rr4). Default fsync.
+                       FSYNC scenario IDs keep the legacy 4-part shape, so old
+                       result files resume unchanged; other schedulers append a
+                       fifth ID segment (line/n64/s3/paper/ssync-p50). The
+                       greedy baseline is its own sequential scheduler and runs
+                       once per cell regardless of this axis
     --name NAME        Campaign name recorded in logs (default standard)
     -h, --help         Show this help
 ";
@@ -71,8 +80,16 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             let mut it = rest.iter();
             while let Some(&flag) = it.next() {
                 match flag {
-                    "--in" | "--out" => {
+                    "--in" => {
                         input = PathBuf::from(value_of(flag, it.next().copied())?);
+                    }
+                    // `--out` used to be a silent, undocumented alias
+                    // for `--in`; reject it so a run/summarize pipeline
+                    // typo cannot silently read the wrong file.
+                    "--out" => {
+                        return Err("summarize reads its input from --in (--out is a run/resume \
+                                    flag)"
+                            .into());
                     }
                     "-h" | "--help" => return Ok(Command::Help),
                     other => return Err(format!("unknown summarize flag {other:?}")),
@@ -117,6 +134,15 @@ fn parse_run_args(args: &[&str]) -> Result<RunArgs, String> {
                 out.spec.controllers = split_list(value_of(flag, it.next().copied())?)
                     .map(|s| {
                         ControllerKind::parse(s).ok_or_else(|| format!("unknown controller {s:?}"))
+                    })
+                    .collect::<Result<_, _>>()?;
+            }
+            "--schedulers" => {
+                out.spec.schedulers = split_list(value_of(flag, it.next().copied())?)
+                    .map(|s| {
+                        SchedulerKind::parse(s).ok_or_else(|| {
+                            format!("unknown scheduler {s:?} (expected fsync, ssync-pP or rrK)")
+                        })
                     })
                     .collect::<Result<_, _>>()?;
             }
@@ -202,6 +228,35 @@ mod tests {
     }
 
     #[test]
+    fn scheduler_axis_parses() {
+        let cmd = parse(&strings(&["run", "--schedulers", "fsync,ssync-p50,rr4"])).unwrap();
+        let Command::Run(args) = cmd else { panic!() };
+        assert_eq!(
+            args.spec.schedulers,
+            vec![
+                SchedulerKind::Fsync,
+                SchedulerKind::Ssync { p: 50 },
+                SchedulerKind::RoundRobin { k: 4 },
+            ]
+        );
+        // 48 cells × (paper + center under 3 schedulers each, greedy
+        // once — it is its own sequential scheduler).
+        assert_eq!(args.spec.len(), 4 * 4 * 3 * (2 * 3 + 1));
+        for bad in ["mystery", "ssync-p0", "ssync-p200", "rr0", ""] {
+            assert!(
+                parse(&strings(&["run", "--schedulers", bad])).is_err(),
+                "{bad:?} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn default_scheduler_axis_is_fsync_only() {
+        let Command::Run(args) = parse(&strings(&["run"])).unwrap() else { panic!() };
+        assert_eq!(args.spec.schedulers, vec![SchedulerKind::Fsync]);
+    }
+
+    #[test]
     fn resume_and_summarize_parse() {
         assert!(matches!(parse(&strings(&["resume"])).unwrap(), Command::Resume(_)));
         let Command::Summarize { input } =
@@ -210,6 +265,15 @@ mod tests {
             panic!()
         };
         assert_eq!(input, PathBuf::from("r.jsonl"));
+    }
+
+    #[test]
+    fn summarize_rejects_the_out_flag() {
+        // `--out` was once silently accepted as an alias for `--in`.
+        let err = parse(&strings(&["summarize", "--out", "r.jsonl"])).unwrap_err();
+        assert!(err.contains("--in"), "error should point at --in: {err}");
+        // And plain `--in` still works (regression guard for the fix).
+        assert!(parse(&strings(&["summarize", "--in", "r.jsonl"])).is_ok());
     }
 
     #[test]

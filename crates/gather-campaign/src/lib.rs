@@ -10,8 +10,9 @@
 //! live in `gather-bench` callers:
 //!
 //! * [`CampaignSpec`] — a declarative scenario matrix (workload families
-//!   × swarm sizes × orientation seeds × controllers) that expands to a
-//!   deterministic list of [`Scenario`] jobs with stable string IDs.
+//!   × swarm sizes × orientation seeds × controllers × activation
+//!   schedulers) that expands to a deterministic list of [`Scenario`]
+//!   jobs with stable string IDs.
 //! * [`executor`] — a work-stealing multi-threaded executor (shared
 //!   atomic job cursor + scoped threads, the same idiom as
 //!   `grid_engine::parallel`) with per-job panic isolation and a
@@ -55,5 +56,5 @@ pub use sink::{load_completed, load_records, JsonlSink};
 pub use spec::{CampaignSpec, Scenario};
 
 // Axis types, re-exported so campaign callers need only this crate.
-pub use gather_bench::ControllerKind;
+pub use gather_bench::{ControllerKind, SchedulerKind};
 pub use gather_workloads::Family;

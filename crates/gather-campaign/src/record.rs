@@ -11,10 +11,14 @@ use crate::spec::Scenario;
 /// excluded for exactly that reason).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ScenarioRecord {
-    /// Stable scenario ID (`family/n<size>/s<seed>/<controller>`).
+    /// Stable scenario ID (`family/n<size>/s<seed>/<controller>` for
+    /// FSYNC, with a fifth `/<scheduler>` segment otherwise).
     pub id: String,
     pub family: String,
     pub controller: String,
+    /// Activation policy name (`fsync`, `ssync-p50`, `rr4`). Absent in
+    /// pre-scheduler result files, which parse as `fsync`.
+    pub scheduler: String,
     /// Requested swarm size (the generator's target).
     pub n_requested: usize,
     pub seed: u64,
@@ -23,6 +27,9 @@ pub struct ScenarioRecord {
     /// Rounds until gathered, or until the run stopped.
     pub rounds: u64,
     pub merges: usize,
+    /// Total robot activations (the scheduler-honest work measure).
+    /// Absent in pre-scheduler result files, which parse as 0.
+    pub activations: u64,
     pub gathered: bool,
     /// Whether the swarm was still connected when the run ended.
     pub connected: bool,
@@ -37,11 +44,13 @@ impl ScenarioRecord {
             id: sc.id(),
             family: sc.family.name().to_string(),
             controller: sc.controller.name().to_string(),
+            scheduler: sc.scheduler.name(),
             n_requested: sc.n,
             seed: sc.seed,
             n: m.n,
             rounds: m.rounds,
             merges: m.merges,
+            activations: m.activations,
             gathered: m.gathered,
             connected: m.connected,
             panicked: false,
@@ -54,11 +63,13 @@ impl ScenarioRecord {
             id: sc.id(),
             family: sc.family.name().to_string(),
             controller: sc.controller.name().to_string(),
+            scheduler: sc.scheduler.name(),
             n_requested: sc.n,
             seed: sc.seed,
             n: 0,
             rounds: 0,
             merges: 0,
+            activations: 0,
             gathered: false,
             connected: false,
             panicked: true,
@@ -71,11 +82,13 @@ impl ScenarioRecord {
             .field_str("id", &self.id)
             .field_str("family", &self.family)
             .field_str("controller", &self.controller)
+            .field_str("scheduler", &self.scheduler)
             .field_usize("n_requested", self.n_requested)
             .field_u64("seed", self.seed)
             .field_usize("n", self.n)
             .field_u64("rounds", self.rounds)
             .field_usize("merges", self.merges)
+            .field_u64("activations", self.activations)
             .field_bool("gathered", self.gathered)
             .field_bool("connected", self.connected)
             .field_bool("panicked", self.panicked)
@@ -105,11 +118,15 @@ impl ScenarioRecord {
             id: str_field("id")?,
             family: str_field("family")?,
             controller: str_field("controller")?,
+            // Written before the scheduler axis existed? FSYNC, 0 work
+            // recorded — old result files must keep resuming.
+            scheduler: str_field("scheduler").unwrap_or_else(|_| "fsync".to_string()),
             n_requested: u64_field("n_requested")? as usize,
             seed: u64_field("seed")?,
             n: u64_field("n")? as usize,
             rounds: u64_field("rounds")?,
             merges: u64_field("merges")? as usize,
+            activations: u64_field("activations").unwrap_or(0),
             gathered: bool_field("gathered")?,
             connected: bool_field("connected")?,
             panicked: bool_field("panicked")?,
@@ -129,8 +146,16 @@ mod tests {
             n: 96,
             seed: 7,
             controller: ControllerKind::Center,
+            scheduler: gather_bench::SchedulerKind::Ssync { p: 50 },
         };
-        let m = Measurement { n: 96, rounds: 412, merges: 95, gathered: true, connected: true };
+        let m = Measurement {
+            n: 96,
+            rounds: 412,
+            merges: 95,
+            gathered: true,
+            connected: true,
+            activations: 19_776,
+        };
         ScenarioRecord::from_measurement(&sc, &m)
     }
 
@@ -152,8 +177,13 @@ mod tests {
 
     #[test]
     fn panic_record_is_marked() {
-        let sc =
-            Scenario { family: Family::Line, n: 10, seed: 0, controller: ControllerKind::Paper };
+        let sc = Scenario {
+            family: Family::Line,
+            n: 10,
+            seed: 0,
+            controller: ControllerKind::Paper,
+            scheduler: gather_bench::SchedulerKind::Fsync,
+        };
         let rec = ScenarioRecord::for_panic(&sc);
         assert!(rec.panicked && !rec.gathered);
         let back = ScenarioRecord::from_json_line(&rec.to_json_line()).unwrap();
@@ -163,5 +193,27 @@ mod tests {
     #[test]
     fn missing_fields_rejected() {
         assert!(ScenarioRecord::from_json_line(r#"{"id":"x"}"#).is_err());
+    }
+
+    #[test]
+    fn legacy_pre_scheduler_lines_parse_as_fsync() {
+        // A verbatim line from a result file written before the
+        // scheduler axis existed: no `scheduler`, no `activations`.
+        let line = r#"{"id":"line/n16/s1/paper","family":"line","controller":"paper","n_requested":16,"seed":1,"n":16,"rounds":7,"merges":14,"gathered":true,"connected":true,"panicked":false}"#;
+        let rec = ScenarioRecord::from_json_line(line).unwrap();
+        assert_eq!(rec.scheduler, "fsync");
+        assert_eq!(rec.activations, 0);
+        assert_eq!(rec.id, "line/n16/s1/paper");
+        assert_eq!(rec.rounds, 7);
+        // And the legacy ID is exactly what the FSYNC scenario produces
+        // today, so resume skips it.
+        let sc = Scenario {
+            family: Family::Line,
+            n: 16,
+            seed: 1,
+            controller: ControllerKind::Paper,
+            scheduler: gather_bench::SchedulerKind::Fsync,
+        };
+        assert_eq!(sc.id(), rec.id);
     }
 }

@@ -108,8 +108,21 @@ mod tests {
     use gather_workloads::Family;
 
     fn rec(n: usize) -> ScenarioRecord {
-        let sc = Scenario { family: Family::Line, n, seed: 1, controller: ControllerKind::Paper };
-        let m = Measurement { n, rounds: n as u64, merges: n - 1, gathered: true, connected: true };
+        let sc = Scenario {
+            family: Family::Line,
+            n,
+            seed: 1,
+            controller: ControllerKind::Paper,
+            scheduler: gather_bench::SchedulerKind::Fsync,
+        };
+        let m = Measurement {
+            n,
+            rounds: n as u64,
+            merges: n - 1,
+            gathered: true,
+            connected: true,
+            activations: (n * n) as u64,
+        };
         ScenarioRecord::from_measurement(&sc, &m)
     }
 

@@ -1,14 +1,14 @@
 //! Declarative campaign specification and its expansion into jobs.
 
-use gather_bench::ControllerKind;
+use gather_bench::{ControllerKind, SchedulerKind};
 use gather_workloads::Family;
 use grid_engine::Point;
 
 use crate::record::ScenarioRecord;
 
 /// A declarative scenario matrix. Expansion order is the nested product
-/// family → size → seed → controller, so the job list (and every job
-/// index) is a pure function of the spec.
+/// family → size → seed → controller → scheduler, so the job list (and
+/// every job index) is a pure function of the spec.
 #[derive(Clone, Debug, PartialEq)]
 pub struct CampaignSpec {
     /// Campaign name, recorded for humans only.
@@ -18,14 +18,21 @@ pub struct CampaignSpec {
     /// Target swarm sizes, passed to the family generators.
     pub sizes: Vec<usize>,
     /// Orientation seeds; random families also derive their shape from
-    /// the seed, so one seed pins the entire scenario.
+    /// the seed, and SSYNC activation draws from it too, so one seed
+    /// pins the entire scenario.
     pub seeds: Vec<u64>,
     /// Strategies to run on every (family, size, seed) cell.
     pub controllers: Vec<ControllerKind>,
+    /// Activation policies to run each cell under. Defaults to FSYNC
+    /// only, which keeps legacy specs (and their scenario IDs)
+    /// unchanged.
+    pub schedulers: Vec<SchedulerKind>,
 }
 
 impl CampaignSpec {
-    /// An empty spec with the given name; fill the axes before use.
+    /// An empty spec with the given name; fill the axes before use
+    /// (`schedulers` starts at the FSYNC default rather than empty, so
+    /// pre-scheduler call sites keep working unchanged).
     pub fn named(name: impl Into<String>) -> Self {
         CampaignSpec {
             name: name.into(),
@@ -33,12 +40,13 @@ impl CampaignSpec {
             sizes: Vec::new(),
             seeds: Vec::new(),
             controllers: Vec::new(),
+            schedulers: vec![SchedulerKind::Fsync],
         }
     }
 
     /// The standard acceptance sweep: lines, blocks, hollow shapes and
-    /// random blobs × four sizes × three seeds × all three controllers
-    /// (144 scenarios).
+    /// random blobs × four sizes × three seeds × all three controllers,
+    /// under FSYNC (144 scenarios).
     pub fn standard() -> Self {
         CampaignSpec {
             name: "standard".into(),
@@ -46,12 +54,18 @@ impl CampaignSpec {
             sizes: vec![16, 32, 64, 128],
             seeds: vec![1, 2, 3],
             controllers: ControllerKind::ALL.to_vec(),
+            schedulers: vec![SchedulerKind::Fsync],
         }
     }
 
-    /// Total number of scenarios the spec expands to.
+    /// Total number of scenarios the spec expands to. The greedy
+    /// baseline is its own sequential scheduler, so the schedulers axis
+    /// does not multiply it (see [`CampaignSpec::expand`]).
     pub fn len(&self) -> usize {
-        self.families.len() * self.sizes.len() * self.seeds.len() * self.controllers.len()
+        let cells = self.families.len() * self.sizes.len() * self.seeds.len();
+        let greedy = self.controllers.iter().filter(|&&c| c == ControllerKind::Greedy).count();
+        let engine_controllers = self.controllers.len() - greedy;
+        cells * (engine_controllers * self.schedulers.len() + greedy)
     }
 
     pub fn is_empty(&self) -> bool {
@@ -64,6 +78,7 @@ impl CampaignSpec {
             ("sizes", self.sizes.is_empty()),
             ("seeds", self.seeds.is_empty()),
             ("controllers", self.controllers.is_empty()),
+            ("schedulers", self.schedulers.is_empty()),
         ] {
             if empty {
                 return Err(format!("campaign spec has no {axis}"));
@@ -72,17 +87,34 @@ impl CampaignSpec {
         if self.sizes.contains(&0) {
             return Err("campaign spec has a zero size".into());
         }
+        for &s in &self.schedulers {
+            s.validate()?;
+        }
         Ok(())
     }
 
     /// Expand the matrix into the deterministic, seeded job list.
+    ///
+    /// The greedy baseline runs its own sequential fair scheduler (that
+    /// is the point of the strawman), so engine activation policies do
+    /// not apply to it: each greedy cell expands exactly once, labeled
+    /// `fsync`, instead of once per scheduler — otherwise a sweep would
+    /// re-run identical greedy work and emit records claiming a
+    /// scheduler that was never applied.
     pub fn expand(&self) -> Vec<Scenario> {
         let mut out = Vec::with_capacity(self.len());
         for &family in &self.families {
             for &n in &self.sizes {
                 for &seed in &self.seeds {
                     for &controller in &self.controllers {
-                        out.push(Scenario { family, n, seed, controller });
+                        if controller == ControllerKind::Greedy {
+                            let scheduler = SchedulerKind::Fsync;
+                            out.push(Scenario { family, n, seed, controller, scheduler });
+                            continue;
+                        }
+                        for &scheduler in &self.schedulers {
+                            out.push(Scenario { family, n, seed, controller, scheduler });
+                        }
                     }
                 }
             }
@@ -99,12 +131,23 @@ pub struct Scenario {
     pub n: usize,
     pub seed: u64,
     pub controller: ControllerKind,
+    pub scheduler: SchedulerKind,
 }
 
 impl Scenario {
     /// Stable string ID — the resume key and the JSONL primary key.
+    /// FSYNC scenarios keep the legacy 4-part
+    /// `family/n<size>/s<seed>/<controller>` shape so result files
+    /// written before the scheduler axis existed still resume
+    /// correctly; other schedulers append a fifth segment
+    /// (`…/ssync-p50`, `…/rr4`).
     pub fn id(&self) -> String {
-        format!("{}/n{}/s{}/{}", self.family.name(), self.n, self.seed, self.controller.name())
+        let base =
+            format!("{}/n{}/s{}/{}", self.family.name(), self.n, self.seed, self.controller.name());
+        match self.scheduler {
+            SchedulerKind::Fsync => base,
+            other => format!("{base}/{}", other.name()),
+        }
     }
 
     /// The scenario's swarm (deterministic in family, n, seed).
@@ -114,16 +157,34 @@ impl Scenario {
 
     /// Round budget: the generous multiple of the theoretical O(n)
     /// bound the scaling experiments use, on the *actual* swarm size.
-    pub fn budget(points_len: usize) -> u64 {
-        gather_bench::budget_for(points_len)
+    /// Partial-activation schedulers stretch rounds by the activation
+    /// rate, so budgets scale with the expected slowdown.
+    pub fn budget(&self, points_len: usize) -> u64 {
+        let base = gather_bench::budget_for(points_len);
+        match self.scheduler {
+            SchedulerKind::Fsync => base,
+            // ~100/p rounds per FSYNC round's worth of activations.
+            SchedulerKind::Ssync { p } => base.saturating_mul(100 / u64::from(p.clamp(1, 100)) + 1),
+            // k-of-n needs ~n/k rounds per full pass.
+            SchedulerKind::RoundRobin { k } => {
+                base.saturating_mul((points_len as u64 / u64::from(k.max(1))).max(1) + 1)
+            }
+        }
     }
 
     /// Execute the scenario on one engine thread (campaigns parallelise
     /// across scenarios, not within them) and record the outcome.
     pub fn run(&self) -> ScenarioRecord {
         let points = self.points();
-        let budget = Self::budget(points.len());
-        let m = gather_bench::run_measured(self.controller, &points, self.seed, budget, 1);
+        let budget = self.budget(points.len());
+        let m = gather_bench::run_measured(
+            self.controller,
+            self.scheduler,
+            &points,
+            self.seed,
+            budget,
+            1,
+        );
         ScenarioRecord::from_measurement(self, &m)
     }
 }
@@ -145,6 +206,36 @@ mod tests {
     }
 
     #[test]
+    fn scheduler_axis_multiplies_the_matrix_except_greedy() {
+        let mut spec = CampaignSpec::standard();
+        spec.schedulers = vec![
+            SchedulerKind::Fsync,
+            SchedulerKind::Ssync { p: 50 },
+            SchedulerKind::RoundRobin { k: 4 },
+        ];
+        // 48 cells × (2 engine controllers × 3 schedulers + greedy × 1):
+        // greedy is its own sequential scheduler, so the axis must not
+        // multiply it into identical re-runs under fabricated labels.
+        let cells = 4 * 4 * 3;
+        assert_eq!(spec.len(), cells * (2 * 3 + 1));
+        let jobs = spec.expand();
+        assert_eq!(jobs.len(), spec.len());
+        let ids: std::collections::HashSet<String> = jobs.iter().map(Scenario::id).collect();
+        assert_eq!(ids.len(), jobs.len(), "scheduler axis produced duplicate IDs");
+        // Scheduler is the innermost axis: consecutive jobs share the
+        // rest of the cell.
+        assert_eq!(jobs[0].scheduler, SchedulerKind::Fsync);
+        assert_eq!(jobs[1].scheduler, SchedulerKind::Ssync { p: 50 });
+        assert_eq!(jobs[0].family, jobs[2].family);
+        assert_eq!(jobs[0].controller, jobs[2].controller);
+        // Every greedy job is pinned to the fsync label.
+        for job in jobs.iter().filter(|j| j.controller == ControllerKind::Greedy) {
+            assert_eq!(job.scheduler, SchedulerKind::Fsync, "{}", job.id());
+        }
+        assert_eq!(jobs.iter().filter(|j| j.controller == ControllerKind::Greedy).count(), cells);
+    }
+
+    #[test]
     fn validate_rejects_empty_axes() {
         assert!(CampaignSpec::standard().validate().is_ok());
         let mut spec = CampaignSpec::standard();
@@ -153,22 +244,60 @@ mod tests {
         let mut spec = CampaignSpec::standard();
         spec.sizes = vec![16, 0];
         assert!(spec.validate().is_err());
+        let mut spec = CampaignSpec::standard();
+        spec.schedulers.clear();
+        assert!(spec.validate().is_err());
+        let mut spec = CampaignSpec::standard();
+        spec.schedulers = vec![SchedulerKind::Ssync { p: 0 }];
+        assert!(spec.validate().is_err(), "out-of-range ssync probability must be rejected");
     }
 
     #[test]
     fn id_shape() {
-        let sc =
-            Scenario { family: Family::Line, n: 64, seed: 3, controller: ControllerKind::Paper };
+        let sc = Scenario {
+            family: Family::Line,
+            n: 64,
+            seed: 3,
+            controller: ControllerKind::Paper,
+            scheduler: SchedulerKind::Fsync,
+        };
+        // FSYNC keeps the legacy 4-part ID: pre-scheduler JSONL files
+        // must resume without re-running anything.
         assert_eq!(sc.id(), "line/n64/s3/paper");
+        let ssync = Scenario { scheduler: SchedulerKind::Ssync { p: 50 }, ..sc };
+        assert_eq!(ssync.id(), "line/n64/s3/paper/ssync-p50");
+        let rr = Scenario { scheduler: SchedulerKind::RoundRobin { k: 4 }, ..sc };
+        assert_eq!(rr.id(), "line/n64/s3/paper/rr4");
     }
 
     #[test]
     fn scenario_runs_end_to_end() {
-        let sc =
-            Scenario { family: Family::Line, n: 24, seed: 1, controller: ControllerKind::Paper };
+        let sc = Scenario {
+            family: Family::Line,
+            n: 24,
+            seed: 1,
+            controller: ControllerKind::Paper,
+            scheduler: SchedulerKind::Fsync,
+        };
         let rec = sc.run();
         assert!(rec.gathered && !rec.panicked);
         assert_eq!(rec.n, 24);
         assert!(rec.rounds <= 24);
+        assert_eq!(rec.scheduler, "fsync");
+    }
+
+    #[test]
+    fn ssync_scenario_runs_end_to_end() {
+        let sc = Scenario {
+            family: Family::Line,
+            n: 16,
+            seed: 1,
+            controller: ControllerKind::Paper,
+            scheduler: SchedulerKind::Ssync { p: 50 },
+        };
+        let rec = sc.run();
+        assert!(!rec.panicked);
+        assert_eq!(rec.scheduler, "ssync-p50");
+        assert!(rec.activations > 0);
     }
 }

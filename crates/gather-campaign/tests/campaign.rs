@@ -4,18 +4,26 @@
 use std::collections::HashSet;
 use std::path::PathBuf;
 
-use gather_bench::ControllerKind;
+use gather_bench::{ControllerKind, SchedulerKind};
 use gather_campaign::{executor, load_completed, load_records, CampaignSpec, JsonlSink, Scenario};
 use gather_workloads::Family;
 
-/// A small but heterogeneous sweep: every controller, a worst-case
-/// line, a dense block, and a seeded random family. 24 scenarios.
+/// A small but heterogeneous sweep: every scheduler, a worst-case
+/// line, a dense block, and a seeded random family — including cells
+/// where the paper's algorithm disconnects under weak synchrony, so
+/// the determinism property covers failure records too. 48 scenarios
+/// (greedy is its own sequential scheduler and expands once per cell).
 fn small_spec() -> CampaignSpec {
     let mut spec = CampaignSpec::named("test");
     spec.families = vec![Family::Line, Family::Square, Family::RandomBlob];
     spec.sizes = vec![16, 32];
     spec.seeds = vec![1, 2];
     spec.controllers = vec![ControllerKind::Paper, ControllerKind::Greedy];
+    spec.schedulers = vec![
+        SchedulerKind::Fsync,
+        SchedulerKind::Ssync { p: 50 },
+        SchedulerKind::RoundRobin { k: 4 },
+    ];
     spec
 }
 

@@ -1,10 +1,12 @@
-//! The FSYNC scheduler: drives look-compute-move rounds against a
-//! [`Controller`] and enforces the model's global invariants.
+//! The round engine: drives look-compute-move rounds against a
+//! [`Controller`] under a pluggable activation [`Scheduler`]
+//! (FSYNC/SSYNC/round-robin) and enforces the model's global invariants.
 
 use crate::connectivity::is_connected;
 use crate::geom::Bounds;
 use crate::metrics::{Metrics, RoundStats};
 use crate::parallel::parallel_map;
+use crate::scheduler::{Activation, Scheduler};
 use crate::swarm::{Action, OrientationMode, RobotState, Swarm};
 use crate::view::View;
 use std::fmt;
@@ -54,6 +56,9 @@ pub struct EngineConfig {
     /// a merge (generous multiple of the paper's L·n budget is set by
     /// callers; `u64::MAX` disables).
     pub stall_limit: u64,
+    /// Which robots are activated each round. [`Scheduler::Fsync`] (the
+    /// default) is bit-identical to the pre-policy engine.
+    pub scheduler: Scheduler,
 }
 
 impl Default for EngineConfig {
@@ -63,6 +68,7 @@ impl Default for EngineConfig {
             connectivity: ConnectivityCheck::Every(64),
             keep_history: false,
             stall_limit: u64::MAX,
+            scheduler: Scheduler::Fsync,
         }
     }
 }
@@ -144,23 +150,46 @@ impl<C: Controller> Engine<C> {
         self.swarm.bounds()
     }
 
-    /// Execute one FSYNC round. Returns the round's statistics.
+    /// Execute one scheduler round: activate the scheduler's subset,
+    /// compute their actions in parallel, and apply them simultaneously
+    /// (inactive robots keep position and state). Under
+    /// [`Scheduler::Fsync`] this is exactly the paper's FSYNC round.
+    /// Activated robots all observe the engine's global round counter —
+    /// the weaker schedulers relax *who* acts, not the common clock.
+    /// Returns the round's statistics.
     pub fn step(&mut self) -> Result<RoundStats, EngineError> {
         let n = self.swarm.len();
         let ctx = RoundCtx { round: self.round };
         let radius = self.controller.radius();
+        let activation = self.config.scheduler.activate(self.round, n);
+        let activated = activation.len(n);
         let swarm = &self.swarm;
         let controller = &self.controller;
-        let actions: Vec<Action<C::State>> = parallel_map(n, self.config.threads, |i| {
+        let decide = |i: usize| {
             let view = View::new(swarm, i, radius);
             controller.decide(&view, ctx)
-        });
-        let outcome = self.swarm.apply(actions);
+        };
+        let outcome = match activation {
+            Activation::All => {
+                let actions: Vec<Action<C::State>> = parallel_map(n, self.config.threads, decide);
+                self.swarm.apply(actions)
+            }
+            Activation::Subset(active) => {
+                let computed: Vec<Action<C::State>> =
+                    parallel_map(active.len(), self.config.threads, |j| decide(active[j]));
+                let mut actions: Vec<Option<Action<C::State>>> = (0..n).map(|_| None).collect();
+                for (i, action) in active.into_iter().zip(computed) {
+                    actions[i] = Some(action);
+                }
+                self.swarm.apply_partial(actions)
+            }
+        };
         let stats = RoundStats {
             round: self.round,
             merged: outcome.merged,
             moved: outcome.moved,
             population: self.swarm.len(),
+            activated,
         };
         self.round += 1;
         self.metrics.record(stats);
@@ -281,6 +310,60 @@ mod tests {
         );
         let err = engine.run_until_gathered(100).unwrap_err();
         assert!(matches!(err, EngineError::Stalled { streak: 3, .. }), "{err:?}");
+    }
+
+    #[test]
+    fn ssync_and_round_robin_step_partially_and_reproducibly() {
+        // MarchEast is only safe under FSYNC (partial activation tears
+        // holes in the line — exactly the effect the scheduler sweep
+        // studies), so probe a fixed number of unchecked rounds and
+        // demand bit-identical evolution across runs.
+        let pts: Vec<Point> = (0..8).map(|x| Point::new(x, 0)).collect();
+        for scheduler in [Scheduler::Ssync { seed: 11, p: 50 }, Scheduler::RoundRobin { k: 3 }] {
+            let run = || {
+                let mut engine = Engine::from_positions(
+                    &pts,
+                    OrientationMode::Aligned,
+                    MarchEast,
+                    EngineConfig {
+                        connectivity: ConnectivityCheck::Never,
+                        scheduler,
+                        ..Default::default()
+                    },
+                );
+                for _ in 0..50 {
+                    engine.step().expect("unchecked steps cannot fail");
+                }
+                let positions: Vec<Point> = engine.swarm.positions().collect();
+                (positions, engine.metrics().total_activations, engine.metrics().total_merged)
+            };
+            let (a, b) = (run(), run());
+            assert_eq!(a, b, "{scheduler:?} evolution not reproducible");
+            // Partial activation: strictly less work than 50 FSYNC
+            // rounds of the initial population, yet some robots met.
+            assert!(a.1 < 50 * 8, "{scheduler:?} activated everyone every round");
+            assert!(a.2 > 0, "{scheduler:?} never merged anyone");
+        }
+    }
+
+    #[test]
+    fn fsync_scheduler_is_bit_identical_to_default_across_threads() {
+        let pts: Vec<Point> = (0..8).map(|x| Point::new(x, 0)).collect();
+        let run = |threads: usize, scheduler: Scheduler| {
+            let mut engine = Engine::from_positions(
+                &pts,
+                OrientationMode::Aligned,
+                MarchEast,
+                EngineConfig { threads, scheduler, ..Default::default() },
+            );
+            let out = engine.run_until_gathered(100).expect("gathers");
+            (out.rounds, out.final_robots, out.metrics.total_merged)
+        };
+        let reference = run(1, Scheduler::Fsync);
+        assert_eq!(reference.0, 6, "the pre-scheduler engine took 6 rounds on this line");
+        for threads in [2usize, 4, 8] {
+            assert_eq!(run(threads, Scheduler::Fsync), reference, "threads={threads}");
+        }
     }
 
     #[test]

@@ -16,9 +16,11 @@
 //! * **Locality** — a robot sees occupancy and robot states only within
 //!   a constant L1 radius, in its own frame: no compass, no IDs, no
 //!   global communication ([`View`]).
-//! * **FSYNC** — all robots execute look-compute-move in lockstep; the
-//!   compute step is evaluated as a deterministic parallel map
-//!   ([`Engine`], [`parallel`]).
+//! * **Schedulers** — robots execute look-compute-move under a
+//!   pluggable activation policy: FSYNC lockstep (the paper's model),
+//!   seeded pseudo-random SSYNC subsets, or a round-robin k-of-n
+//!   adversary; the compute step is evaluated as a deterministic
+//!   parallel map either way ([`Engine`], [`Scheduler`], [`parallel`]).
 //!
 //! Strategies implement [`Controller`]; the paper's algorithm lives in
 //! the `gather-core` crate, comparators in `gather-baselines`.
@@ -30,6 +32,7 @@ pub mod geom;
 pub mod grid;
 pub mod metrics;
 pub mod parallel;
+pub mod scheduler;
 pub mod swarm;
 pub mod view;
 
@@ -38,5 +41,6 @@ pub use engine::{
 };
 pub use geom::{Bounds, Point, D4, V2};
 pub use metrics::{Metrics, RoundStats};
+pub use scheduler::{Activation, Scheduler};
 pub use swarm::{Action, ApplyOutcome, OrientationMode, Robot, RobotState, Swarm};
 pub use view::View;

@@ -1,6 +1,6 @@
 //! Round-level instrumentation of a simulation run.
 
-/// What happened in one FSYNC round.
+/// What happened in one round.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct RoundStats {
     pub round: u64,
@@ -10,6 +10,9 @@ pub struct RoundStats {
     pub moved: usize,
     /// Robots alive after the round.
     pub population: usize,
+    /// Robots the scheduler activated this round (== population before
+    /// the round under FSYNC; a strict subset under SSYNC/round-robin).
+    pub activated: usize,
 }
 
 /// Aggregated metrics for a run, optionally with full per-round history.
@@ -18,6 +21,10 @@ pub struct Metrics {
     pub rounds: u64,
     pub total_merged: usize,
     pub total_moves: usize,
+    /// Total robot activations across the run — the honest *work*
+    /// measure when comparing schedulers: an SSYNC round does less work
+    /// than an FSYNC round, so rounds alone undersell FSYNC.
+    pub total_activations: u64,
     /// Longest stretch of consecutive rounds without a single merge —
     /// the quantity Lemma 1 bounds by O(L · n) overall and the stall
     /// detector watches.
@@ -35,6 +42,7 @@ impl Metrics {
         self.rounds += 1;
         self.total_merged += stats.merged;
         self.total_moves += stats.moved;
+        self.total_activations += stats.activated as u64;
         if stats.merged == 0 {
             self.current_mergeless_streak += 1;
             self.longest_mergeless_streak =
@@ -58,7 +66,7 @@ mod tests {
     use super::*;
 
     fn s(round: u64, merged: usize) -> RoundStats {
-        RoundStats { round, merged, moved: 0, population: 10 }
+        RoundStats { round, merged, moved: 0, population: 10, activated: 10 }
     }
 
     #[test]
@@ -70,6 +78,7 @@ mod tests {
         m.record(s(3, 0));
         assert_eq!(m.rounds, 4);
         assert_eq!(m.total_merged, 3);
+        assert_eq!(m.total_activations, 40);
         assert_eq!(m.longest_mergeless_streak, 2);
         assert_eq!(m.mergeless_streak(), 1);
         assert_eq!(m.history.as_ref().unwrap().len(), 4);

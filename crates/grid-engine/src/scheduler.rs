@@ -1,0 +1,194 @@
+//! Activation schedulers: which robots run look-compute-move in a round.
+//!
+//! The paper proves its O(n) bound in the fully-synchronous (FSYNC)
+//! model, where every robot is activated every round. The wider
+//! look-compute-move literature (the Suzuki–Yamashita scheduler
+//! hierarchy) also studies semi-synchronous (SSYNC) activation — an
+//! arbitrary non-empty subset per round — and asynchronous (ASYNC)
+//! adversaries. This module adds those model relatives as engine
+//! policies so campaigns can probe how far the linear-round behaviour
+//! survives weaker synchrony:
+//!
+//! * [`Scheduler::Fsync`] — everyone, every round (bit-identical to the
+//!   pre-policy engine).
+//! * [`Scheduler::Ssync`] — a seeded pseudo-random non-empty subset;
+//!   each robot is activated independently with probability `p`%.
+//! * [`Scheduler::RoundRobin`] — a deterministic rotating window of `k`
+//!   robots, an ASYNC-flavoured adversary (a fair sequential scheduler
+//!   when `k = 1`).
+//!
+//! Activation sets are pure functions of `(policy, round, n)`, so runs
+//! stay reproducible across thread counts, which the campaign resume
+//! and determinism tests rely on.
+
+/// SplitMix64: the seeding mix used everywhere the workspace needs a
+/// cheap, statistically solid hash of small integers.
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Which robots are activated in a given round.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Scheduler {
+    /// Fully synchronous: every robot, every round (the paper's model).
+    #[default]
+    Fsync,
+    /// Semi-synchronous: each robot activates independently with
+    /// probability `p`/100, pseudo-randomly from `(seed, round, index)`.
+    /// The subset is forced non-empty (an adversary that activates
+    /// nobody forever is excluded by the fairness assumption).
+    Ssync {
+        seed: u64,
+        /// Activation probability in percent, `1..=100`.
+        p: u8,
+    },
+    /// A rotating window of `k` robots (clamped to `1..=n`): robots
+    /// `(round·k + 0..k) mod n` in index order. With `k = 1` this is the
+    /// classic fair sequential scheduler; any `k < n` is an
+    /// ASYNC-flavoured adversary that still activates every robot at
+    /// most `⌈n/k⌉` rounds apart.
+    RoundRobin { k: u32 },
+}
+
+/// The activation set for one round.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Activation {
+    /// Every robot is active (the FSYNC fast path: no subset allocation,
+    /// the engine runs the exact pre-policy code path).
+    All,
+    /// The sorted, non-empty list of active robot indices.
+    Subset(Vec<usize>),
+}
+
+impl Activation {
+    /// Number of robots activated, given the swarm size.
+    pub fn len(&self, n: usize) -> usize {
+        match self {
+            Activation::All => n,
+            Activation::Subset(s) => s.len(),
+        }
+    }
+}
+
+impl Scheduler {
+    /// The activation set for `round` over a swarm of `n` robots.
+    /// Guaranteed non-empty for `n >= 1`; pure in `(self, round, n)`.
+    pub fn activate(&self, round: u64, n: usize) -> Activation {
+        match *self {
+            Scheduler::Fsync => Activation::All,
+            Scheduler::Ssync { seed, p } => {
+                let p = u64::from(p.clamp(1, 100));
+                if p >= 100 {
+                    return Activation::All;
+                }
+                let round_key = splitmix64(seed ^ round.wrapping_mul(0xa076_1d64_78bd_642f));
+                let mut active: Vec<usize> =
+                    (0..n).filter(|&i| splitmix64(round_key ^ i as u64) % 100 < p).collect();
+                if active.is_empty() && n > 0 {
+                    active.push((splitmix64(round_key) % n as u64) as usize);
+                }
+                if active.len() == n {
+                    Activation::All
+                } else {
+                    Activation::Subset(active)
+                }
+            }
+            Scheduler::RoundRobin { k } => {
+                let k = (k.max(1) as usize).min(n.max(1));
+                if k >= n {
+                    return Activation::All;
+                }
+                let start = ((round as u128 * k as u128) % n.max(1) as u128) as usize;
+                let mut active: Vec<usize> = (0..k).map(|j| (start + j) % n).collect();
+                active.sort_unstable();
+                Activation::Subset(active)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fsync_activates_everyone() {
+        for round in 0..10 {
+            assert_eq!(Scheduler::Fsync.activate(round, 7), Activation::All);
+        }
+    }
+
+    #[test]
+    fn ssync_is_reproducible_and_non_empty() {
+        let s = Scheduler::Ssync { seed: 42, p: 50 };
+        for round in 0..200 {
+            let a = s.activate(round, 33);
+            assert_eq!(a, s.activate(round, 33), "round {round} not reproducible");
+            assert!(a.len(33) >= 1, "round {round} activated nobody");
+            if let Activation::Subset(idx) = &a {
+                assert!(idx.windows(2).all(|w| w[0] < w[1]), "unsorted/duplicated subset");
+                assert!(idx.iter().all(|&i| i < 33));
+            }
+        }
+    }
+
+    #[test]
+    fn ssync_hits_the_target_rate() {
+        let s = Scheduler::Ssync { seed: 7, p: 50 };
+        let n = 64usize;
+        let rounds = 500u64;
+        let total: usize = (0..rounds).map(|r| s.activate(r, n).len(n)).sum();
+        let rate = total as f64 / (rounds as f64 * n as f64);
+        assert!((rate - 0.5).abs() < 0.05, "activation rate {rate}");
+    }
+
+    #[test]
+    fn ssync_low_p_still_non_empty_on_tiny_swarms() {
+        let s = Scheduler::Ssync { seed: 3, p: 1 };
+        for round in 0..100 {
+            assert!(s.activate(round, 2).len(2) >= 1);
+        }
+    }
+
+    #[test]
+    fn ssync_full_probability_is_fsync() {
+        let s = Scheduler::Ssync { seed: 9, p: 100 };
+        assert_eq!(s.activate(5, 10), Activation::All);
+    }
+
+    #[test]
+    fn round_robin_rotates_fairly() {
+        let s = Scheduler::RoundRobin { k: 3 };
+        let n = 8usize;
+        let mut counts = vec![0usize; n];
+        for round in 0..(8 * 3) as u64 {
+            match s.activate(round, n) {
+                Activation::Subset(idx) => {
+                    assert_eq!(idx.len(), 3);
+                    for i in idx {
+                        counts[i] += 1;
+                    }
+                }
+                Activation::All => panic!("k < n must be a strict subset"),
+            }
+        }
+        // 24 rounds × 3 activations = 72 = 9 per robot exactly.
+        assert!(counts.iter().all(|&c| c == 9), "{counts:?}");
+    }
+
+    #[test]
+    fn round_robin_window_wraps() {
+        let s = Scheduler::RoundRobin { k: 3 };
+        // n = 5, round 3: start = 9 mod 5 = 4 -> {4, 0, 1} sorted.
+        assert_eq!(s.activate(3, 5), Activation::Subset(vec![0, 1, 4]));
+    }
+
+    #[test]
+    fn round_robin_covers_whole_swarm_when_k_large() {
+        assert_eq!(Scheduler::RoundRobin { k: 10 }.activate(0, 4), Activation::All);
+        assert_eq!(Scheduler::RoundRobin { k: 0 }.activate(0, 1), Activation::All);
+    }
+}

@@ -4,6 +4,7 @@
 
 use crate::geom::{Bounds, Point, D4, V2};
 use crate::grid::OccupancyGrid;
+use crate::scheduler::splitmix64;
 
 /// Per-robot algorithm state carried between rounds.
 ///
@@ -71,13 +72,6 @@ pub struct ApplyOutcome {
 pub struct Swarm<S: RobotState> {
     robots: Vec<Robot<S>>,
     grid: OccupancyGrid,
-}
-
-fn splitmix64(mut x: u64) -> u64 {
-    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
-    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-    x ^ (x >> 31)
 }
 
 impl<S: RobotState> Swarm<S> {
@@ -159,14 +153,28 @@ impl<S: RobotState> Swarm<S> {
     /// deterministic, so runs are reproducible.
     pub fn apply(&mut self, actions: Vec<Action<S>>) -> ApplyOutcome {
         assert_eq!(actions.len(), self.robots.len());
+        self.apply_partial(actions.into_iter().map(Some).collect())
+    }
+
+    /// Partial-activation variant of [`Swarm::apply`] for non-FSYNC
+    /// schedulers: `None` means the robot was not activated this round —
+    /// it keeps its position *and* its state (an inactive robot can
+    /// still be merged into when an active robot lands on its cell, and
+    /// the stationary-wins survivor rule then favours it).
+    pub fn apply_partial(&mut self, actions: Vec<Option<Action<S>>>) -> ApplyOutcome {
+        assert_eq!(actions.len(), self.robots.len());
         let n = self.robots.len();
 
         let mut targets: Vec<Point> = Vec::with_capacity(n);
         let mut moved = 0usize;
         for (robot, action) in self.robots.iter().zip(&actions) {
-            debug_assert!(action.step.is_step(), "illegal step {:?}", action.step);
-            let world_step = robot.orient.apply(action.step);
-            let target = robot.pos + world_step;
+            let target = match action {
+                Some(action) => {
+                    debug_assert!(action.step.is_step(), "illegal step {:?}", action.step);
+                    robot.pos + robot.orient.apply(action.step)
+                }
+                None => robot.pos,
+            };
             if target != robot.pos {
                 moved += 1;
             }
@@ -219,7 +227,9 @@ impl<S: RobotState> Swarm<S> {
                 continue;
             }
             robot.pos = targets[i];
-            robot.state = action.state;
+            if let Some(action) = action {
+                robot.state = action.state;
+            }
             let id = next.len() as u32;
             next.push(robot);
             let prev = self.grid.set(targets[i], id);
@@ -316,6 +326,42 @@ mod tests {
         s.robots_mut()[0].orient = D4 { rot: 1, flip: false }; // frame E -> world N
         s.apply(vec![Action { step: V2::E, state: () }]);
         assert_eq!(s.robots()[0].pos, Point::new(0, 1));
+    }
+
+    #[test]
+    fn apply_partial_keeps_inactive_position_and_state() {
+        #[derive(Clone, Default, PartialEq, Debug)]
+        struct Tag(u8);
+        impl RobotState for Tag {
+            fn transform(&self, _m: D4) -> Self {
+                self.clone()
+            }
+        }
+        let mut s: Swarm<Tag> = Swarm::new(&line(3), OrientationMode::Aligned);
+        s.robots_mut()[1].state = Tag(7);
+        s.robots_mut()[2].state = Tag(9);
+        // Only robot 0 is activated: it hops east onto inactive robot 1.
+        let out = s.apply_partial(vec![Some(Action { step: V2::E, state: Tag(1) }), None, None]);
+        assert_eq!(out, ApplyOutcome { merged: 1, moved: 1 });
+        assert_eq!(s.len(), 2);
+        // The inactive robot is stationary, so it wins the merge and
+        // keeps both its position and its state.
+        let survivor = s.robot_at(Point::new(1, 0)).unwrap();
+        assert_eq!(s.robots()[survivor].state, Tag(7));
+        assert_eq!(s.robots()[s.robot_at(Point::new(2, 0)).unwrap()].state, Tag(9));
+    }
+
+    #[test]
+    fn apply_partial_with_all_some_matches_apply() {
+        let mut a: Swarm<()> = Swarm::new(&line(4), OrientationMode::Aligned);
+        let mut b = a.clone();
+        let acts = |_: ()| vec![Action { step: V2::E, state: () }; 4];
+        let oa = a.apply(acts(()));
+        let ob = b.apply_partial(acts(()).into_iter().map(Some).collect());
+        assert_eq!(oa, ob);
+        let pa: Vec<Point> = a.positions().collect();
+        let pb: Vec<Point> = b.positions().collect();
+        assert_eq!(pa, pb);
     }
 
     #[test]
