@@ -8,8 +8,8 @@ use gather_baselines::{AsyncGreedy, GoToCenter};
 use gather_core::{GatherConfig, GatherController};
 use grid_engine::connectivity::is_connected;
 use grid_engine::{
-    ConnectivityCheck, Engine, EngineConfig, EngineError, OrientationMode, Point, RunOutcome,
-    Scheduler,
+    BoxedRoundObserver, ConnectivityCheck, Engine, EngineConfig, EngineError, OrientationMode,
+    Point, RunOutcome, Scheduler,
 };
 
 /// Outcome of one measured gathering run.
@@ -82,21 +82,26 @@ pub enum SchedulerKind {
     },
     /// Deterministic rotating window of `k` robots (ASYNC-flavoured).
     RoundRobin { k: u32 },
+    /// Crash-stop faults over FSYNC: up to `f` seeded victims stop
+    /// being activated forever once their seeded crash round arrives.
+    Crash { f: u32 },
 }
 
 impl SchedulerKind {
     /// Stable name, also the scenario-ID segment: `fsync`, `ssync-p50`,
-    /// `rr4`.
+    /// `rr4`, `crash-f3`.
     pub fn name(self) -> String {
         match self {
             SchedulerKind::Fsync => "fsync".into(),
             SchedulerKind::Ssync { p } => format!("ssync-p{p}"),
             SchedulerKind::RoundRobin { k } => format!("rr{k}"),
+            SchedulerKind::Crash { f } => format!("crash-f{f}"),
         }
     }
 
     /// Parse a scheduler name as produced by [`SchedulerKind::name`].
-    /// Rejects out-of-range parameters (`p` outside `1..=100`, `k = 0`).
+    /// Rejects out-of-range parameters (`p` outside `1..=100`, `k = 0`,
+    /// `f = 0`).
     pub fn parse(s: &str) -> Option<SchedulerKind> {
         if s == "fsync" {
             return Some(SchedulerKind::Fsync);
@@ -105,6 +110,10 @@ impl SchedulerKind {
             let p: u8 = p.parse().ok()?;
             return (1..=100).contains(&p).then_some(SchedulerKind::Ssync { p });
         }
+        if let Some(f) = s.strip_prefix("crash-f") {
+            let f: u32 = f.parse().ok()?;
+            return (f >= 1).then_some(SchedulerKind::Crash { f });
+        }
         if let Some(k) = s.strip_prefix("rr") {
             let k: u32 = k.parse().ok()?;
             return (k >= 1).then_some(SchedulerKind::RoundRobin { k });
@@ -112,12 +121,16 @@ impl SchedulerKind {
         None
     }
 
-    /// The engine policy, with the per-run seed mixed in for SSYNC.
-    pub fn to_policy(self, seed: u64) -> Scheduler {
+    /// The engine policy, with the per-run seed mixed in for the seeded
+    /// kinds (SSYNC draws, crash victims) and the initial population
+    /// pinned for crash faults — victim draws must not re-roll as
+    /// merges shrink the live count.
+    pub fn to_policy(self, seed: u64, n0: usize) -> Scheduler {
         match self {
             SchedulerKind::Fsync => Scheduler::Fsync,
             SchedulerKind::Ssync { p } => Scheduler::Ssync { seed, p },
             SchedulerKind::RoundRobin { k } => Scheduler::RoundRobin { k },
+            SchedulerKind::Crash { f } => Scheduler::Crash { seed, f, n0: n0 as u32 },
         }
     }
 
@@ -130,6 +143,8 @@ impl SchedulerKind {
             SchedulerKind::Ssync { p } => Err(format!("ssync p={p} outside 1..=100")),
             SchedulerKind::RoundRobin { k } if k >= 1 => Ok(()),
             SchedulerKind::RoundRobin { .. } => Err("round-robin k must be >= 1".into()),
+            SchedulerKind::Crash { f } if f >= 1 => Ok(()),
+            SchedulerKind::Crash { .. } => Err("crash f must be >= 1 (f = 0 is fsync)".into()),
         }
     }
 }
@@ -174,7 +189,26 @@ pub fn run_measured(
     budget: u64,
     engine_threads: usize,
 ) -> Measurement {
-    let policy = scheduler.to_policy(seed);
+    run_measured_observed(kind, scheduler, points, seed, budget, engine_threads, None)
+}
+
+/// [`run_measured`] with an optional per-round observer attached to the
+/// engine — the recording hook the trace subsystem uses. The observer
+/// receives one [`grid_engine::RoundRecord`] per engine round; the
+/// record stream is a pure function of the scenario, independent of
+/// `engine_threads`. The greedy baseline has no engine rounds (it is
+/// its own sequential scheduler), so its runs invoke the observer zero
+/// times — campaigns skip tracing it.
+pub fn run_measured_observed(
+    kind: ControllerKind,
+    scheduler: SchedulerKind,
+    points: &[Point],
+    seed: u64,
+    budget: u64,
+    engine_threads: usize,
+    observer: Option<BoxedRoundObserver>,
+) -> Measurement {
+    let policy = scheduler.to_policy(seed, points.len());
     match kind {
         ControllerKind::Paper => run_paper_configured(
             points,
@@ -183,14 +217,16 @@ pub fn run_measured(
             budget,
             engine_threads,
             policy,
+            observer,
         ),
         ControllerKind::Center => {
-            run_center_configured(points, seed, budget, engine_threads, policy)
+            run_center_configured(points, seed, budget, engine_threads, policy, observer)
         }
         ControllerKind::Greedy => run_greedy(points, budget),
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_paper_configured(
     points: &[Point],
     seed: u64,
@@ -198,6 +234,7 @@ fn run_paper_configured(
     budget: u64,
     threads: usize,
     scheduler: Scheduler,
+    observer: Option<BoxedRoundObserver>,
 ) -> Measurement {
     let controller = GatherController::with_config(cfg).expect("valid config");
     let mut engine = Engine::from_positions(
@@ -206,30 +243,41 @@ fn run_paper_configured(
         controller,
         engine_config(threads, scheduler),
     );
+    if let Some(observer) = observer {
+        engine.set_observer(observer);
+    }
     finish(points.len(), engine.run_until_gathered(budget), &mut engine)
 }
 
 /// Run the paper's algorithm on `points` until gathered (or the budget
 /// dies). `seed` scrambles per-robot orientations (no-compass model).
 pub fn run_paper(points: &[Point], seed: u64, cfg: GatherConfig, budget: u64) -> Measurement {
-    run_paper_configured(points, seed, cfg, budget, 0, Scheduler::Fsync)
+    run_paper_configured(points, seed, cfg, budget, 0, Scheduler::Fsync, None)
 }
 
 /// Same, pinned to a given worker-thread count (E10).
 pub fn run_paper_threads(points: &[Point], seed: u64, threads: usize, budget: u64) -> Measurement {
-    run_paper_configured(points, seed, GatherConfig::paper(), budget, threads, Scheduler::Fsync)
+    run_paper_configured(
+        points,
+        seed,
+        GatherConfig::paper(),
+        budget,
+        threads,
+        Scheduler::Fsync,
+        None,
+    )
 }
 
 /// Run the GoToCenter baseline (E8). Connectivity is *observed*, not
 /// enforced: the baseline is allowed to break the model's invariant so
 /// the experiment can report how often it does.
 pub fn run_center(points: &[Point], seed: u64, budget: u64) -> Measurement {
-    run_center_configured(points, seed, budget, 0, Scheduler::Fsync)
+    run_center_configured(points, seed, budget, 0, Scheduler::Fsync, None)
 }
 
 /// [`run_center`] pinned to a given engine worker-thread count.
 pub fn run_center_threads(points: &[Point], seed: u64, budget: u64, threads: usize) -> Measurement {
-    run_center_configured(points, seed, budget, threads, Scheduler::Fsync)
+    run_center_configured(points, seed, budget, threads, Scheduler::Fsync, None)
 }
 
 fn run_center_configured(
@@ -238,6 +286,7 @@ fn run_center_configured(
     budget: u64,
     threads: usize,
     scheduler: Scheduler,
+    observer: Option<BoxedRoundObserver>,
 ) -> Measurement {
     let mut engine = Engine::from_positions(
         points,
@@ -245,6 +294,9 @@ fn run_center_configured(
         GoToCenter::paper_radius(),
         engine_config(threads, scheduler),
     );
+    if let Some(observer) = observer {
+        engine.set_observer(observer);
+    }
     finish(points.len(), engine.run_until_gathered(budget), &mut engine)
 }
 
@@ -333,15 +385,122 @@ mod tests {
             SchedulerKind::Ssync { p: 100 },
             SchedulerKind::RoundRobin { k: 1 },
             SchedulerKind::RoundRobin { k: 4 },
+            SchedulerKind::Crash { f: 1 },
+            SchedulerKind::Crash { f: 12 },
         ] {
             assert_eq!(SchedulerKind::parse(&kind.name()), Some(kind), "{kind}");
             assert!(kind.validate().is_ok());
         }
-        for bad in ["nope", "ssync-p0", "ssync-p101", "ssync-p", "rr0", "rr", "rr-1", "fsync2"] {
+        for bad in [
+            "nope",
+            "ssync-p0",
+            "ssync-p101",
+            "ssync-p",
+            "rr0",
+            "rr",
+            "rr-1",
+            "fsync2",
+            "crash-f0",
+            "crash-f",
+            "crash-f-1",
+            "crash",
+        ] {
             assert_eq!(SchedulerKind::parse(bad), None, "{bad:?} must not parse");
         }
         assert!(SchedulerKind::Ssync { p: 0 }.validate().is_err());
         assert!(SchedulerKind::RoundRobin { k: 0 }.validate().is_err());
+        assert!(SchedulerKind::Crash { f: 0 }.validate().is_err());
+    }
+
+    #[test]
+    fn crash_runs_are_reproducible_and_actually_deactivate_robots() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        // A crashed robot is a permanent obstacle, so gathering can
+        // genuinely fail — the point of the fault model. Whatever the
+        // outcome, it must be deterministic, and some round must
+        // activate strictly fewer robots than are alive (comparing
+        // totals against `rounds · n` would pass vacuously once any
+        // merge shrinks the population).
+        let pts = gather_workloads::line(32);
+        let sched = SchedulerKind::Crash { f: 3 };
+        let budget = budget_for(pts.len());
+        let a = run_measured(ControllerKind::Paper, sched, &pts, 11, budget, 1);
+        let b = run_measured(ControllerKind::Paper, sched, &pts, 11, budget, 1);
+        assert_eq!(a.rounds, b.rounds);
+        assert_eq!(a.activations, b.activations);
+        assert_eq!(a.gathered, b.gathered);
+        assert!(a.rounds > 0 && a.activations > 0);
+
+        // A given seed's crash rounds can all land after a short run
+        // gathers, so scan a few seeds: at least one must show a round
+        // that activates strictly fewer robots than are alive. (This
+        // is the non-vacuous form — comparing activation totals against
+        // `rounds · n` passes for plain FSYNC too once merges shrink
+        // the population.)
+        let saw_crashed_round = (0..10u64).any(|seed| {
+            let rounds: Rc<RefCell<Vec<grid_engine::RoundRecord>>> = Rc::default();
+            let sink = rounds.clone();
+            run_measured_observed(
+                ControllerKind::Paper,
+                sched,
+                &pts,
+                seed,
+                budget,
+                1,
+                Some(Box::new(move |rec| sink.borrow_mut().push(rec.clone()))),
+            );
+            let mut population = pts.len();
+            let recs = rounds.borrow();
+            let crashed = recs.iter().any(|rec| {
+                let crashed = rec.activated.len(population) < population;
+                population = rec.population as usize;
+                crashed
+            });
+            crashed
+        });
+        assert!(saw_crashed_round, "no seed in 0..10 ever deactivated a live robot");
+    }
+
+    #[test]
+    fn observed_runs_stream_rounds_and_match_unobserved_results() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        let pts = gather_workloads::line(24);
+        let plain = run_measured(ControllerKind::Paper, SchedulerKind::Fsync, &pts, 2, 1000, 1);
+        let rounds: Rc<RefCell<Vec<grid_engine::RoundRecord>>> = Rc::default();
+        let sink = rounds.clone();
+        let observed = run_measured_observed(
+            ControllerKind::Paper,
+            SchedulerKind::Fsync,
+            &pts,
+            2,
+            1000,
+            1,
+            Some(Box::new(move |rec| sink.borrow_mut().push(rec.clone()))),
+        );
+        assert_eq!(observed.rounds, plain.rounds, "observing changed the run");
+        assert_eq!(observed.merges, plain.merges);
+        let rounds = rounds.borrow();
+        assert_eq!(rounds.len() as u64, plain.rounds, "one record per round");
+        let merged: u32 = rounds.iter().map(|r| r.merged).sum();
+        assert_eq!(merged as usize, plain.merges);
+
+        // The greedy strawman has no engine rounds: observer untouched.
+        let greedy_rounds: Rc<RefCell<Vec<grid_engine::RoundRecord>>> = Rc::default();
+        let sink = greedy_rounds.clone();
+        run_measured_observed(
+            ControllerKind::Greedy,
+            SchedulerKind::Fsync,
+            &pts,
+            2,
+            1000,
+            1,
+            Some(Box::new(move |rec| sink.borrow_mut().push(rec.clone()))),
+        );
+        assert!(greedy_rounds.borrow().is_empty());
     }
 
     #[test]

@@ -222,6 +222,22 @@ mod tests {
         rec_sched(family, n, seed, rounds, gathered, true, SchedulerKind::Fsync)
     }
 
+    /// Parse one table cell, naming the table, row, and column (header
+    /// included) on failure instead of unwinding through a bare
+    /// `unwrap` chain with no context.
+    fn cell<T: std::str::FromStr>(table: &Table, row: usize, col: usize) -> T
+    where
+        T::Err: std::fmt::Debug,
+    {
+        let at = |what: &str| -> String {
+            let header = table.headers.get(col).map(String::as_str).unwrap_or("?");
+            format!("table {:?}, row {row}, column {col} ({header}): {what}", table.title)
+        };
+        let cells = table.rows.get(row).unwrap_or_else(|| panic!("{}", at("row out of range")));
+        let text = cells.get(col).unwrap_or_else(|| panic!("{}", at("column out of range")));
+        text.parse().unwrap_or_else(|e| panic!("{}", at(&format!("{text:?} did not parse: {e:?}"))))
+    }
+
     #[test]
     fn linear_series_summarised_with_unit_exponent() {
         let mut records = Vec::new();
@@ -232,15 +248,14 @@ mod tests {
         }
         let tables = summarize(&records);
         assert_eq!(tables.len(), 1, "no reliability table for all-gathered");
-        let row = &tables[0].rows[0];
-        assert_eq!(row[0], "line");
-        let slope: f64 = row[2].parse().unwrap();
+        assert_eq!(tables[0].rows[0][0], "line");
+        let slope: f64 = cell(&tables[0], 0, 2);
         assert!((slope - 2.0).abs() < 0.05, "slope {slope}");
-        let exp: f64 = row[3].parse().unwrap();
+        let exp: f64 = cell(&tables[0], 0, 3);
         assert!((exp - 1.0).abs() < 0.05, "exponent {exp}");
-        let act_rate: f64 = row[4].parse().unwrap();
+        let act_rate: f64 = cell(&tables[0], 0, 4);
         assert!(act_rate > 32.0, "FSYNC activation rate tracks n, got {act_rate}");
-        assert_eq!(row[5], "12");
+        assert_eq!(cell::<usize>(&tables[0], 0, 5), 12);
     }
 
     #[test]
@@ -294,9 +309,8 @@ mod tests {
         let tables = summarize(&records);
         let reliability = tables.last().unwrap();
         assert_eq!(reliability.rows.len(), 1);
-        let row = &reliability.rows[0];
         let [runs, gathered, stalled, disconnected, panicked] =
-            [&row[3], &row[4], &row[5], &row[6], &row[7]].map(|s| s.parse::<usize>().unwrap());
+            [3, 4, 5, 6, 7].map(|col| cell::<usize>(reliability, 0, col));
         assert_eq!((runs, gathered, stalled, disconnected, panicked), (4, 2, 1, 1, 0));
         assert_eq!(
             gathered + stalled + disconnected + panicked,
@@ -315,7 +329,7 @@ mod tests {
         let measured_a = rec(Family::Line, 32, 1, 64, true); // 64·32 activations
         let measured_b = rec(Family::Line, 64, 0, 128, true); // 128·64 activations
         let tables = summarize(&[legacy.clone(), measured_a, measured_b]);
-        let act_rate: f64 = tables[0].rows[0][4].parse().unwrap();
+        let act_rate: f64 = cell(&tables[0], 0, 4);
         let expected = (64.0 * 32.0 + 128.0 * 64.0) / (64.0 + 128.0);
         assert!(
             (act_rate - expected).abs() < 0.05,

@@ -1,5 +1,6 @@
-//! The campaign CLI: `run`, `resume`, and `summarize` subcommands over
-//! the gather-campaign library. See `--help` for flags.
+//! The campaign CLI: `run`, `resume`, `record`, `replay`, `diff` and
+//! `summarize` subcommands over the gather-campaign library. See
+//! `--help` for flags.
 
 use std::ops::ControlFlow;
 use std::path::Path;
@@ -8,7 +9,8 @@ use std::time::Instant;
 
 use gather_campaign::cli::{self, Command, RunArgs, USAGE};
 use gather_campaign::{
-    executor, load_completed, load_records, summarize, JsonlSink, Scenario, ScenarioRecord,
+    executor, load_completed, load_records, summarize, trace_ops, DiffStatus, JsonlSink,
+    ReplayStatus, Scenario, ScenarioRecord, TraceJobOutcome,
 };
 
 fn main() -> ExitCode {
@@ -27,6 +29,9 @@ fn main() -> ExitCode {
         }
         Command::Run(run) => execute(run, false),
         Command::Resume(run) => execute(run, true),
+        Command::Record { run, trace_dir } => execute_record(run, &trace_dir),
+        Command::Replay { trace_dir } => replay_dir(&trace_dir),
+        Command::Diff { a, b } => diff_dirs(&a, &b),
         Command::Summarize { input } => summarize_file(&input),
     };
     match result {
@@ -108,6 +113,152 @@ fn execute(args: RunArgs, resume: bool) -> Result<(), String> {
         panicked,
         start.elapsed(),
     );
+    Ok(())
+}
+
+/// `record`: run the sweep with per-round tracing on. Results stream to
+/// the JSONL sink exactly like `run`; each engine scenario additionally
+/// leaves one `.gtrc` trace in `trace_dir`. A trace-file write failure
+/// aborts the campaign (a recording campaign whose traces are silently
+/// incomplete is worse than a dead one).
+fn execute_record(args: RunArgs, trace_dir: &Path) -> Result<(), String> {
+    let RunArgs { spec, threads, out } = args;
+    std::fs::create_dir_all(trace_dir)
+        .map_err(|e| format!("creating {}: {e}", trace_dir.display()))?;
+    let swept = trace_ops::clean_trace_dir(trace_dir)
+        .map_err(|e| format!("cleaning {}: {e}", trace_dir.display()))?;
+    if swept > 0 {
+        eprintln!("removed {swept} trace file(s) left by an earlier recording");
+    }
+    let jobs = spec.expand();
+    let mut sink =
+        JsonlSink::create(&out).map_err(|e| format!("opening {}: {e}", out.display()))?;
+    eprintln!(
+        "campaign `{}` (recording): {} scenarios, {} threads -> {} + {}/",
+        spec.name,
+        jobs.len(),
+        if threads == 0 { "all".to_string() } else { threads.to_string() },
+        out.display(),
+        trace_dir.display(),
+    );
+    let start = Instant::now();
+    let total = jobs.len();
+    let mut failure: Option<String> = None;
+    let mut done = 0usize;
+    let mut traced = 0usize;
+    executor::execute_jobs(
+        &jobs,
+        threads,
+        |sc| trace_ops::record_scenario(sc, trace_dir),
+        TraceJobOutcome::for_panic,
+        |_i, outcome| {
+            done += 1;
+            if let Some(e) = outcome.error {
+                failure = Some(format!("recording {}: {e}", outcome.record.id));
+                return ControlFlow::Break(());
+            }
+            if let Err(e) = sink.write(&outcome.record) {
+                failure = Some(format!("writing {}: {e}", out.display()));
+                return ControlFlow::Break(());
+            }
+            let mark = if outcome.trace_path.is_some() {
+                traced += 1;
+                "traced"
+            } else {
+                "-"
+            };
+            eprintln!(
+                "[{done}/{total}] {:<32} {mark:>6}  rounds={}",
+                outcome.record.id, outcome.record.rounds
+            );
+            ControlFlow::Continue(())
+        },
+    );
+    if let Some(e) = failure {
+        return Err(format!("{e} (recording aborted)"));
+    }
+    eprintln!(
+        "campaign `{}` recorded: {} run, {} traced in {:.1?}",
+        spec.name,
+        done,
+        traced,
+        start.elapsed(),
+    );
+    Ok(())
+}
+
+/// `replay`: re-execute every trace in `dir` and verify bit-exactness.
+fn replay_dir(dir: &Path) -> Result<(), String> {
+    let files =
+        trace_ops::list_trace_files(dir).map_err(|e| format!("reading {}: {e}", dir.display()))?;
+    if files.is_empty() {
+        return Err(format!("no .gtrc traces in {}", dir.display()));
+    }
+    let mut failures = 0usize;
+    for file in &files {
+        let report = trace_ops::replay_trace(file);
+        let name = file.file_name().map(|n| n.to_string_lossy().into_owned()).unwrap_or_default();
+        match report.status {
+            ReplayStatus::Match { rounds } => {
+                eprintln!("{name}: ok ({rounds} rounds bit-identical)");
+            }
+            ReplayStatus::Diverged(d) => {
+                failures += 1;
+                let robot = d.robot.map(|r| format!(", robot {r}")).unwrap_or_default();
+                eprintln!("{name}: DIVERGED at round {}{robot}: {}", d.round, d.detail);
+            }
+            ReplayStatus::Error(e) => {
+                failures += 1;
+                eprintln!("{name}: ERROR: {e}");
+            }
+        }
+    }
+    if failures > 0 {
+        return Err(format!("{failures} of {} traces diverged or failed", files.len()));
+    }
+    eprintln!("replay ok: {} traces, zero divergent rounds", files.len());
+    Ok(())
+}
+
+/// `diff`: compare two trace sets scenario by scenario.
+fn diff_dirs(a: &Path, b: &Path) -> Result<(), String> {
+    let reports = trace_ops::diff_trace_dirs(a, b).map_err(|e| format!("diffing: {e}"))?;
+    if reports.is_empty() {
+        return Err(format!("no .gtrc traces in {} or {}", a.display(), b.display()));
+    }
+    let mut drift = 0usize;
+    for report in &reports {
+        match &report.status {
+            DiffStatus::Identical { rounds } => {
+                eprintln!("{}: identical ({rounds} rounds)", report.name);
+            }
+            DiffStatus::Diverged(d) => {
+                drift += 1;
+                let robot = d.robot.map(|r| format!(", robot {r}")).unwrap_or_default();
+                eprintln!("{}: DIVERGED at round {}{robot}: {}", report.name, d.round, d.detail);
+            }
+            DiffStatus::HeaderMismatch(why) => {
+                drift += 1;
+                eprintln!("{}: HEADER MISMATCH: {why}", report.name);
+            }
+            DiffStatus::OnlyInFirst => {
+                drift += 1;
+                eprintln!("{}: only in {}", report.name, a.display());
+            }
+            DiffStatus::OnlyInSecond => {
+                drift += 1;
+                eprintln!("{}: only in {}", report.name, b.display());
+            }
+            DiffStatus::Error(e) => {
+                drift += 1;
+                eprintln!("{}: ERROR: {e}", report.name);
+            }
+        }
+    }
+    if drift > 0 {
+        return Err(format!("{drift} of {} scenarios drifted", reports.len()));
+    }
+    eprintln!("diff ok: {} scenarios, zero drift", reports.len());
     Ok(())
 }
 

@@ -12,27 +12,52 @@ pub const USAGE: &str = "\
 campaign — parallel scenario sweeps for the grid-gathering reproduction
 
 USAGE:
-    campaign run       [--threads N] [--out PATH] [axis flags]
-    campaign resume    [--threads N] [--out PATH] [axis flags]
+    campaign run       [--threads N] [--out PATH] [--spec FILE] [axis flags]
+    campaign resume    [--threads N] [--out PATH] [--spec FILE] [axis flags]
+    campaign record    [run flags]   [--trace-dir DIR]
+    campaign replay    [--trace-dir DIR]
+    campaign diff      --a DIR --b DIR
     campaign summarize [--in PATH]
 
 SUBCOMMANDS:
     run        Execute the sweep from scratch (truncates --out)
     resume     Re-run the sweep, skipping scenarios already in --out
+    record     Run the sweep with per-round tracing on: results stream to
+               --out as usual (truncated, like run), plus one binary .gtrc
+               trace per engine scenario in --trace-dir, which is cleared
+               of earlier traces first so the set always matches --out
+               (the greedy strawman has no engine rounds and is not traced)
+    replay     Re-execute every trace in --trace-dir and verify each round
+               is bit-identical, reporting the first divergent round and
+               robot; exits non-zero on any divergence, version mismatch,
+               or config drift
+    diff       Compare two trace sets file by file, summarizing drift per
+               scenario; exits non-zero when the sets differ
     summarize  Fold a result file into per-family scaling tables,
                grouped per (controller, scheduler)
 
 OPTIONS:
     --threads N        Worker threads; 0 = all cores (default 0)
-    --out PATH         Result JSONL file (default campaign.jsonl; run/resume only)
+    --out PATH         Result JSONL file (default campaign.jsonl; run/resume/record)
     --in PATH          Input for summarize (default campaign.jsonl)
+    --spec FILE        Load the scenario matrix from a flat-JSON spec file;
+                       fields absent from the file keep the standard-sweep
+                       defaults, and axis flags override spec fields. Fields
+                       (all string-valued, same syntax as the flags):
+                       {\"name\":\"sweep\",\"families\":\"line,square\",
+                        \"sizes\":\"16,32\",\"seeds\":\"0..4\",
+                        \"controllers\":\"paper,center\",\"schedulers\":\"fsync\"}
+    --trace-dir DIR    Trace directory (default traces; record/replay only)
+    --a DIR, --b DIR   The two trace sets to diff
     --families A,B     Workload families (default line,square,hollow-square,random-blob)
     --sizes N1,N2      Target swarm sizes (default 16,32,64,128)
     --seeds S1,S2      Orientation seeds, or LO..HI for a range (default 1,2,3)
     --controllers A,B  paper,center,greedy (default all three)
     --schedulers A,B   Activation policies: fsync, ssync-pP (P = activation
                        probability in percent, e.g. ssync-p50), rrK (round-robin
-                       window of K robots, e.g. rr4). Default fsync.
+                       window of K robots, e.g. rr4), crash-fF (crash-stop
+                       faults: up to F seeded robots halt forever at seeded
+                       rounds, e.g. crash-f3). Default fsync.
                        FSYNC scenario IDs keep the legacy 4-part shape, so old
                        result files resume unchanged; other schedulers append a
                        fifth ID segment (line/n64/s3/paper/ssync-p50). The
@@ -47,6 +72,9 @@ OPTIONS:
 pub enum Command {
     Run(RunArgs),
     Resume(RunArgs),
+    Record { run: RunArgs, trace_dir: PathBuf },
+    Replay { trace_dir: PathBuf },
+    Diff { a: PathBuf, b: PathBuf },
     Summarize { input: PathBuf },
     Help,
 }
@@ -73,8 +101,43 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
     };
     let rest: Vec<&str> = it.collect();
     match sub {
-        "run" => Ok(Command::Run(parse_run_args(&rest)?)),
-        "resume" => Ok(Command::Resume(parse_run_args(&rest)?)),
+        "run" => Ok(Command::Run(parse_run_args(&rest, false)?.0)),
+        "resume" => Ok(Command::Resume(parse_run_args(&rest, false)?.0)),
+        "record" => {
+            let (run, trace_dir) = parse_run_args(&rest, true)?;
+            Ok(Command::Record { run, trace_dir: trace_dir.unwrap_or_else(default_trace_dir) })
+        }
+        "replay" => {
+            let mut trace_dir = default_trace_dir();
+            let mut it = rest.iter();
+            while let Some(&flag) = it.next() {
+                match flag {
+                    "--trace-dir" => {
+                        trace_dir = PathBuf::from(value_of(flag, it.next().copied())?);
+                    }
+                    "-h" | "--help" => return Ok(Command::Help),
+                    other => return Err(format!("unknown replay flag {other:?}")),
+                }
+            }
+            Ok(Command::Replay { trace_dir })
+        }
+        "diff" => {
+            let mut a = None;
+            let mut b = None;
+            let mut it = rest.iter();
+            while let Some(&flag) = it.next() {
+                match flag {
+                    "--a" => a = Some(PathBuf::from(value_of(flag, it.next().copied())?)),
+                    "--b" => b = Some(PathBuf::from(value_of(flag, it.next().copied())?)),
+                    "-h" | "--help" => return Ok(Command::Help),
+                    other => return Err(format!("unknown diff flag {other:?}")),
+                }
+            }
+            match (a, b) {
+                (Some(a), Some(b)) => Ok(Command::Diff { a, b }),
+                _ => Err("diff needs both --a and --b trace directories".into()),
+            }
+        }
         "summarize" => {
             let mut input = PathBuf::from("campaign.jsonl");
             let mut it = rest.iter();
@@ -105,8 +168,30 @@ fn value_of<'a>(flag: &str, value: Option<&'a str>) -> Result<&'a str, String> {
     value.ok_or_else(|| format!("{flag} needs a value"))
 }
 
-fn parse_run_args(args: &[&str]) -> Result<RunArgs, String> {
+fn default_trace_dir() -> PathBuf {
+    PathBuf::from("traces")
+}
+
+/// Parse run/resume/record flags. `--spec` is resolved first regardless
+/// of its position, so axis flags always override spec-file fields.
+/// `--trace-dir` is only accepted when `accept_trace_dir` is set
+/// (`record`); `run`/`resume` reject it.
+fn parse_run_args(
+    args: &[&str],
+    accept_trace_dir: bool,
+) -> Result<(RunArgs, Option<PathBuf>), String> {
     let mut out = RunArgs::default();
+    let mut trace_dir = None;
+    let mut args: Vec<&str> = args.to_vec();
+    if let Some(i) = args.iter().position(|&a| a == "--spec") {
+        let path = *args.get(i + 1).ok_or("--spec needs a value")?;
+        let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path:?}: {e}"))?;
+        out.spec = spec_from_flat_json(&text).map_err(|e| format!("spec {path:?}: {e}"))?;
+        args.drain(i..=i + 1);
+        if args.contains(&"--spec") {
+            return Err("--spec given twice".into());
+        }
+    }
     let mut it = args.iter();
     while let Some(&flag) = it.next() {
         match flag {
@@ -116,41 +201,76 @@ fn parse_run_args(args: &[&str]) -> Result<RunArgs, String> {
                     v.parse().map_err(|e| format!("--threads {v:?} is not a count: {e}"))?;
             }
             "--out" => out.out = PathBuf::from(value_of(flag, it.next().copied())?),
+            "--trace-dir" if accept_trace_dir => {
+                trace_dir = Some(PathBuf::from(value_of(flag, it.next().copied())?));
+            }
             "--name" => out.spec.name = value_of(flag, it.next().copied())?.to_string(),
             "--families" => {
-                out.spec.families = split_list(value_of(flag, it.next().copied())?)
-                    .map(|s| Family::parse(s).ok_or_else(|| format!("unknown family {s:?}")))
-                    .collect::<Result<_, _>>()?;
+                out.spec.families = parse_families(value_of(flag, it.next().copied())?)?
             }
-            "--sizes" => {
-                out.spec.sizes = split_list(value_of(flag, it.next().copied())?)
-                    .map(|s| s.parse().map_err(|e| format!("bad size {s:?}: {e}")))
-                    .collect::<Result<_, _>>()?;
-            }
-            "--seeds" => {
-                out.spec.seeds = parse_seeds(value_of(flag, it.next().copied())?)?;
-            }
+            "--sizes" => out.spec.sizes = parse_sizes(value_of(flag, it.next().copied())?)?,
+            "--seeds" => out.spec.seeds = parse_seeds(value_of(flag, it.next().copied())?)?,
             "--controllers" => {
-                out.spec.controllers = split_list(value_of(flag, it.next().copied())?)
-                    .map(|s| {
-                        ControllerKind::parse(s).ok_or_else(|| format!("unknown controller {s:?}"))
-                    })
-                    .collect::<Result<_, _>>()?;
+                out.spec.controllers = parse_controllers(value_of(flag, it.next().copied())?)?;
             }
             "--schedulers" => {
-                out.spec.schedulers = split_list(value_of(flag, it.next().copied())?)
-                    .map(|s| {
-                        SchedulerKind::parse(s).ok_or_else(|| {
-                            format!("unknown scheduler {s:?} (expected fsync, ssync-pP or rrK)")
-                        })
-                    })
-                    .collect::<Result<_, _>>()?;
+                out.spec.schedulers = parse_schedulers(value_of(flag, it.next().copied())?)?;
             }
             other => return Err(format!("unknown flag {other:?} (try --help)")),
         }
     }
     out.spec.validate()?;
-    Ok(out)
+    Ok((out, trace_dir))
+}
+
+/// Build a [`CampaignSpec`] from a flat-JSON spec file. All fields are
+/// string-valued and use the exact syntax of the corresponding CLI
+/// flags; fields absent from the file keep the standard-sweep defaults.
+/// The flat-JSON dialect is the same one the result records use
+/// (`gather_analysis::parse_flat_json`), so one parser owns both wire
+/// formats.
+pub fn spec_from_flat_json(text: &str) -> Result<CampaignSpec, String> {
+    let map = gather_analysis::parse_flat_json(text.trim())?;
+    let mut spec = CampaignSpec::standard();
+    for (key, value) in &map {
+        let s = value
+            .as_str()
+            .ok_or_else(|| format!("spec field {key:?} must be a string (flag syntax)"))?;
+        match key.as_str() {
+            "name" => spec.name = s.to_string(),
+            "families" => spec.families = parse_families(s)?,
+            "sizes" => spec.sizes = parse_sizes(s)?,
+            "seeds" => spec.seeds = parse_seeds(s)?,
+            "controllers" => spec.controllers = parse_controllers(s)?,
+            "schedulers" => spec.schedulers = parse_schedulers(s)?,
+            other => return Err(format!("unknown spec field {other:?}")),
+        }
+    }
+    Ok(spec)
+}
+
+fn parse_families(s: &str) -> Result<Vec<Family>, String> {
+    split_list(s).map(|t| Family::parse(t).ok_or_else(|| format!("unknown family {t:?}"))).collect()
+}
+
+fn parse_sizes(s: &str) -> Result<Vec<usize>, String> {
+    split_list(s).map(|t| t.parse().map_err(|e| format!("bad size {t:?}: {e}"))).collect()
+}
+
+fn parse_controllers(s: &str) -> Result<Vec<ControllerKind>, String> {
+    split_list(s)
+        .map(|t| ControllerKind::parse(t).ok_or_else(|| format!("unknown controller {t:?}")))
+        .collect()
+}
+
+fn parse_schedulers(s: &str) -> Result<Vec<SchedulerKind>, String> {
+    split_list(s)
+        .map(|t| {
+            SchedulerKind::parse(t).ok_or_else(|| {
+                format!("unknown scheduler {t:?} (expected fsync, ssync-pP, rrK or crash-fF)")
+            })
+        })
+        .collect()
 }
 
 fn split_list(s: &str) -> impl Iterator<Item = &str> {
@@ -283,5 +403,84 @@ mod tests {
         assert!(parse(&strings(&["run", "--controllers", ""])).is_err());
         assert!(parse(&strings(&["run", "--threads"])).is_err());
         assert!(matches!(parse(&[]).unwrap(), Command::Help));
+    }
+
+    #[test]
+    fn crash_scheduler_axis_parses() {
+        let Command::Run(args) = parse(&strings(&["run", "--schedulers", "crash-f3"])).unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(args.spec.schedulers, vec![SchedulerKind::Crash { f: 3 }]);
+        assert!(parse(&strings(&["run", "--schedulers", "crash-f0"])).is_err());
+    }
+
+    #[test]
+    fn record_replay_and_diff_parse() {
+        let Command::Record { run, trace_dir } =
+            parse(&strings(&["record", "--sizes", "16", "--trace-dir", "/tmp/t"])).unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(run.spec.sizes, vec![16]);
+        assert_eq!(trace_dir, PathBuf::from("/tmp/t"));
+        let Command::Record { trace_dir, .. } = parse(&strings(&["record"])).unwrap() else {
+            panic!()
+        };
+        assert_eq!(trace_dir, PathBuf::from("traces"), "default trace dir");
+        // run/resume reject --trace-dir: it only means something to record.
+        assert!(parse(&strings(&["run", "--trace-dir", "x"])).is_err());
+
+        let Command::Replay { trace_dir } =
+            parse(&strings(&["replay", "--trace-dir", "td"])).unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(trace_dir, PathBuf::from("td"));
+
+        let Command::Diff { a, b } =
+            parse(&strings(&["diff", "--a", "one", "--b", "two"])).unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!((a, b), (PathBuf::from("one"), PathBuf::from("two")));
+        assert!(parse(&strings(&["diff", "--a", "one"])).is_err(), "diff needs both sets");
+    }
+
+    #[test]
+    fn spec_files_load_and_flags_override() {
+        let spec = r#"{"name":"sweep","families":"line,table","sizes":"8,16",
+                       "seeds":"0..3","controllers":"paper","schedulers":"fsync,crash-f2"}"#;
+        let parsed = spec_from_flat_json(spec).unwrap();
+        assert_eq!(parsed.name, "sweep");
+        assert_eq!(parsed.families, vec![Family::Line, Family::Table]);
+        assert_eq!(parsed.sizes, vec![8, 16]);
+        assert_eq!(parsed.seeds, vec![0, 1, 2]);
+        assert_eq!(parsed.controllers, vec![ControllerKind::Paper]);
+        assert_eq!(parsed.schedulers, vec![SchedulerKind::Fsync, SchedulerKind::Crash { f: 2 }]);
+
+        // Absent fields keep the standard defaults.
+        let partial = spec_from_flat_json(r#"{"families":"line"}"#).unwrap();
+        assert_eq!(partial.families, vec![Family::Line]);
+        assert_eq!(partial.sizes, CampaignSpec::standard().sizes);
+
+        // Errors: unknown fields, non-string values, bad axis syntax.
+        assert!(spec_from_flat_json(r#"{"familes":"line"}"#).is_err(), "typo must be loud");
+        assert!(spec_from_flat_json(r#"{"sizes":16}"#).is_err(), "values are flag strings");
+        assert!(spec_from_flat_json(r#"{"schedulers":"ssync-p0"}"#).is_err());
+
+        // End to end through --spec, with a flag override on top.
+        let path =
+            std::env::temp_dir().join(format!("gather-campaign-spec-{}.json", std::process::id()));
+        std::fs::write(&path, spec).unwrap();
+        let cmd =
+            parse(&strings(&["run", "--sizes", "32", "--spec", path.to_str().unwrap()])).unwrap();
+        let Command::Run(args) = cmd else { panic!() };
+        assert_eq!(args.spec.name, "sweep");
+        assert_eq!(args.spec.families, vec![Family::Line, Family::Table]);
+        assert_eq!(args.spec.sizes, vec![32], "flags override spec fields regardless of order");
+        std::fs::remove_file(&path).unwrap();
+
+        assert!(parse(&strings(&["run", "--spec", "/nonexistent/x.json"])).is_err());
     }
 }

@@ -22,8 +22,15 @@
 //!   campaign skips every scenario already on disk ([`load_completed`]).
 //! * [`aggregate`] — folds a result file into per-family rounds/n
 //!   scaling tables via `gather-analysis`.
-//! * The `campaign` binary — `run` / `resume` / `summarize` subcommands
-//!   over all of the above.
+//! * [`trace_ops`] — per-round trace recording, bit-exact replay, and
+//!   trace-set diffing over the `gather-trace` binary format: `record`
+//!   streams one compact `.gtrc` file per engine scenario, `replay`
+//!   re-executes a trace's scenario and verifies every round is
+//!   bit-identical (reporting the first divergent round and robot), and
+//!   `diff` compares two trace sets scenario by scenario.
+//! * The `campaign` binary — `run` / `resume` / `record` / `replay` /
+//!   `diff` / `summarize` subcommands over all of the above, with
+//!   `--spec FILE` loading a scenario matrix from a flat-JSON spec.
 //!
 //! Results are pure functions of the scenario, so a campaign executed
 //! with 1 thread and with 8 threads produces the same result *set*
@@ -49,11 +56,16 @@ pub mod executor;
 pub mod record;
 pub mod sink;
 pub mod spec;
+pub mod trace_ops;
 
 pub use aggregate::summarize;
 pub use record::ScenarioRecord;
 pub use sink::{load_completed, load_records, JsonlSink};
 pub use spec::{CampaignSpec, Scenario};
+pub use trace_ops::{
+    diff_trace_dirs, diff_trace_files, record_scenario, replay_trace, DiffReport, DiffStatus,
+    ReplayReport, ReplayStatus, TraceJobOutcome,
+};
 
 // Axis types, re-exported so campaign callers need only this crate.
 pub use gather_bench::{ControllerKind, SchedulerKind};

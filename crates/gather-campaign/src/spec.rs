@@ -150,6 +150,51 @@ impl Scenario {
         }
     }
 
+    /// Parse a scenario back out of its [`Scenario::id`] string — the
+    /// inverse the trace subsystem uses to re-execute a recorded run
+    /// from its header alone. Rejects anything `id()` cannot produce
+    /// (including an explicit fifth `fsync` segment, which `id()` never
+    /// emits).
+    pub fn parse_id(id: &str) -> Option<Scenario> {
+        let mut parts = id.split('/');
+        let family = Family::parse(parts.next()?)?;
+        let n = parts.next()?.strip_prefix('n')?.parse().ok()?;
+        let seed = parts.next()?.strip_prefix('s')?.parse().ok()?;
+        let controller = ControllerKind::parse(parts.next()?)?;
+        let scheduler = match parts.next() {
+            None => SchedulerKind::Fsync,
+            Some(s) => match SchedulerKind::parse(s)? {
+                SchedulerKind::Fsync => return None,
+                other => other,
+            },
+        };
+        if parts.next().is_some() {
+            return None;
+        }
+        let sc = Scenario { family, n, seed, controller, scheduler };
+        (sc.id() == id).then_some(sc)
+    }
+
+    /// Digest of everything that pins this scenario's execution: the ID
+    /// (family, size, seed, controller, scheduler), the actual swarm
+    /// size the generator produced, and the round budget. Recorded in
+    /// every trace header; replay refuses a trace whose digest no
+    /// longer matches, which is how generator or budget drift is caught
+    /// instead of being misreported as an algorithmic divergence.
+    pub fn config_digest(&self) -> u64 {
+        self.config_digest_with(self.points().len())
+    }
+
+    /// [`Scenario::config_digest`] for callers that already generated
+    /// the swarm — the generator is deterministic but not free, and the
+    /// record/replay paths always have the points in hand.
+    pub fn config_digest_with(&self, n_actual: usize) -> u64 {
+        let budget = self.budget(n_actual);
+        gather_trace::digest_bytes(
+            format!("{}|seed={}|n={}|budget={}", self.id(), self.seed, n_actual, budget).as_bytes(),
+        )
+    }
+
     /// The scenario's swarm (deterministic in family, n, seed).
     pub fn points(&self) -> Vec<Point> {
         gather_workloads::family(self.family, self.n, self.seed)
@@ -169,6 +214,10 @@ impl Scenario {
             SchedulerKind::RoundRobin { k } => {
                 base.saturating_mul((points_len as u64 / u64::from(k.max(1))).max(1) + 1)
             }
+            // Survivors run at FSYNC rate; crashed robots cost nothing,
+            // but a crashed obstacle can make gathering impossible, so
+            // the base budget is also the cap on wasted work.
+            SchedulerKind::Crash { .. } => base,
         }
     }
 
@@ -268,6 +317,51 @@ mod tests {
         assert_eq!(ssync.id(), "line/n64/s3/paper/ssync-p50");
         let rr = Scenario { scheduler: SchedulerKind::RoundRobin { k: 4 }, ..sc };
         assert_eq!(rr.id(), "line/n64/s3/paper/rr4");
+    }
+
+    #[test]
+    fn ids_parse_back_to_their_scenarios() {
+        let mut spec = CampaignSpec::standard();
+        spec.schedulers = vec![
+            SchedulerKind::Fsync,
+            SchedulerKind::Ssync { p: 50 },
+            SchedulerKind::RoundRobin { k: 4 },
+            SchedulerKind::Crash { f: 2 },
+        ];
+        for sc in spec.expand() {
+            assert_eq!(Scenario::parse_id(&sc.id()), Some(sc), "{}", sc.id());
+        }
+        for bad in [
+            "",
+            "line",
+            "line/n64",
+            "line/n64/s3",
+            "line/n64/s3/nope",
+            "line/nx/s3/paper",
+            "line/n64/sx/paper",
+            "mystery/n64/s3/paper",
+            "line/n64/s3/paper/fsync", // id() never emits a 5th fsync segment
+            "line/n64/s3/paper/ssync-p0",
+            "line/n64/s3/paper/rr4/extra",
+        ] {
+            assert_eq!(Scenario::parse_id(bad), None, "{bad:?} must not parse");
+        }
+    }
+
+    #[test]
+    fn config_digest_pins_the_scenario() {
+        let sc = Scenario {
+            family: Family::Line,
+            n: 24,
+            seed: 1,
+            controller: ControllerKind::Paper,
+            scheduler: SchedulerKind::Fsync,
+        };
+        assert_eq!(sc.config_digest(), sc.config_digest());
+        let other = Scenario { seed: 2, ..sc };
+        assert_ne!(sc.config_digest(), other.config_digest());
+        let other = Scenario { scheduler: SchedulerKind::Ssync { p: 50 }, ..sc };
+        assert_ne!(sc.config_digest(), other.config_digest());
     }
 
     #[test]

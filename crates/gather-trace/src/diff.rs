@@ -1,0 +1,206 @@
+//! Structural comparison of two round streams: find the first
+//! divergence and localise it to a robot where possible.
+
+use grid_engine::{Activation, RoundRecord};
+
+/// The first point at which two record streams disagree.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RoundDivergence {
+    /// Round number of the first divergent round (the recorded round
+    /// counter of whichever stream still has a record there).
+    pub round: u64,
+    /// First robot index the streams disagree about, when the
+    /// divergence is attributable to one (activation or move mismatch);
+    /// `None` for aggregate-only divergence (merged count, population,
+    /// digest, or one stream ending early).
+    pub robot: Option<u32>,
+    /// Human-readable description of what differed.
+    pub detail: String,
+}
+
+/// Compare two records of (nominally) the same round; `None` when they
+/// are structurally identical.
+pub fn divergence_between(a: &RoundRecord, b: &RoundRecord) -> Option<RoundDivergence> {
+    (a != b).then(|| RoundDivergence {
+        round: a.round,
+        robot: first_divergent_robot(a, b),
+        detail: divergence_detail(a, b),
+    })
+}
+
+/// Compare two equally-indexed streams; `Ok(rounds)` when identical.
+/// The streams are compared structurally, record by record — the same
+/// notion of equality the bit-exact determinism tests use.
+pub fn diff_rounds(a: &[RoundRecord], b: &[RoundRecord]) -> Result<u64, RoundDivergence> {
+    for (ra, rb) in a.iter().zip(b) {
+        if let Some(d) = divergence_between(ra, rb) {
+            return Err(d);
+        }
+    }
+    if a.len() != b.len() {
+        let round = a.get(b.len()).or_else(|| b.get(a.len())).map_or(0, |r| r.round);
+        return Err(RoundDivergence {
+            round,
+            robot: None,
+            detail: format!("round counts differ ({} vs {})", a.len(), b.len()),
+        });
+    }
+    Ok(a.len() as u64)
+}
+
+/// The smallest robot index two records of the same round disagree
+/// about: first a robot activated in exactly one of them, then a robot
+/// whose move differs. `None` when the records differ only in
+/// aggregates (merged/population/digest).
+pub fn first_divergent_robot(a: &RoundRecord, b: &RoundRecord) -> Option<u32> {
+    if let Some(robot) = first_activation_difference(&a.activated, &b.activated) {
+        return Some(robot);
+    }
+    let (mut ia, mut ib) = (a.moves.iter().peekable(), b.moves.iter().peekable());
+    loop {
+        match (ia.peek(), ib.peek()) {
+            (None, None) => return None,
+            (Some(ma), None) => return Some(ma.robot),
+            (None, Some(mb)) => return Some(mb.robot),
+            (Some(ma), Some(mb)) => {
+                if ma.robot != mb.robot {
+                    return Some(ma.robot.min(mb.robot));
+                }
+                if (ma.dx, ma.dy) != (mb.dx, mb.dy) {
+                    return Some(ma.robot);
+                }
+                ia.next();
+                ib.next();
+            }
+        }
+    }
+}
+
+/// Smallest index in the symmetric difference of two activation sets.
+/// `All` has no explicit universe, so `All` vs a subset `{0..k-1, …}`
+/// pins the first index missing from the subset.
+fn first_activation_difference(a: &Activation, b: &Activation) -> Option<u32> {
+    match (a, b) {
+        (Activation::All, Activation::All) => None,
+        (Activation::Subset(s), Activation::All) | (Activation::All, Activation::Subset(s)) => {
+            // First index where the subset stops being the identity
+            // prefix 0, 1, 2, …
+            let first_gap =
+                s.iter().enumerate().find(|&(k, &i)| k != i).map_or(s.len(), |(k, _)| k);
+            Some(first_gap as u32)
+        }
+        (Activation::Subset(sa), Activation::Subset(sb)) => {
+            let (mut ia, mut ib) = (sa.iter().peekable(), sb.iter().peekable());
+            loop {
+                match (ia.peek(), ib.peek()) {
+                    (None, None) => return None,
+                    (Some(&&x), None) | (None, Some(&&x)) => return Some(x as u32),
+                    (Some(&&x), Some(&&y)) => {
+                        if x != y {
+                            return Some(x.min(y) as u32);
+                        }
+                        ia.next();
+                        ib.next();
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn divergence_detail(a: &RoundRecord, b: &RoundRecord) -> String {
+    if a.activated != b.activated {
+        "activation sets differ".into()
+    } else if a.moves != b.moves {
+        "moves differ".into()
+    } else if a.merged != b.merged {
+        format!("merge counts differ ({} vs {})", a.merged, b.merged)
+    } else if a.population != b.population {
+        format!("populations differ ({} vs {})", a.population, b.population)
+    } else if a.digest != b.digest {
+        "position digests differ".into()
+    } else {
+        format!("round numbers differ ({} vs {})", a.round, b.round)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grid_engine::RobotMove;
+
+    fn rec(round: u64) -> RoundRecord {
+        RoundRecord {
+            round,
+            activated: Activation::Subset(vec![0, 2, 5]),
+            moves: vec![
+                RobotMove { robot: 0, dx: 1, dy: 0 },
+                RobotMove { robot: 5, dx: 0, dy: -1 },
+            ],
+            merged: 0,
+            population: 6,
+            digest: round * 7,
+        }
+    }
+
+    #[test]
+    fn identical_streams_report_their_length() {
+        let a: Vec<RoundRecord> = (0..4).map(rec).collect();
+        assert_eq!(diff_rounds(&a, &a.clone()), Ok(4));
+        assert_eq!(diff_rounds(&[], &[]), Ok(0));
+    }
+
+    #[test]
+    fn first_divergent_round_and_robot_are_pinned() {
+        let a: Vec<RoundRecord> = (0..4).map(rec).collect();
+        let mut b = a.clone();
+        b[2].moves[1].dy = 1;
+        let d = diff_rounds(&a, &b).unwrap_err();
+        assert_eq!(d.round, 2);
+        assert_eq!(d.robot, Some(5));
+        assert_eq!(d.detail, "moves differ");
+    }
+
+    #[test]
+    fn activation_differences_localise_the_robot() {
+        let all = Activation::All;
+        let sub = Activation::Subset(vec![0, 1, 3]);
+        assert_eq!(first_activation_difference(&all, &sub), Some(2));
+        assert_eq!(first_activation_difference(&sub, &all), Some(2));
+        let prefix = Activation::Subset(vec![0, 1, 2]);
+        assert_eq!(first_activation_difference(&all, &prefix), Some(3));
+        let other = Activation::Subset(vec![0, 2, 3]);
+        assert_eq!(first_activation_difference(&sub, &other), Some(1));
+        assert_eq!(first_activation_difference(&all, &all), None);
+    }
+
+    #[test]
+    fn missing_and_extra_moves_name_the_robot() {
+        let a = rec(0);
+        let mut b = rec(0);
+        b.moves.pop();
+        assert_eq!(first_divergent_robot(&a, &b), Some(5));
+        let mut c = rec(0);
+        c.moves.push(RobotMove { robot: 9, dx: 1, dy: 1 });
+        assert_eq!(first_divergent_robot(&a, &c), Some(9));
+    }
+
+    #[test]
+    fn length_mismatch_is_reported() {
+        let a: Vec<RoundRecord> = (0..4).map(rec).collect();
+        let b: Vec<RoundRecord> = (0..2).map(rec).collect();
+        let d = diff_rounds(&a, &b).unwrap_err();
+        assert_eq!(d.round, 2, "first round present in only one stream");
+        assert!(d.detail.contains("round counts"));
+    }
+
+    #[test]
+    fn aggregate_divergence_has_no_robot() {
+        let a = vec![rec(0)];
+        let mut b = vec![rec(0)];
+        b[0].digest ^= 1;
+        let d = diff_rounds(&a, &b).unwrap_err();
+        assert_eq!(d.robot, None);
+        assert_eq!(d.detail, "position digests differ");
+    }
+}

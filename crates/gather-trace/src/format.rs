@@ -1,0 +1,387 @@
+//! Header and per-round record encoding — the versioned wire format.
+
+use std::fmt;
+use std::io::{self, Read, Write};
+
+use grid_engine::{Activation, Point, RobotMove, RoundRecord};
+
+use crate::varint::{read_i64, read_u64, write_i64, write_u64};
+
+/// The four magic bytes every trace file starts with.
+pub const MAGIC: [u8; 4] = *b"GTRC";
+
+/// Current format version. Bump on any wire-format change; readers
+/// refuse other versions loudly ([`TraceError::VersionMismatch`])
+/// instead of misparsing.
+pub const FORMAT_VERSION: u16 = 1;
+
+/// Everything needed to pin a trace to the run that produced it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceHeader {
+    /// Stable scenario ID (`family/n<size>/s<seed>/<controller>[/sched]`
+    /// for campaign traces; free-form for ad-hoc recordings).
+    pub scenario_id: String,
+    /// The run's seed (orientation scrambling + scheduler draws).
+    pub seed: u64,
+    /// Digest of the full run configuration ([`crate::digest_bytes`]
+    /// over whatever the recorder considers config); replay refuses a
+    /// trace whose digest does not match the reconstructed scenario.
+    pub config_digest: u64,
+    /// Initial robot positions, in robot order.
+    pub initial: Vec<Point>,
+}
+
+/// Why a trace could not be read.
+#[derive(Debug)]
+pub enum TraceError {
+    Io(io::Error),
+    /// The file does not start with [`MAGIC`].
+    BadMagic,
+    /// The file's format version differs from [`FORMAT_VERSION`].
+    VersionMismatch {
+        found: u16,
+    },
+    /// Structurally invalid or truncated content.
+    Corrupt(String),
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "trace I/O error: {e}"),
+            TraceError::BadMagic => write!(f, "not a trace file (bad magic)"),
+            TraceError::VersionMismatch { found } => {
+                write!(f, "trace format version {found} (this build reads {FORMAT_VERSION})")
+            }
+            TraceError::Corrupt(why) => write!(f, "corrupt trace: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+impl From<io::Error> for TraceError {
+    fn from(e: io::Error) -> Self {
+        // EOF mid-structure is truncation, a structural defect.
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            TraceError::Corrupt("truncated (unexpected end of file)".into())
+        } else {
+            TraceError::Io(e)
+        }
+    }
+}
+
+pub(crate) fn write_header(out: &mut impl Write, header: &TraceHeader) -> io::Result<()> {
+    out.write_all(&MAGIC)?;
+    out.write_all(&FORMAT_VERSION.to_le_bytes())?;
+    write_u64(out, header.scenario_id.len() as u64)?;
+    out.write_all(header.scenario_id.as_bytes())?;
+    write_u64(out, header.seed)?;
+    out.write_all(&header.config_digest.to_le_bytes())?;
+    write_u64(out, header.initial.len() as u64)?;
+    for p in &header.initial {
+        write_i64(out, i64::from(p.x))?;
+        write_i64(out, i64::from(p.y))?;
+    }
+    Ok(())
+}
+
+pub(crate) fn read_header(input: &mut impl Read) -> Result<TraceHeader, TraceError> {
+    let mut magic = [0u8; 4];
+    input.read_exact(&mut magic)?;
+    if magic != MAGIC {
+        return Err(TraceError::BadMagic);
+    }
+    let mut version = [0u8; 2];
+    input.read_exact(&mut version)?;
+    let version = u16::from_le_bytes(version);
+    if version != FORMAT_VERSION {
+        return Err(TraceError::VersionMismatch { found: version });
+    }
+    let id_len = read_u64(input)? as usize;
+    if id_len > 1 << 20 {
+        return Err(TraceError::Corrupt(format!("implausible scenario-ID length {id_len}")));
+    }
+    let mut id = vec![0u8; id_len];
+    input.read_exact(&mut id)?;
+    let scenario_id = String::from_utf8(id)
+        .map_err(|_| TraceError::Corrupt("scenario ID is not UTF-8".into()))?;
+    let seed = read_u64(input)?;
+    let mut digest = [0u8; 8];
+    input.read_exact(&mut digest)?;
+    let config_digest = u64::from_le_bytes(digest);
+    let n = read_u64(input)? as usize;
+    if n == 0 {
+        return Err(TraceError::Corrupt("empty swarm (a trace records at least one robot)".into()));
+    }
+    if n > 1 << 28 {
+        return Err(TraceError::Corrupt(format!("implausible swarm size {n}")));
+    }
+    let mut initial = Vec::with_capacity(prealloc(n));
+    for _ in 0..n {
+        let x = coord(read_i64(input)?, "initial x")?;
+        let y = coord(read_i64(input)?, "initial y")?;
+        initial.push(Point::new(x, y));
+    }
+    // Duplicate start cells violate the swarm model; rejecting them
+    // here keeps downstream playback (which builds a real `Swarm`) on
+    // its documented panic-free Err path for corrupt files.
+    let mut seen = std::collections::BTreeSet::new();
+    for p in &initial {
+        if !seen.insert(*p) {
+            return Err(TraceError::Corrupt(format!("duplicate initial position {p:?}")));
+        }
+    }
+    Ok(TraceHeader { scenario_id, seed, config_digest, initial })
+}
+
+/// Pre-allocation cap for length-prefixed lists: a corrupt length field
+/// must cost at most a small constant before truncation is detected,
+/// not a multi-gigabyte `Vec::with_capacity` — genuine lists grow past
+/// the cap organically while being read.
+fn prealloc(count: usize) -> usize {
+    count.min(4096)
+}
+
+fn coord(v: i64, what: &str) -> Result<i32, TraceError> {
+    i32::try_from(v).map_err(|_| TraceError::Corrupt(format!("{what} {v} out of i32 range")))
+}
+
+/// Marker byte introducing a round record.
+pub(crate) const ROUND_MARKER: u8 = 0x01;
+/// Marker byte terminating the round stream.
+pub(crate) const END_MARKER: u8 = 0x00;
+
+const ACTIVATION_ALL: u8 = 0x00;
+const ACTIVATION_SUBSET: u8 = 0x01;
+
+pub(crate) fn write_round(out: &mut impl Write, rec: &RoundRecord) -> io::Result<()> {
+    out.write_all(&[ROUND_MARKER])?;
+    write_u64(out, rec.round)?;
+    match &rec.activated {
+        Activation::All => out.write_all(&[ACTIVATION_ALL])?,
+        Activation::Subset(idx) => {
+            debug_assert!(idx.windows(2).all(|w| w[0] < w[1]), "activation set must be sorted");
+            out.write_all(&[ACTIVATION_SUBSET])?;
+            write_u64(out, idx.len() as u64)?;
+            let mut prev = 0u64;
+            for (k, &i) in idx.iter().enumerate() {
+                let i = i as u64;
+                write_u64(out, if k == 0 { i } else { i - prev })?;
+                prev = i;
+            }
+        }
+    }
+    debug_assert!(rec.moves.windows(2).all(|w| w[0].robot < w[1].robot), "moves must be sorted");
+    write_u64(out, rec.moves.len() as u64)?;
+    let mut prev = 0u64;
+    for (k, m) in rec.moves.iter().enumerate() {
+        let i = u64::from(m.robot);
+        write_u64(out, if k == 0 { i } else { i - prev })?;
+        prev = i;
+        out.write_all(&[step_byte(m.dx, m.dy)])?;
+    }
+    write_u64(out, u64::from(rec.merged))?;
+    write_u64(out, u64::from(rec.population))?;
+    out.write_all(&rec.digest.to_le_bytes())
+}
+
+/// Read the record that follows an already-consumed [`ROUND_MARKER`].
+pub(crate) fn read_round_body(input: &mut impl Read) -> Result<RoundRecord, TraceError> {
+    let round = read_u64(input)?;
+    let mut tag = [0u8; 1];
+    input.read_exact(&mut tag)?;
+    let activated = match tag[0] {
+        ACTIVATION_ALL => Activation::All,
+        ACTIVATION_SUBSET => {
+            let count = checked_len(read_u64(input)?, "activation count")?;
+            let mut decoder = SortedIndexDecoder::new("activation set");
+            let mut idx = Vec::with_capacity(prealloc(count));
+            for _ in 0..count {
+                let i = decoder.next(input)?;
+                idx.push(usize::try_from(i).map_err(|_| overflow())?);
+            }
+            Activation::Subset(idx)
+        }
+        other => return Err(TraceError::Corrupt(format!("bad activation tag {other:#x}"))),
+    };
+    let count = checked_len(read_u64(input)?, "move count")?;
+    let mut decoder = SortedIndexDecoder::new("move list");
+    let mut moves = Vec::with_capacity(prealloc(count));
+    for _ in 0..count {
+        let robot = u32::try_from(decoder.next(input)?).map_err(|_| overflow())?;
+        let mut step = [0u8; 1];
+        input.read_exact(&mut step)?;
+        let (dx, dy) = unstep_byte(step[0])?;
+        moves.push(RobotMove { robot, dx, dy });
+    }
+    let merged =
+        u32::try_from(read_u64(input)?).map_err(|_| TraceError::Corrupt("merged > u32".into()))?;
+    let population = u32::try_from(read_u64(input)?)
+        .map_err(|_| TraceError::Corrupt("population > u32".into()))?;
+    let mut digest = [0u8; 8];
+    input.read_exact(&mut digest)?;
+    Ok(RoundRecord {
+        round,
+        activated,
+        moves,
+        merged,
+        population,
+        digest: u64::from_le_bytes(digest),
+    })
+}
+
+/// Decoder for a strictly-sorted index list stored as first value +
+/// gaps — the one place the sortedness and overflow rules live for
+/// both the activation set and the move list. Call [`Self::next`]
+/// exactly once per encoded index, in order.
+struct SortedIndexDecoder {
+    what: &'static str,
+    prev: u64,
+    first: bool,
+}
+
+impl SortedIndexDecoder {
+    fn new(what: &'static str) -> Self {
+        SortedIndexDecoder { what, prev: 0, first: true }
+    }
+
+    fn next(&mut self, input: &mut impl Read) -> Result<u64, TraceError> {
+        let gap = read_u64(input)?;
+        let i = if self.first {
+            self.first = false;
+            gap
+        } else {
+            if gap == 0 {
+                return Err(TraceError::Corrupt(format!("{} not strictly sorted", self.what)));
+            }
+            self.prev.checked_add(gap).ok_or_else(overflow)?
+        };
+        self.prev = i;
+        Ok(i)
+    }
+}
+
+fn overflow() -> TraceError {
+    TraceError::Corrupt("index overflow".into())
+}
+
+fn checked_len(v: u64, what: &str) -> Result<usize, TraceError> {
+    if v > 1 << 28 {
+        return Err(TraceError::Corrupt(format!("implausible {what} {v}")));
+    }
+    Ok(v as usize)
+}
+
+/// Pack a non-zero king step into one byte: `(dx+1)·3 + (dy+1)`.
+fn step_byte(dx: i8, dy: i8) -> u8 {
+    debug_assert!((-1..=1).contains(&dx) && (-1..=1).contains(&dy) && (dx, dy) != (0, 0));
+    ((dx + 1) * 3 + (dy + 1)) as u8
+}
+
+fn unstep_byte(b: u8) -> Result<(i8, i8), TraceError> {
+    if b > 8 || b == 4 {
+        return Err(TraceError::Corrupt(format!("bad step byte {b:#x}")));
+    }
+    Ok(((b / 3) as i8 - 1, (b % 3) as i8 - 1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn header() -> TraceHeader {
+        TraceHeader {
+            scenario_id: "line/n16/s1/paper".into(),
+            seed: u64::MAX - 3,
+            config_digest: 0xdead_beef_cafe_f00d,
+            initial: vec![Point::new(-5, 3), Point::new(0, 0), Point::new(1_000_000, -7)],
+        }
+    }
+
+    #[test]
+    fn header_round_trips() {
+        let h = header();
+        let mut buf = Vec::new();
+        write_header(&mut buf, &h).unwrap();
+        assert_eq!(read_header(&mut buf.as_slice()).unwrap(), h);
+    }
+
+    #[test]
+    fn header_rejects_bad_magic_and_version() {
+        let mut buf = Vec::new();
+        write_header(&mut buf, &header()).unwrap();
+        let mut bad = buf.clone();
+        bad[0] = b'X';
+        assert!(matches!(read_header(&mut bad.as_slice()), Err(TraceError::BadMagic)));
+        let mut bumped = buf.clone();
+        bumped[4] = 0x7f; // version low byte
+        assert!(matches!(
+            read_header(&mut bumped.as_slice()),
+            Err(TraceError::VersionMismatch { found: 0x7f })
+        ));
+    }
+
+    #[test]
+    fn header_truncations_are_corrupt() {
+        let mut buf = Vec::new();
+        write_header(&mut buf, &header()).unwrap();
+        for cut in [3, 5, 8, buf.len() - 1] {
+            match read_header(&mut &buf[..cut]) {
+                Err(TraceError::Corrupt(_)) | Err(TraceError::BadMagic) => {}
+                other => panic!("cut at {cut}: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn round_round_trips() {
+        let recs = [
+            RoundRecord {
+                round: 0,
+                activated: Activation::All,
+                moves: vec![],
+                merged: 0,
+                population: 9,
+                digest: 1,
+            },
+            RoundRecord {
+                round: 300,
+                activated: Activation::Subset(vec![0, 2, 3, 17]),
+                moves: vec![
+                    RobotMove { robot: 0, dx: -1, dy: -1 },
+                    RobotMove { robot: 3, dx: 1, dy: 0 },
+                    RobotMove { robot: 17, dx: 0, dy: 1 },
+                ],
+                merged: 2,
+                population: 40,
+                digest: u64::MAX,
+            },
+        ];
+        for rec in &recs {
+            let mut buf = Vec::new();
+            write_round(&mut buf, rec).unwrap();
+            assert_eq!(buf[0], ROUND_MARKER);
+            let got = read_round_body(&mut &buf[1..]).unwrap();
+            assert_eq!(&got, rec);
+        }
+    }
+
+    #[test]
+    fn step_bytes_cover_the_eight_king_moves() {
+        let mut seen = std::collections::BTreeSet::new();
+        for dx in -1i8..=1 {
+            for dy in -1i8..=1 {
+                if (dx, dy) == (0, 0) {
+                    continue;
+                }
+                let b = step_byte(dx, dy);
+                assert_eq!(unstep_byte(b).unwrap(), (dx, dy));
+                seen.insert(b);
+            }
+        }
+        assert_eq!(seen.len(), 8);
+        assert!(unstep_byte(4).is_err(), "the zero step is not encodable");
+        assert!(unstep_byte(9).is_err());
+    }
+}

@@ -1,0 +1,165 @@
+//! Streaming trace writer/reader over any `Write`/`Read`.
+
+use std::io::{self, Read, Write};
+
+use grid_engine::RoundRecord;
+
+use crate::format::{
+    read_header, read_round_body, write_header, write_round, TraceError, TraceHeader, END_MARKER,
+    ROUND_MARKER,
+};
+
+/// Streaming trace writer: header up front, one round at a time, an
+/// explicit end marker on [`TraceWriter::finish`]. A file without the
+/// end marker reads back as [`TraceError::Corrupt`] — that is how a
+/// killed recorder is detected.
+pub struct TraceWriter<W: Write> {
+    out: W,
+    rounds: u64,
+}
+
+impl<W: Write> TraceWriter<W> {
+    /// Write the header and return a writer ready for rounds.
+    pub fn new(mut out: W, header: &TraceHeader) -> io::Result<Self> {
+        write_header(&mut out, header)?;
+        Ok(TraceWriter { out, rounds: 0 })
+    }
+
+    pub fn write_round(&mut self, rec: &RoundRecord) -> io::Result<()> {
+        write_round(&mut self.out, rec)?;
+        self.rounds += 1;
+        Ok(())
+    }
+
+    /// Rounds written so far.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// Terminate the stream, flush, and hand the sink back.
+    pub fn finish(mut self) -> io::Result<W> {
+        self.out.write_all(&[END_MARKER])?;
+        self.out.flush()?;
+        Ok(self.out)
+    }
+}
+
+/// Streaming trace reader: validates the header eagerly, then yields
+/// rounds one at a time.
+pub struct TraceReader<R: Read> {
+    input: R,
+    header: TraceHeader,
+    finished: bool,
+}
+
+impl<R: Read> TraceReader<R> {
+    /// Read and validate the header (magic, version) from `input`.
+    pub fn new(mut input: R) -> Result<Self, TraceError> {
+        let header = read_header(&mut input)?;
+        Ok(TraceReader { input, header, finished: false })
+    }
+
+    pub fn header(&self) -> &TraceHeader {
+        &self.header
+    }
+
+    /// The next round record, or `Ok(None)` at the end marker. A stream
+    /// that stops without the marker is corrupt (truncated).
+    pub fn next_round(&mut self) -> Result<Option<RoundRecord>, TraceError> {
+        if self.finished {
+            return Ok(None);
+        }
+        let mut marker = [0u8; 1];
+        self.input.read_exact(&mut marker)?;
+        match marker[0] {
+            END_MARKER => {
+                self.finished = true;
+                Ok(None)
+            }
+            ROUND_MARKER => Ok(Some(read_round_body(&mut self.input)?)),
+            other => Err(TraceError::Corrupt(format!("bad record marker {other:#x}"))),
+        }
+    }
+}
+
+/// Drain a reader into memory — for tests, diffing small traces, and
+/// perturbation tooling. Million-robot traces should stay streamed.
+pub fn read_all_rounds<R: Read>(
+    reader: &mut TraceReader<R>,
+) -> Result<Vec<RoundRecord>, TraceError> {
+    let mut out = Vec::new();
+    while let Some(rec) = reader.next_round()? {
+        out.push(rec);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grid_engine::{Activation, Point, RobotMove};
+
+    fn header() -> TraceHeader {
+        TraceHeader {
+            scenario_id: "t".into(),
+            seed: 7,
+            config_digest: 9,
+            initial: vec![Point::new(0, 0), Point::new(1, 0)],
+        }
+    }
+
+    fn rec(round: u64) -> RoundRecord {
+        RoundRecord {
+            round,
+            activated: Activation::Subset(vec![0]),
+            moves: vec![RobotMove { robot: 0, dx: 1, dy: 0 }],
+            merged: 0,
+            population: 2,
+            digest: round.wrapping_mul(31),
+        }
+    }
+
+    #[test]
+    fn stream_round_trips() {
+        let mut w = TraceWriter::new(Vec::new(), &header()).unwrap();
+        for r in 0..5 {
+            w.write_round(&rec(r)).unwrap();
+        }
+        assert_eq!(w.rounds(), 5);
+        let bytes = w.finish().unwrap();
+        let mut r = TraceReader::new(bytes.as_slice()).unwrap();
+        assert_eq!(r.header(), &header());
+        let rounds = read_all_rounds(&mut r).unwrap();
+        assert_eq!(rounds, (0..5).map(rec).collect::<Vec<_>>());
+        // Idempotent after the end marker.
+        assert!(r.next_round().unwrap().is_none());
+    }
+
+    #[test]
+    fn missing_end_marker_is_corrupt() {
+        let mut w = TraceWriter::new(Vec::new(), &header()).unwrap();
+        w.write_round(&rec(0)).unwrap();
+        // Simulate a killed recorder: take the bytes without finish().
+        let bytes = {
+            let TraceWriter { out, .. } = w;
+            out
+        };
+        let mut r = TraceReader::new(bytes.as_slice()).unwrap();
+        assert!(r.next_round().unwrap().is_some());
+        assert!(matches!(r.next_round(), Err(TraceError::Corrupt(_))));
+    }
+
+    #[test]
+    fn every_truncation_is_detected() {
+        let mut w = TraceWriter::new(Vec::new(), &header()).unwrap();
+        for r in 0..3 {
+            w.write_round(&rec(r)).unwrap();
+        }
+        let bytes = w.finish().unwrap();
+        for cut in 0..bytes.len() {
+            let slice = &bytes[..cut];
+            let outcome = TraceReader::new(slice).and_then(|mut r| read_all_rounds(&mut r));
+            assert!(outcome.is_err(), "cut at {cut}/{} parsed as complete", bytes.len());
+        }
+    }
+}

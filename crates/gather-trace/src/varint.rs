@@ -1,0 +1,106 @@
+//! LEB128 varints and the zigzag mapping for signed values — the
+//! integer substrate of the trace wire format.
+
+use std::io::{self, Read, Write};
+
+/// Write `value` as an LEB128 varint (1 byte for values < 128, so the
+/// small counts and gaps that dominate a trace cost one byte each).
+pub fn write_u64(out: &mut impl Write, mut value: u64) -> io::Result<()> {
+    loop {
+        let byte = (value & 0x7f) as u8;
+        value >>= 7;
+        if value == 0 {
+            return out.write_all(&[byte]);
+        }
+        out.write_all(&[byte | 0x80])?;
+    }
+}
+
+/// Read one LEB128 varint. Errors on EOF mid-value and on encodings
+/// longer than 10 bytes (which cannot come from [`write_u64`]).
+pub fn read_u64(input: &mut impl Read) -> io::Result<u64> {
+    let mut value = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let mut byte = [0u8; 1];
+        input.read_exact(&mut byte)?;
+        let b = byte[0];
+        if shift >= 63 && b > 1 {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "varint overflows u64"));
+        }
+        value |= u64::from(b & 0x7f) << shift;
+        if b & 0x80 == 0 {
+            return Ok(value);
+        }
+        shift += 7;
+    }
+}
+
+/// Zigzag-map a signed value so small magnitudes stay small varints.
+pub fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+pub fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+pub fn write_i64(out: &mut impl Write, value: i64) -> io::Result<()> {
+    write_u64(out, zigzag(value))
+}
+
+pub fn read_i64(input: &mut impl Read) -> io::Result<i64> {
+    read_u64(input).map(unzigzag)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u64_round_trips() {
+        for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX, u64::MAX - 1] {
+            let mut buf = Vec::new();
+            write_u64(&mut buf, v).unwrap();
+            assert!(buf.len() <= 10);
+            assert_eq!(read_u64(&mut buf.as_slice()).unwrap(), v, "{v}");
+        }
+    }
+
+    #[test]
+    fn i64_round_trips() {
+        for v in [0i64, 1, -1, 63, -64, i32::MAX as i64, i64::MIN, i64::MAX] {
+            let mut buf = Vec::new();
+            write_i64(&mut buf, v).unwrap();
+            assert_eq!(read_i64(&mut buf.as_slice()).unwrap(), v, "{v}");
+        }
+    }
+
+    #[test]
+    fn zigzag_keeps_small_magnitudes_small() {
+        assert_eq!(zigzag(0), 0);
+        assert_eq!(zigzag(-1), 1);
+        assert_eq!(zigzag(1), 2);
+        assert_eq!(zigzag(-2), 3);
+        for v in -1000..1000 {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+
+    #[test]
+    fn truncated_varint_errors() {
+        let mut buf = Vec::new();
+        write_u64(&mut buf, u64::MAX).unwrap();
+        for cut in 0..buf.len() {
+            assert!(read_u64(&mut &buf[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn overlong_varint_rejected() {
+        // 11 continuation bytes would shift past 64 bits.
+        let bad = [0xffu8; 11];
+        assert!(read_u64(&mut bad.as_slice()).is_err());
+    }
+}

@@ -1,0 +1,107 @@
+//! Property tests for the wire format: arbitrary round streams encode
+//! to bytes and decode back to identical streams, and truncating the
+//! bytes anywhere never yields a silently-complete trace.
+
+use gather_trace::{read_all_rounds, TraceHeader, TraceReader, TraceWriter};
+use grid_engine::{Activation, Point, RobotMove, RoundRecord};
+use proptest::prelude::*;
+
+/// A strategy for one well-formed round record: sorted strictly
+/// increasing index lists, non-zero king steps, arbitrary aggregates.
+fn round_strategy() -> impl Strategy<Value = RoundRecord> {
+    (
+        any::<u64>(),                                            // round
+        prop::collection::btree_set(0usize..500, 0..24),         // activation subset
+        prop::bool::ANY,                                         // use All instead
+        prop::collection::btree_set((0u32..500, 0u8..8), 0..24), // moves (robot, step index)
+        any::<u32>(),                                            // merged
+        any::<u32>(),                                            // population
+        any::<u64>(),                                            // digest
+    )
+        .prop_map(|(round, subset, all, moves, merged, population, digest)| {
+            let activated = if all || subset.is_empty() {
+                Activation::All
+            } else {
+                Activation::Subset(subset.into_iter().collect())
+            };
+            // BTreeSet keys are (robot, step): dedupe robots, keeping one
+            // step each, so the move list is strictly sorted by robot.
+            let mut moves: Vec<RobotMove> = moves
+                .into_iter()
+                .map(|(robot, s)| {
+                    let s = if s >= 4 { s + 1 } else { s }; // skip the zero step
+                    RobotMove { robot, dx: (s / 3) as i8 - 1, dy: (s % 3) as i8 - 1 }
+                })
+                .collect();
+            moves.dedup_by_key(|m| m.robot);
+            RoundRecord { round, activated, moves, merged, population, digest }
+        })
+}
+
+fn header_strategy() -> impl Strategy<Value = TraceHeader> {
+    (
+        prop::collection::vec(0u8..128, 0..40),
+        any::<u64>(),
+        any::<u64>(),
+        prop::collection::btree_set((-2000i32..2000, -2000i32..2000), 1..40),
+    )
+        .prop_map(|(id, seed, config_digest, cells)| TraceHeader {
+            scenario_id: String::from_utf8(id).expect("ascii"),
+            seed,
+            config_digest,
+            initial: cells.into_iter().map(|(x, y)| Point::new(x, y)).collect(),
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn arbitrary_streams_round_trip(
+        header in header_strategy(),
+        rounds in prop::collection::vec(round_strategy(), 0..20),
+    ) {
+        let mut w = TraceWriter::new(Vec::new(), &header).expect("write to memory");
+        for rec in &rounds {
+            w.write_round(rec).expect("write to memory");
+        }
+        let bytes = w.finish().expect("finish to memory");
+
+        let mut r = TraceReader::new(bytes.as_slice()).expect("read back");
+        prop_assert_eq!(r.header(), &header);
+        let decoded = read_all_rounds(&mut r).expect("decode");
+        prop_assert_eq!(decoded, rounds);
+    }
+
+    #[test]
+    fn encoding_is_deterministic(
+        header in header_strategy(),
+        rounds in prop::collection::vec(round_strategy(), 0..12),
+    ) {
+        let encode = || {
+            let mut w = TraceWriter::new(Vec::new(), &header).expect("write");
+            for rec in &rounds {
+                w.write_round(rec).expect("write");
+            }
+            w.finish().expect("finish")
+        };
+        prop_assert_eq!(encode(), encode());
+    }
+
+    #[test]
+    fn truncation_never_parses_as_complete(
+        header in header_strategy(),
+        rounds in prop::collection::vec(round_strategy(), 1..6),
+        frac in 0u32..1000,
+    ) {
+        let mut w = TraceWriter::new(Vec::new(), &header).expect("write");
+        for rec in &rounds {
+            w.write_round(rec).expect("write");
+        }
+        let bytes = w.finish().expect("finish");
+        let cut = (bytes.len() - 1) as u64 * u64::from(frac) / 1000;
+        let slice = &bytes[..cut as usize];
+        let outcome = TraceReader::new(slice).and_then(|mut r| read_all_rounds(&mut r));
+        prop_assert!(outcome.is_err(), "cut at {} of {} parsed", cut, bytes.len());
+    }
+}

@@ -1,12 +1,16 @@
 //! # gather-viz
 //!
 //! Rendering for swarm traces: ASCII frames for terminals and examples,
-//! SVG snapshots for reports. Both renderers understand the algorithm's
-//! run states (runners are highlighted), which makes the reshapement
-//! waves of Fig. 13–15 visible.
+//! SVG snapshots for reports. The live-swarm renderers understand the
+//! algorithm's run states (runners are highlighted), which makes the
+//! reshapement waves of Fig. 13–15 visible; movie-style frame sequences
+//! ([`Trace`]) are built by replaying `gather-trace` round records, so
+//! any recorded `.gtrc` campaign trace renders without re-running its
+//! controller.
 
 use gather_core::GatherState;
-use grid_engine::{Bounds, Point, RobotState, Swarm};
+use gather_trace::{read_all_rounds, Playback, PlaybackError, TraceReader};
+use grid_engine::{Bounds, Point, RobotState, RoundRecord, Swarm};
 
 /// Render any swarm as ASCII art: `o` robot, `.` empty. The viewport is
 /// the swarm's bounding box (optionally padded).
@@ -68,19 +72,59 @@ pub fn svg(swarm: &Swarm<GatherState>, cell: u32) -> String {
     out
 }
 
-/// A recorded run: selected ASCII frames with round labels, for the
+/// A rendered run: selected ASCII frames with round labels, for the
 /// movie-style examples.
+///
+/// Frames are *derived from the trace subsystem's round records*, not
+/// captured live: any recorded `.gtrc` file (or in-memory record
+/// stream from an engine observer) renders the same way, so a movie of
+/// a historical campaign run needs only its trace. Playback uses the
+/// engine's own merge semantics and verifies every round's digest — a
+/// frame sequence cannot silently drift from what actually happened.
 pub struct Trace {
     pub frames: Vec<(u64, String)>,
 }
 
 impl Trace {
-    pub fn new() -> Self {
-        Trace { frames: Vec::new() }
+    /// Build frames by replaying round records over `initial`
+    /// positions. A frame is emitted for the initial state, for every
+    /// `every`-th round boundary (`every = 1` keeps all, `0` keeps only
+    /// the endpoints), and for the final state.
+    pub fn from_rounds<'a>(
+        initial: &[Point],
+        rounds: impl IntoIterator<Item = &'a RoundRecord>,
+        every: u64,
+    ) -> Result<Trace, PlaybackError> {
+        let mut playback = Playback::new(initial);
+        let mut frames = vec![(0, ascii(playback.swarm(), 0))];
+        let mut last = 0u64;
+        let mut end = 0u64;
+        for rec in rounds {
+            playback.apply(rec)?;
+            end = rec.round + 1;
+            if every != 0 && end.is_multiple_of(every) {
+                frames.push((end, ascii(playback.swarm(), 0)));
+                last = end;
+            }
+        }
+        // Always close with the final state — unless the stream was
+        // empty (the initial frame is the final state) or the sampling
+        // cadence already landed on it.
+        if end > 0 && last != end {
+            frames.push((end, ascii(playback.swarm(), 0)));
+        }
+        Ok(Trace { frames })
     }
 
-    pub fn record(&mut self, round: u64, swarm: &Swarm<GatherState>) {
-        self.frames.push((round, ascii_runs(swarm, 0)));
+    /// Render a recorded `.gtrc` stream (see `gather-trace`), verifying
+    /// it as it plays.
+    pub fn from_reader<R: std::io::Read>(
+        reader: &mut TraceReader<R>,
+        every: u64,
+    ) -> Result<Trace, String> {
+        let initial = reader.header().initial.clone();
+        let rounds = read_all_rounds(reader).map_err(|e| e.to_string())?;
+        Trace::from_rounds(&initial, &rounds, every).map_err(|e| e.to_string())
     }
 
     pub fn render(&self) -> String {
@@ -89,12 +133,6 @@ impl Trace {
             out.push_str(&format!("--- round {round} ---\n{frame}\n"));
         }
         out
-    }
-}
-
-impl Default for Trace {
-    fn default() -> Self {
-        Self::new()
     }
 }
 
@@ -137,13 +175,76 @@ mod tests {
     }
 
     #[test]
-    fn trace_accumulates() {
-        let s = swarm();
-        let mut t = Trace::new();
-        t.record(0, &s);
-        t.record(5, &s);
+    fn trace_renders_round_records() {
+        use grid_engine::{Activation, RobotMove};
+        // Three robots; round 0 folds the corner robot onto its
+        // neighbour (one merge), round 1 moves nobody.
+        let initial = [Point::new(0, 0), Point::new(1, 0), Point::new(1, 1)];
+        let mut probe: Swarm<()> = Swarm::new(&initial, grid_engine::OrientationMode::Aligned);
+        probe.apply(vec![
+            grid_engine::Action { step: grid_engine::V2::E, state: () },
+            grid_engine::Action::stay(()),
+            grid_engine::Action::stay(()),
+        ]);
+        let rounds = [
+            RoundRecord {
+                round: 0,
+                activated: Activation::All,
+                moves: vec![RobotMove { robot: 0, dx: 1, dy: 0 }],
+                merged: 1,
+                population: 2,
+                digest: probe.position_digest(),
+            },
+            RoundRecord {
+                round: 1,
+                activated: Activation::All,
+                moves: vec![],
+                merged: 0,
+                population: 2,
+                digest: probe.position_digest(),
+            },
+        ];
+        let t = Trace::from_rounds(&initial, &rounds, 1).unwrap();
         let rendered = t.render();
         assert!(rendered.contains("--- round 0 ---"));
-        assert!(rendered.contains("--- round 5 ---"));
+        assert!(rendered.contains("--- round 1 ---"));
+        assert!(rendered.contains("--- round 2 ---"));
+        assert!(rendered.starts_with("--- round 0 ---\n.o\noo\n"), "{rendered}");
+        // A doctored digest is a loud playback error, not a wrong movie.
+        let mut bad = rounds.to_vec();
+        bad[1].digest ^= 1;
+        assert!(Trace::from_rounds(&initial, &bad, 1).is_err());
+    }
+
+    #[test]
+    fn trace_from_reader_renders_a_recorded_stream() {
+        use gather_trace::{TraceHeader, TraceWriter};
+        let initial = vec![Point::new(0, 0), Point::new(1, 0)];
+        let header = TraceHeader {
+            scenario_id: "viz-test".into(),
+            seed: 0,
+            config_digest: 0,
+            initial: initial.clone(),
+        };
+        let mut probe: Swarm<()> = Swarm::new(&initial, grid_engine::OrientationMode::Aligned);
+        probe.apply(vec![
+            grid_engine::Action { step: grid_engine::V2::E, state: () },
+            grid_engine::Action::stay(()),
+        ]);
+        let mut w = TraceWriter::new(Vec::new(), &header).unwrap();
+        w.write_round(&RoundRecord {
+            round: 0,
+            activated: grid_engine::Activation::All,
+            moves: vec![grid_engine::RobotMove { robot: 0, dx: 1, dy: 0 }],
+            merged: 1,
+            population: 1,
+            digest: probe.position_digest(),
+        })
+        .unwrap();
+        let bytes = w.finish().unwrap();
+        let mut reader = TraceReader::new(bytes.as_slice()).unwrap();
+        let t = Trace::from_reader(&mut reader, 1).unwrap();
+        assert_eq!(t.frames.len(), 2, "initial + final frame");
+        assert_eq!(t.frames[1].1, "o\n", "two robots merged into one cell");
     }
 }

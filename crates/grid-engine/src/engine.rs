@@ -3,8 +3,9 @@
 //! (FSYNC/SSYNC/round-robin) and enforces the model's global invariants.
 
 use crate::connectivity::is_connected;
-use crate::geom::Bounds;
+use crate::geom::{Bounds, V2};
 use crate::metrics::{Metrics, RoundStats};
+use crate::observe::{BoxedRoundObserver, RobotMove, RoundRecord};
 use crate::parallel::parallel_map;
 use crate::scheduler::{Activation, Scheduler};
 use crate::swarm::{Action, OrientationMode, RobotState, Swarm};
@@ -120,12 +121,13 @@ pub struct Engine<C: Controller> {
     pub config: EngineConfig,
     round: u64,
     metrics: Metrics,
+    observer: Option<BoxedRoundObserver>,
 }
 
 impl<C: Controller> Engine<C> {
     pub fn new(swarm: Swarm<C::State>, controller: C, config: EngineConfig) -> Self {
         let metrics = Metrics::new(config.keep_history);
-        Engine { swarm, controller, config, round: 0, metrics }
+        Engine { swarm, controller, config, round: 0, metrics, observer: None }
     }
 
     /// Convenience constructor from bare positions.
@@ -150,6 +152,22 @@ impl<C: Controller> Engine<C> {
         self.swarm.bounds()
     }
 
+    /// Attach a per-round observer: called once after every round with
+    /// the round's [`RoundRecord`] (activation set, world-frame moves,
+    /// merge count, post-round swarm digest). The record stream is a
+    /// pure function of the run — independent of the engine's
+    /// worker-thread count — which is what the trace subsystem's
+    /// bit-exact replay relies on. With no observer attached the round
+    /// loop does zero extra work.
+    pub fn set_observer(&mut self, observer: BoxedRoundObserver) {
+        self.observer = Some(observer);
+    }
+
+    /// Detach the observer installed by [`Engine::set_observer`].
+    pub fn clear_observer(&mut self) {
+        self.observer = None;
+    }
+
     /// Execute one scheduler round: activate the scheduler's subset,
     /// compute their actions in parallel, and apply them simultaneously
     /// (inactive robots keep position and state). Under
@@ -169,14 +187,26 @@ impl<C: Controller> Engine<C> {
             let view = View::new(swarm, i, radius);
             controller.decide(&view, ctx)
         };
+        // Observation is pay-as-you-go: the activation clone and the
+        // world-frame move list are only materialised when an observer
+        // is attached.
+        let tracing = self.observer.is_some();
+        let recorded_activation = tracing.then(|| activation.clone());
+        let mut moves: Vec<RobotMove> = Vec::new();
         let outcome = match activation {
             Activation::All => {
                 let actions: Vec<Action<C::State>> = parallel_map(n, self.config.threads, decide);
+                if tracing {
+                    moves = world_moves(swarm, actions.iter().enumerate());
+                }
                 self.swarm.apply(actions)
             }
             Activation::Subset(active) => {
                 let computed: Vec<Action<C::State>> =
                     parallel_map(active.len(), self.config.threads, |j| decide(active[j]));
+                if tracing {
+                    moves = world_moves(swarm, active.iter().copied().zip(computed.iter()));
+                }
                 let mut actions: Vec<Option<Action<C::State>>> = (0..n).map(|_| None).collect();
                 for (i, action) in active.into_iter().zip(computed) {
                     actions[i] = Some(action);
@@ -193,6 +223,21 @@ impl<C: Controller> Engine<C> {
         };
         self.round += 1;
         self.metrics.record(stats);
+        // Emit the record before the invariant checks: a round that ends
+        // in disconnection or a stall is still part of the run, and
+        // replay must observe exactly the rounds the recorded run
+        // executed — including the failing one.
+        if let Some(observer) = self.observer.as_mut() {
+            let record = RoundRecord {
+                round: stats.round,
+                activated: recorded_activation.expect("cloned when tracing"),
+                moves,
+                merged: stats.merged as u32,
+                population: self.swarm.len() as u32,
+                digest: self.swarm.position_digest(),
+            };
+            observer(&record);
+        }
 
         let check = match self.config.connectivity {
             ConnectivityCheck::Never => false,
@@ -227,6 +272,25 @@ impl<C: Controller> Engine<C> {
             metrics: self.metrics.clone(),
         })
     }
+}
+
+/// World-frame moves for an observed round: each `(index, action)` pair
+/// whose step (re-expressed through the robot's orientation) is
+/// non-zero, in index order.
+fn world_moves<'a, S: RobotState>(
+    swarm: &Swarm<S>,
+    pairs: impl Iterator<Item = (usize, &'a Action<S>)>,
+) -> Vec<RobotMove> {
+    pairs
+        .filter_map(|(i, action)| {
+            let step = swarm.robots()[i].orient.apply(action.step);
+            (step != V2::ZERO).then_some(RobotMove {
+                robot: i as u32,
+                dx: step.x as i8,
+                dy: step.y as i8,
+            })
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -364,6 +428,67 @@ mod tests {
         for threads in [2usize, 4, 8] {
             assert_eq!(run(threads, Scheduler::Fsync), reference, "threads={threads}");
         }
+    }
+
+    #[test]
+    fn observer_records_every_round_bit_identically() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        let pts: Vec<Point> = (0..8).map(|x| Point::new(x, 0)).collect();
+        let run = |threads: usize, scheduler: Scheduler| {
+            let rounds: Rc<RefCell<Vec<RoundRecord>>> = Rc::default();
+            let mut engine = Engine::from_positions(
+                &pts,
+                OrientationMode::Scrambled(5),
+                MarchEast,
+                EngineConfig {
+                    threads,
+                    scheduler,
+                    connectivity: ConnectivityCheck::Never,
+                    ..Default::default()
+                },
+            );
+            let sink = rounds.clone();
+            engine.set_observer(Box::new(move |rec| sink.borrow_mut().push(rec.clone())));
+            for _ in 0..20 {
+                engine.step().expect("unchecked steps cannot fail");
+            }
+            assert_eq!(engine.swarm.position_digest(), rounds.borrow().last().unwrap().digest);
+            drop(engine);
+            Rc::try_unwrap(rounds).map(RefCell::into_inner).expect("engine dropped its clone")
+        };
+        for scheduler in [Scheduler::Fsync, Scheduler::Ssync { seed: 9, p: 60 }] {
+            let reference = run(1, scheduler);
+            assert_eq!(reference.len(), 20);
+            for (i, rec) in reference.iter().enumerate() {
+                assert_eq!(rec.round, i as u64);
+                assert!(rec.moves.windows(2).all(|w| w[0].robot < w[1].robot), "unsorted moves");
+                assert!(rec.moves.iter().all(|m| (m.dx, m.dy) != (0, 0)), "zero-step recorded");
+            }
+            assert_eq!(run(4, scheduler), reference, "{scheduler:?}: records depend on threads");
+        }
+    }
+
+    #[test]
+    fn observer_sees_world_frame_moves_and_merges() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        // Two aligned robots; MarchEast moves robot 0 east onto robot 1.
+        let pts = [Point::new(0, 0), Point::new(1, 0)];
+        let rounds: Rc<RefCell<Vec<RoundRecord>>> = Rc::default();
+        let mut engine =
+            Engine::from_positions(&pts, OrientationMode::Aligned, MarchEast, Default::default());
+        let sink = rounds.clone();
+        engine.set_observer(Box::new(move |rec| sink.borrow_mut().push(rec.clone())));
+        engine.step().unwrap();
+        let recs = rounds.borrow();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].activated, Activation::All);
+        assert_eq!(recs[0].moves, vec![RobotMove { robot: 0, dx: 1, dy: 0 }]);
+        assert_eq!(recs[0].merged, 1);
+        assert_eq!(recs[0].population, 1);
     }
 
     #[test]

@@ -31,6 +31,7 @@ pub mod fxhash;
 pub mod geom;
 pub mod grid;
 pub mod metrics;
+pub mod observe;
 pub mod parallel;
 pub mod scheduler;
 pub mod swarm;
@@ -41,6 +42,7 @@ pub use engine::{
 };
 pub use geom::{Bounds, Point, D4, V2};
 pub use metrics::{Metrics, RoundStats};
-pub use scheduler::{Activation, Scheduler};
+pub use observe::{BoxedRoundObserver, RobotMove, RoundRecord};
+pub use scheduler::{splitmix64, Activation, Scheduler};
 pub use swarm::{Action, ApplyOutcome, OrientationMode, Robot, RobotState, Swarm};
 pub use view::View;

@@ -1,0 +1,76 @@
+//! Per-round observation records: the engine-side half of the trace
+//! subsystem.
+//!
+//! When an observer is attached ([`crate::Engine::set_observer`]), the
+//! engine emits one [`RoundRecord`] after every round: who the
+//! scheduler activated, every world-frame move, the round's merge
+//! count, and a digest of the post-round swarm. The record is a pure
+//! function of the run (robot *states* are strategy-internal and
+//! deliberately excluded — any state divergence that matters shows up
+//! as a positional divergence within a round or two, and positions are
+//! what the model's invariants are stated over), so recording the same
+//! scenario twice yields identical record streams regardless of the
+//! engine's worker-thread count.
+//!
+//! The `gather-trace` crate owns the binary wire format for these
+//! records; this module only defines the in-memory shape so that
+//! neither the engine nor `gather-bench` needs to depend on it.
+
+use crate::scheduler::Activation;
+
+/// One robot's world-frame move in a round. `robot` is the robot's
+/// index *before* the round's merges; `dx`/`dy` are in `-1..=1` and
+/// never both zero (robots that stay put are not listed).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RobotMove {
+    pub robot: u32,
+    pub dx: i8,
+    pub dy: i8,
+}
+
+/// Everything observable about one engine round.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RoundRecord {
+    /// The engine's round counter when the round started.
+    pub round: u64,
+    /// The scheduler's activation set for the round.
+    pub activated: Activation,
+    /// World-frame moves of the robots that changed position, in robot
+    /// index order (pre-merge indices).
+    pub moves: Vec<RobotMove>,
+    /// Robots removed by merges this round.
+    pub merged: u32,
+    /// Robots alive after the round.
+    pub population: u32,
+    /// [`crate::Swarm::position_digest`] of the post-round swarm — the
+    /// bit-exactness witness replay verifies against.
+    pub digest: u64,
+}
+
+/// The observer callback the engine invokes once per round. Boxed so
+/// `Engine` stays free of extra type parameters; recording sinks that
+/// need to surface data use shared interior mutability
+/// (`Rc<RefCell<…>>`) — the engine calls the observer on the stepping
+/// thread only.
+pub type BoxedRoundObserver = Box<dyn FnMut(&RoundRecord)>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_compare_structurally() {
+        let a = RoundRecord {
+            round: 3,
+            activated: Activation::All,
+            moves: vec![RobotMove { robot: 1, dx: 1, dy: 0 }],
+            merged: 1,
+            population: 7,
+            digest: 42,
+        };
+        let mut b = a.clone();
+        assert_eq!(a, b);
+        b.moves[0].dy = -1;
+        assert_ne!(a, b);
+    }
+}

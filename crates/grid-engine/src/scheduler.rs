@@ -16,14 +16,20 @@
 //! * [`Scheduler::RoundRobin`] — a deterministic rotating window of `k`
 //!   robots, an ASYNC-flavoured adversary (a fair sequential scheduler
 //!   when `k = 1`).
+//! * [`Scheduler::Crash`] — crash-stop faults: up to `f` seeded victims
+//!   are permanently deactivated from their seeded crash round on,
+//!   everyone else runs fully synchronously.
 //!
 //! Activation sets are pure functions of `(policy, round, n)`, so runs
 //! stay reproducible across thread counts, which the campaign resume
 //! and determinism tests rely on.
 
 /// SplitMix64: the seeding mix used everywhere the workspace needs a
-/// cheap, statistically solid hash of small integers.
-pub(crate) fn splitmix64(mut x: u64) -> u64 {
+/// cheap, statistically solid hash of small integers — scheduler
+/// draws, orientation scrambling, swarm digests, and (via the
+/// `gather-trace` crate) trace config digests, which is why it is
+/// exported rather than duplicated per crate.
+pub fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
     x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
@@ -51,6 +57,37 @@ pub enum Scheduler {
     /// ASYNC-flavoured adversary that still activates every robot at
     /// most `⌈n/k⌉` rounds apart.
     RoundRobin { k: u32 },
+    /// Crash faults over an otherwise fully-synchronous schedule: up to
+    /// `f` seeded victims stop being activated forever once their
+    /// (seeded) crash round arrives. A crashed robot keeps its position
+    /// and state — it becomes a static obstacle other robots can still
+    /// merge into, the classic crash-stop fault model.
+    ///
+    /// Victim indices and crash rounds are pure functions of
+    /// `(seed, n0)`, pinned to the *initial* population `n0` rather
+    /// than the live one — drawing against the shrinking live count
+    /// would silently re-roll the victim set after every merge and
+    /// turn crash-stop into random blinking deactivation. Crash rounds
+    /// are drawn from `0..n0+8`: gathering finishes within ~n rounds
+    /// (often n/2 on easy families), so a wider horizon would park
+    /// most faults after the run already ended. One caveat remains: the engine addresses
+    /// robots by current index, and merges compact indices, so a
+    /// victim slot can come to denote a different physical robot over
+    /// time — a deterministic, adversarial approximation of
+    /// physical-identity crash-stop, which a stateless index-based
+    /// policy cannot express exactly. The activation set is forced
+    /// non-empty: one seeded index is immune, with a fallback when
+    /// every live index is crashed.
+    Crash {
+        seed: u64,
+        /// Maximum number of crashed robots (victim draws may collide,
+        /// so fewer can crash).
+        f: u32,
+        /// Initial population the victim draws are pinned to; `0` means
+        /// "use the live count" (only sensible for swarms that do not
+        /// merge).
+        n0: u32,
+    },
 }
 
 /// The activation set for one round.
@@ -104,6 +141,44 @@ impl Scheduler {
                 let start = ((round as u128 * k as u128) % n.max(1) as u128) as usize;
                 let mut active: Vec<usize> = (0..k).map(|j| (start + j) % n).collect();
                 active.sort_unstable();
+                Activation::Subset(active)
+            }
+            Scheduler::Crash { seed, f, n0 } => {
+                if f == 0 || n == 0 {
+                    return Activation::All;
+                }
+                // All draws are pinned to the initial population m, so
+                // the victim set never re-rolls as merges shrink the
+                // live count. The fairness fallback: the immune index
+                // never crashes, so the set stays non-empty. Victim
+                // draws use `j + 1` multipliers so no draw shares the
+                // immune index's raw `splitmix64(seed)` stream (with a
+                // bare `j`, draw 0 would *always* equal the immune
+                // index and silently reduce every `f` to `f - 1`).
+                let m = if n0 == 0 { n as u64 } else { u64::from(n0) };
+                let immune = (splitmix64(seed) % m) as usize;
+                let mut crashed = vec![false; n];
+                let mut any = false;
+                for j in 1..=u64::from(f) {
+                    let victim =
+                        (splitmix64(seed ^ j.wrapping_mul(0xa076_1d64_78bd_642f)) % m) as usize;
+                    let crash_round =
+                        splitmix64(seed ^ j.wrapping_mul(0xe703_7ed1_a0b4_28db)) % (m + 8);
+                    if victim != immune && victim < n && round >= crash_round {
+                        any |= !crashed[victim];
+                        crashed[victim] = true;
+                    }
+                }
+                if !any {
+                    return Activation::All;
+                }
+                let active: Vec<usize> = (0..n).filter(|&i| !crashed[i]).collect();
+                if active.is_empty() {
+                    // Merges can push every surviving live index into
+                    // the crashed set while the immune slot is out of
+                    // range; fairness still demands a non-empty round.
+                    return Activation::Subset(vec![(splitmix64(seed) % n as u64) as usize]);
+                }
                 Activation::Subset(active)
             }
         }
@@ -190,5 +265,98 @@ mod tests {
     fn round_robin_covers_whole_swarm_when_k_large() {
         assert_eq!(Scheduler::RoundRobin { k: 10 }.activate(0, 4), Activation::All);
         assert_eq!(Scheduler::RoundRobin { k: 0 }.activate(0, 1), Activation::All);
+    }
+
+    #[test]
+    fn crash_deactivates_permanently_and_respects_f() {
+        let n = 16usize;
+        let s = Scheduler::Crash { seed: 17, f: 3, n0: n as u32 };
+        let mut ever_crashed: Vec<bool> = vec![false; n];
+        for round in 0..200u64 {
+            let a = s.activate(round, n);
+            assert_eq!(a, s.activate(round, n), "round {round} not reproducible");
+            let active: Vec<usize> = match &a {
+                Activation::All => (0..n).collect(),
+                Activation::Subset(idx) => {
+                    assert!(idx.windows(2).all(|w| w[0] < w[1]), "unsorted subset");
+                    idx.clone()
+                }
+            };
+            assert!(!active.is_empty());
+            for (i, ever) in ever_crashed.iter_mut().enumerate() {
+                let crashed_now = !active.contains(&i);
+                // Permanence: once a robot is out it never comes back.
+                assert!(crashed_now || !*ever, "robot {i} recovered at round {round}");
+                *ever |= crashed_now;
+            }
+            assert!(ever_crashed.iter().filter(|&&c| c).count() <= 3, "more than f crashed");
+        }
+        // The seeded victims do crash within the n0+8 horizon.
+        assert!(ever_crashed.iter().any(|&c| c), "no victim ever crashed");
+    }
+
+    #[test]
+    fn crash_f1_actually_crashes_somebody() {
+        // Regression: the first victim draw used to coincide with the
+        // immune index for *every* seed, making crash-f1 a silent
+        // no-op. A genuine 1/n chance collision per seed is fine; a
+        // systematic one is not.
+        let n = 16usize;
+        let late_round = 10 * n as u64; // past the n0+8 crash horizon
+        let crashing_seeds = (0..20u64)
+            .filter(|&seed| {
+                let s = Scheduler::Crash { seed, f: 1, n0: n as u32 };
+                s.activate(late_round, n).len(n) < n
+            })
+            .count();
+        assert!(
+            crashing_seeds >= 15,
+            "crash-f1 crashed someone for only {crashing_seeds}/20 seeds"
+        );
+    }
+
+    #[test]
+    fn crash_stays_non_empty_even_with_huge_f() {
+        for n0 in [0u32, 5] {
+            let s = Scheduler::Crash { seed: 5, f: 1000, n0 };
+            for n in [1usize, 2, 5] {
+                for round in [0u64, 10, 100, 10_000] {
+                    assert!(s.activate(round, n).len(n) >= 1, "n0={n0} n={n} round={round}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn crash_set_is_stable_under_shrinking_population() {
+        // The live count drops as robots merge; pinning draws to n0
+        // must keep the crashed index set monotone (no round-to-round
+        // re-rolls that resurrect a crashed slot while n is stable,
+        // and no new draws appearing because n shrank).
+        let n0 = 32u32;
+        let s = Scheduler::Crash { seed: 23, f: 6, n0 };
+        let late = 10 * u64::from(n0); // beyond the n0+8 horizon
+        let crashed_at = |n: usize| -> Vec<usize> {
+            match s.activate(late, n) {
+                Activation::All => Vec::new(),
+                Activation::Subset(active) => (0..n).filter(|i| !active.contains(i)).collect(),
+            }
+        };
+        let full = crashed_at(n0 as usize);
+        assert!(!full.is_empty(), "seeded victims must crash within the horizon");
+        for n in (1..=n0 as usize).rev() {
+            let expected: Vec<usize> = full.iter().copied().filter(|&v| v < n).collect();
+            if expected.len() == n {
+                // Every live index is a victim: the fairness fallback
+                // re-activates one, so exact-set comparison ends here.
+                continue;
+            }
+            assert_eq!(crashed_at(n), expected, "crash set re-rolled at n={n}");
+        }
+    }
+
+    #[test]
+    fn crash_f0_is_fsync() {
+        assert_eq!(Scheduler::Crash { seed: 1, f: 0, n0: 9 }.activate(7, 9), Activation::All);
     }
 }

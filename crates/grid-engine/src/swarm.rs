@@ -143,6 +143,21 @@ impl<S: RobotState> Swarm<S> {
         &self.grid
     }
 
+    /// Order-sensitive digest of the swarm's positions (robot order is
+    /// deterministic, so two bit-identical runs share every digest).
+    /// This is the snapshot fingerprint the trace subsystem records
+    /// after each round and replay verifies against; robot *states* are
+    /// excluded on purpose — they are strategy-internal, and any state
+    /// divergence that matters surfaces as a positional one.
+    pub fn position_digest(&self) -> u64 {
+        let mut h = 0x9e37_79b9_7f4a_7c15u64 ^ self.robots.len() as u64;
+        for robot in &self.robots {
+            let cell = ((robot.pos.x as u32 as u64) << 32) | robot.pos.y as u32 as u64;
+            h = splitmix64(h ^ cell);
+        }
+        h
+    }
+
     /// Apply one synchronous round: every robot simultaneously executes
     /// its action (steps are given in each robot's own frame); robots
     /// that end on the same cell are merged into one.
@@ -362,6 +377,25 @@ mod tests {
         let pa: Vec<Point> = a.positions().collect();
         let pb: Vec<Point> = b.positions().collect();
         assert_eq!(pa, pb);
+    }
+
+    #[test]
+    fn position_digest_tracks_positions_only() {
+        let a: Swarm<()> = Swarm::new(&line(5), OrientationMode::Aligned);
+        let b: Swarm<()> = Swarm::new(&line(5), OrientationMode::Scrambled(3));
+        // Same positions, different orientations/states: same digest.
+        assert_eq!(a.position_digest(), b.position_digest());
+        let c: Swarm<()> = Swarm::new(&line(6), OrientationMode::Aligned);
+        assert_ne!(a.position_digest(), c.position_digest());
+        let mut d = a.clone();
+        d.apply(vec![
+            Action { step: V2::N, state: () },
+            Action::stay(()),
+            Action::stay(()),
+            Action::stay(()),
+            Action::stay(()),
+        ]);
+        assert_ne!(a.position_digest(), d.position_digest());
     }
 
     #[test]

@@ -1,11 +1,18 @@
-//! Record a full gathering as an ASCII trace plus a final SVG snapshot.
+//! Record a full gathering as a trace, then render it as an ASCII movie
+//! plus a final SVG snapshot — the same record/playback pipeline
+//! `campaign record` uses, so a `.gtrc` file from any campaign renders
+//! identically.
 //!
 //! ```sh
 //! cargo run --release --example ascii_movie -- diamond 200 > movie.txt
 //! ```
 
+use std::cell::RefCell;
+use std::rc::Rc;
+
 use gather_viz::{svg, Trace};
 use gather_workloads::{all_families, family, Family};
+use grid_engine::RoundRecord;
 use grid_gathering::prelude::*;
 
 fn main() {
@@ -22,17 +29,18 @@ fn main() {
         GatherController::paper(),
         EngineConfig::default(),
     );
-    let mut trace = Trace::new();
+    // Record the run through the trace observer instead of sampling the
+    // live swarm: the movie is a pure function of the round records.
+    let rounds: Rc<RefCell<Vec<RoundRecord>>> = Rc::default();
+    let sink = rounds.clone();
+    engine.set_observer(Box::new(move |rec| sink.borrow_mut().push(rec.clone())));
     let mut round = 0u64;
-    trace.record(round, &engine.swarm);
     while !engine.swarm.is_gathered() && round < 200_000 {
         engine.step().expect("steps");
         round += 1;
-        if round.is_multiple_of(10) {
-            trace.record(round, &engine.swarm);
-        }
     }
-    trace.record(round, &engine.swarm);
+    let rounds = rounds.borrow();
+    let trace = Trace::from_rounds(&cells, rounds.iter(), 10).expect("recorded rounds replay");
     println!("{}", trace.render());
     let doc = svg(&engine.swarm, 8);
     std::fs::write("final.svg", &doc).ok();

@@ -20,9 +20,12 @@
 //! * [`viz`] — ASCII and SVG rendering of swarm traces.
 //! * [`analysis`] — scaling fits and table emission for EXPERIMENTS.md.
 //! * [`campaign`] — the parallel scenario-campaign engine: declarative
-//!   sweeps over (family × size × seed × controller), streamed JSONL
-//!   results with resume, and scaling-table aggregation (see the
-//!   `campaign` CLI binary).
+//!   sweeps over (family × size × seed × controller × scheduler),
+//!   streamed JSONL results with resume, scaling-table aggregation,
+//!   and trace record/replay/diff (see the `campaign` CLI binary).
+//! * [`trace`] — compact versioned binary round traces: streaming
+//!   record via the engine's observer hook, digest-verified playback,
+//!   bit-exact replay, regression diffing.
 //!
 //! ## Quickstart
 //!
@@ -46,6 +49,7 @@ pub use gather_analysis as analysis;
 pub use gather_baselines as baselines;
 pub use gather_campaign as campaign;
 pub use gather_core as core;
+pub use gather_trace as trace;
 pub use gather_viz as viz;
 pub use gather_workloads as workloads;
 pub use grid_engine as engine;
