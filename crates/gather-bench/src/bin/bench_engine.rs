@@ -1,0 +1,163 @@
+//! Engine-throughput measurement: robots·rounds per second of the FSYNC
+//! round loop (look + compute + sharded apply) at large n, emitted as
+//! `BENCH_engine.json`.
+//!
+//! Unlike the criterion benches (which time small controller kernels)
+//! this drives the *whole* engine — tiled occupancy probes through view
+//! windows, the parallel compute map, and the sharded round-apply — on
+//! swarms up to 10⁶ robots, including the sparse `clusters` family whose
+//! bounding box a dense O(area) occupancy index cannot allocate.
+//!
+//! Usage:
+//!   bench_engine [--n N] [--rounds R] [--threads T1,T2,..] \
+//!                [--family NAME] [--seed S] [--out PATH]
+//!
+//! Defaults: --n 1000000 --rounds 3 --threads 0 --family clusters
+//!           --seed 1 --out BENCH_engine.json
+//!
+//! The post-run position digest is asserted identical across all
+//! measured thread counts — every bench run doubles as a determinism
+//! check of the parallel apply.
+
+use std::time::Instant;
+
+use gather_core::GatherController;
+use gather_workloads::Family;
+use grid_engine::{ConnectivityCheck, Engine, EngineConfig, OrientationMode};
+
+struct Args {
+    n: usize,
+    rounds: u64,
+    threads: Vec<usize>,
+    family: Family,
+    seed: u64,
+    out: String,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        n: 1_000_000,
+        rounds: 3,
+        threads: vec![0],
+        family: Family::Clusters,
+        seed: 1,
+        out: "BENCH_engine.json".into(),
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut value =
+            || it.next().map(String::as_str).ok_or_else(|| format!("{flag} needs a value"));
+        match flag.as_str() {
+            "--n" => args.n = value()?.parse().map_err(|e| format!("--n: {e}"))?,
+            "--rounds" => args.rounds = value()?.parse().map_err(|e| format!("--rounds: {e}"))?,
+            "--threads" => {
+                args.threads = value()?
+                    .split(',')
+                    .map(|t| t.trim().parse().map_err(|e| format!("--threads {t:?}: {e}")))
+                    .collect::<Result<_, _>>()?;
+            }
+            "--family" => {
+                let name = value()?;
+                args.family =
+                    Family::parse(name).ok_or_else(|| format!("unknown family {name:?}"))?;
+            }
+            "--seed" => args.seed = value()?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--out" => args.out = value()?.to_string(),
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    if args.threads.is_empty() || args.rounds == 0 || args.n == 0 {
+        return Err("need at least one thread config, one round and one robot".into());
+    }
+    Ok(args)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let points = gather_workloads::family(args.family, args.n, args.seed);
+    let mut results: Vec<String> = Vec::new();
+    let mut digests: Vec<u64> = Vec::new();
+    let mut shape: Option<(u128, usize)> = None;
+    for &threads in &args.threads {
+        let mut engine = Engine::from_positions(
+            &points,
+            OrientationMode::Scrambled(args.seed),
+            GatherController::paper(),
+            EngineConfig { threads, connectivity: ConnectivityCheck::Never, ..Default::default() },
+        );
+        if shape.is_none() {
+            // Shape diagnostics come from the first measurement engine
+            // (before its timer starts) — building a separate probe
+            // swarm would be a second million-robot index for nothing.
+            let bounds = engine.swarm.bounds();
+            let bounding_cells = bounds.width() as u128 * bounds.height() as u128;
+            let tiles = engine.swarm.index().tile_count();
+            eprintln!(
+                "bench_engine: {} n={} (asked {}), bounding box {}x{} = {} cells, {} tiles \
+                 ({} backed cells)",
+                args.family.name(),
+                points.len(),
+                args.n,
+                bounds.width(),
+                bounds.height(),
+                bounding_cells,
+                tiles,
+                tiles * grid_engine::tile::TILE_CELLS,
+            );
+            shape = Some((bounding_cells, tiles));
+        }
+        let start = Instant::now();
+        let mut robot_rounds = 0u64;
+        for _ in 0..args.rounds {
+            robot_rounds += engine.swarm.len() as u64;
+            engine.step().expect("unchecked FSYNC steps cannot fail");
+        }
+        let dt = start.elapsed().as_secs_f64();
+        let throughput = robot_rounds as f64 / dt;
+        let digest = engine.swarm.position_digest();
+        digests.push(digest);
+        eprintln!(
+            "threads={threads}: {} rounds, {robot_rounds} robot-rounds in {dt:.2}s \
+             -> {throughput:.3e} robot-rounds/s (digest {digest:#018x})",
+            args.rounds,
+        );
+        results.push(format!(
+            "{{\"threads\": {threads}, \"rounds\": {}, \"robot_rounds\": {robot_rounds}, \
+             \"elapsed_s\": {dt:.4}, \"robot_rounds_per_s\": {throughput:.1}, \
+             \"digest\": \"{digest:#018x}\"}}",
+            args.rounds,
+        ));
+    }
+    assert!(
+        digests.windows(2).all(|w| w[0] == w[1]),
+        "PARALLEL APPLY DIVERGED: digests differ across thread counts: {digests:#x?}"
+    );
+    eprintln!("digest identical across thread counts {:?}", args.threads);
+
+    let (bounding_cells, tiles) = shape.expect("at least one thread config ran");
+    let json = format!(
+        "{{\n  \"bench\": \"engine_throughput\",\n  \"family\": \"{}\",\n  \"n_requested\": {},\n  \
+         \"n_actual\": {},\n  \"seed\": {},\n  \"rounds\": {},\n  \"bounding_cells\": {},\n  \
+         \"occupied_tiles\": {},\n  \"results\": [\n    {}\n  ]\n}}\n",
+        args.family.name(),
+        args.n,
+        points.len(),
+        args.seed,
+        args.rounds,
+        bounding_cells,
+        tiles,
+        results.join(",\n    "),
+    );
+    if let Err(e) = std::fs::write(&args.out, &json) {
+        eprintln!("error writing {}: {e}", args.out);
+        std::process::exit(1);
+    }
+    eprintln!("wrote {}", args.out);
+}

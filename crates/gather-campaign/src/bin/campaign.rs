@@ -1,16 +1,18 @@
-//! The campaign CLI: `run`, `resume`, `record`, `replay`, `diff` and
-//! `summarize` subcommands over the gather-campaign library. See
-//! `--help` for flags.
+//! The campaign CLI: `run`, `resume`, `record`, `replay`, `diff`,
+//! `render`, `smoke` and `summarize` subcommands over the
+//! gather-campaign library. See `--help` for flags.
 
+use std::fs::File;
+use std::io::BufReader;
 use std::ops::ControlFlow;
 use std::path::Path;
 use std::process::ExitCode;
 use std::time::Instant;
 
-use gather_campaign::cli::{self, Command, RunArgs, USAGE};
+use gather_campaign::cli::{self, Command, RenderArgs, RunArgs, USAGE};
 use gather_campaign::{
-    executor, load_completed, load_records, summarize, trace_ops, DiffStatus, JsonlSink,
-    ReplayStatus, Scenario, ScenarioRecord, TraceJobOutcome,
+    executor, load_completed, load_records, run_smoke, summarize, trace_ops, DiffStatus, JsonlSink,
+    ReplayStatus, Scenario, ScenarioRecord, SmokeArgs, TraceJobOutcome,
 };
 
 fn main() -> ExitCode {
@@ -32,6 +34,8 @@ fn main() -> ExitCode {
         Command::Record { run, trace_dir } => execute_record(run, &trace_dir),
         Command::Replay { trace_dir } => replay_dir(&trace_dir),
         Command::Diff { a, b } => diff_dirs(&a, &b),
+        Command::Render(args) => render_trace(&args),
+        Command::Smoke(args) => smoke(&args),
         Command::Summarize { input } => summarize_file(&input),
     };
     match result {
@@ -259,6 +263,80 @@ fn diff_dirs(a: &Path, b: &Path) -> Result<(), String> {
         return Err(format!("{drift} of {} scenarios drifted", reports.len()));
     }
     eprintln!("diff ok: {} scenarios, zero drift", reports.len());
+    Ok(())
+}
+
+/// `render`: replay a `.gtrc` (digest-verified) into the ASCII movie,
+/// optionally also an SVG frame strip.
+fn render_trace(args: &RenderArgs) -> Result<(), String> {
+    let file =
+        File::open(&args.trace).map_err(|e| format!("opening {}: {e}", args.trace.display()))?;
+    let mut reader = gather_trace::TraceReader::new(BufReader::new(file))
+        .map_err(|e| format!("{}: {e}", args.trace.display()))?;
+    let id = reader.header().scenario_id.clone();
+    let initial = reader.header().initial.clone();
+    let rounds = gather_trace::read_all_rounds(&mut reader)
+        .map_err(|e| format!("{}: {e}", args.trace.display()))?;
+    // Auto cadence: ~24 frames over the whole run.
+    let every = args.every.unwrap_or_else(|| (rounds.len() as u64 / 24).max(1));
+    let trace = gather_viz::Trace::from_rounds(&initial, &rounds, every)
+        .map_err(|e| format!("replaying {}: {e}", args.trace.display()))?;
+    eprintln!(
+        "{}: {} robots, {} rounds, frame every {every} round(s)",
+        id,
+        initial.len(),
+        rounds.len()
+    );
+    // The ASCII movie is O(bounding-box area) per frame; a sparse
+    // clusters trace spans billions of cells, and printing it would be
+    // a memory bomb — the exact failure mode the tiled index removed
+    // from the engine. Refuse the movie (the SVG strip is O(robots)
+    // per frame and still written) rather than allocating it.
+    const ASCII_CELL_LIMIT: u128 = 1 << 24;
+    let bounds =
+        grid_engine::Bounds::of(trace.frames.iter().flat_map(|f| f.points.iter().copied()))
+            .expect("traces hold at least the initial frame");
+    let frame_cells = bounds.width() as u128 * bounds.height() as u128;
+    if frame_cells <= ASCII_CELL_LIMIT {
+        print!("{}", trace.render());
+    } else if args.svg.is_none() {
+        return Err(format!(
+            "frames span {frame_cells} cells — too large for an ASCII movie (limit \
+             {ASCII_CELL_LIMIT}); pass --svg PATH for the O(robots) frame strip instead"
+        ));
+    } else {
+        eprintln!("frames span {frame_cells} cells: skipping the ASCII movie, writing SVG only");
+    }
+    if let Some(svg) = &args.svg {
+        std::fs::write(svg, trace.render_svg_strip(args.cell))
+            .map_err(|e| format!("writing {}: {e}", svg.display()))?;
+        eprintln!("wrote {} ({} frames)", svg.display(), trace.frames.len());
+    }
+    Ok(())
+}
+
+/// `smoke`: the large-n record/replay/diff determinism check.
+fn smoke(args: &SmokeArgs) -> Result<(), String> {
+    eprintln!(
+        "smoke: {} n={} rounds={} threads {} vs {} -> {}/",
+        args.family.name(),
+        args.n,
+        args.rounds,
+        args.threads_a,
+        args.threads_b,
+        args.dir.display(),
+    );
+    let report = run_smoke(args)?;
+    eprintln!(
+        "smoke ok: {} robots x {} rounds replayed digest-clean, traces byte-identical \
+         across thread counts ({} occupied tiles over a {}-cell bounding box, \
+         {:.3e} robot-rounds/s)",
+        report.robots,
+        report.rounds,
+        report.occupied_tiles,
+        report.bounding_cells,
+        report.robot_rounds_per_s,
+    );
     Ok(())
 }
 

@@ -17,6 +17,9 @@ USAGE:
     campaign record    [run flags]   [--trace-dir DIR]
     campaign replay    [--trace-dir DIR]
     campaign diff      --a DIR --b DIR
+    campaign render    TRACE.gtrc [--every K] [--svg PATH] [--cell N]
+    campaign smoke     [--n N] [--rounds R] [--family F] [--seed S]
+                       [--threads-a A] [--threads-b B] [--dir DIR]
     campaign summarize [--in PATH]
 
 SUBCOMMANDS:
@@ -33,6 +36,16 @@ SUBCOMMANDS:
                or config drift
     diff       Compare two trace sets file by file, summarizing drift per
                scenario; exits non-zero when the sets differ
+    render     Replay a recorded .gtrc (digest-verified) and print it as
+               an ASCII movie; --svg additionally writes a strip of the
+               sampled frames as one SVG document. --every K samples a
+               frame each K rounds (default: ~24 frames over the trace)
+    smoke      Large-n determinism smoke: record --rounds engine rounds
+               of the paper controller on a --n robot swarm at two
+               thread counts, replay recording A through digest-verified
+               playback, and require the two .gtrc files byte-identical;
+               exits non-zero on any divergence (defaults: n=100000,
+               rounds=12, family=clusters, threads 1 vs 8)
     summarize  Fold a result file into per-family scaling tables,
                grouped per (controller, scheduler)
 
@@ -75,8 +88,21 @@ pub enum Command {
     Record { run: RunArgs, trace_dir: PathBuf },
     Replay { trace_dir: PathBuf },
     Diff { a: PathBuf, b: PathBuf },
+    Render(RenderArgs),
+    Smoke(crate::smoke::SmokeArgs),
     Summarize { input: PathBuf },
     Help,
+}
+
+#[derive(Clone, Debug, PartialEq)]
+pub struct RenderArgs {
+    pub trace: PathBuf,
+    /// Sample a frame every K rounds; `None` = auto (~24 frames).
+    pub every: Option<u64>,
+    /// Also write the frames as an SVG strip to this path.
+    pub svg: Option<PathBuf>,
+    /// SVG cell size in pixels.
+    pub cell: u32,
 }
 
 #[derive(Clone, Debug, PartialEq)]
@@ -137,6 +163,81 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 (Some(a), Some(b)) => Ok(Command::Diff { a, b }),
                 _ => Err("diff needs both --a and --b trace directories".into()),
             }
+        }
+        "render" => {
+            let mut args = RenderArgs { trace: PathBuf::new(), every: None, svg: None, cell: 6 };
+            let mut it = rest.iter();
+            while let Some(&arg) = it.next() {
+                match arg {
+                    "--every" => {
+                        let v = value_of(arg, it.next().copied())?;
+                        let every =
+                            v.parse().map_err(|e| format!("--every {v:?} is not a count: {e}"))?;
+                        if every == 0 {
+                            return Err("--every must be >= 1 (omit it for auto sampling)".into());
+                        }
+                        args.every = Some(every);
+                    }
+                    "--svg" => args.svg = Some(PathBuf::from(value_of(arg, it.next().copied())?)),
+                    "--cell" => {
+                        let v = value_of(arg, it.next().copied())?;
+                        args.cell =
+                            v.parse().map_err(|e| format!("--cell {v:?} is not a size: {e}"))?;
+                    }
+                    "-h" | "--help" => return Ok(Command::Help),
+                    flag if flag.starts_with("--") => {
+                        return Err(format!("unknown render flag {flag:?}"));
+                    }
+                    path if args.trace.as_os_str().is_empty() => args.trace = PathBuf::from(path),
+                    extra => return Err(format!("render takes one trace file, got {extra:?} too")),
+                }
+            }
+            if args.trace.as_os_str().is_empty() {
+                return Err("render needs a TRACE.gtrc path".into());
+            }
+            Ok(Command::Render(args))
+        }
+        "smoke" => {
+            let mut args = crate::smoke::SmokeArgs::default();
+            let mut it = rest.iter();
+            while let Some(&flag) = it.next() {
+                match flag {
+                    "--n" => {
+                        let v = value_of(flag, it.next().copied())?;
+                        args.n = v.parse().map_err(|e| format!("--n {v:?}: {e}"))?;
+                    }
+                    "--rounds" => {
+                        let v = value_of(flag, it.next().copied())?;
+                        args.rounds = v.parse().map_err(|e| format!("--rounds {v:?}: {e}"))?;
+                    }
+                    "--family" => {
+                        let v = value_of(flag, it.next().copied())?;
+                        args.family =
+                            Family::parse(v).ok_or_else(|| format!("unknown family {v:?}"))?;
+                    }
+                    "--seed" => {
+                        let v = value_of(flag, it.next().copied())?;
+                        args.seed = v.parse().map_err(|e| format!("--seed {v:?}: {e}"))?;
+                    }
+                    "--threads-a" => {
+                        let v = value_of(flag, it.next().copied())?;
+                        args.threads_a =
+                            v.parse().map_err(|e| format!("--threads-a {v:?}: {e}"))?;
+                    }
+                    "--threads-b" => {
+                        let v = value_of(flag, it.next().copied())?;
+                        args.threads_b =
+                            v.parse().map_err(|e| format!("--threads-b {v:?}: {e}"))?;
+                    }
+                    "--dir" => args.dir = PathBuf::from(value_of(flag, it.next().copied())?),
+                    "-h" | "--help" => return Ok(Command::Help),
+                    other => return Err(format!("unknown smoke flag {other:?}")),
+                }
+            }
+            if args.n == 0 || args.rounds == 0 {
+                return Err("smoke needs --n >= 1 and --rounds >= 1".into());
+            }
+            Ok(Command::Smoke(args))
         }
         "summarize" => {
             let mut input = PathBuf::from("campaign.jsonl");
@@ -445,6 +546,73 @@ mod tests {
         };
         assert_eq!((a, b), (PathBuf::from("one"), PathBuf::from("two")));
         assert!(parse(&strings(&["diff", "--a", "one"])).is_err(), "diff needs both sets");
+    }
+
+    #[test]
+    fn render_parses() {
+        let Command::Render(args) = parse(&strings(&["render", "t.gtrc"])).unwrap() else {
+            panic!()
+        };
+        assert_eq!(args.trace, PathBuf::from("t.gtrc"));
+        assert_eq!((args.every, args.svg, args.cell), (None, None, 6));
+
+        let Command::Render(args) = parse(&strings(&[
+            "render",
+            "--every",
+            "5",
+            "t.gtrc",
+            "--svg",
+            "strip.svg",
+            "--cell",
+            "8",
+        ]))
+        .unwrap() else {
+            panic!()
+        };
+        assert_eq!(args.every, Some(5));
+        assert_eq!(args.svg, Some(PathBuf::from("strip.svg")));
+        assert_eq!(args.cell, 8);
+
+        assert!(parse(&strings(&["render"])).is_err(), "trace path required");
+        assert!(parse(&strings(&["render", "a.gtrc", "b.gtrc"])).is_err(), "one trace only");
+        assert!(parse(&strings(&["render", "t.gtrc", "--every", "0"])).is_err());
+        assert!(parse(&strings(&["render", "t.gtrc", "--bogus"])).is_err());
+    }
+
+    #[test]
+    fn smoke_parses_with_large_n_defaults() {
+        let Command::Smoke(args) = parse(&strings(&["smoke"])).unwrap() else { panic!() };
+        assert!(args.n >= 100_000, "the smoke's point is large n, got {}", args.n);
+        assert_ne!(args.threads_a, args.threads_b);
+
+        let Command::Smoke(args) = parse(&strings(&[
+            "smoke",
+            "--n",
+            "1000000",
+            "--rounds",
+            "4",
+            "--family",
+            "clusters",
+            "--seed",
+            "9",
+            "--threads-a",
+            "2",
+            "--threads-b",
+            "16",
+            "--dir",
+            "/tmp/sm",
+        ]))
+        .unwrap() else {
+            panic!()
+        };
+        assert_eq!((args.n, args.rounds, args.seed), (1_000_000, 4, 9));
+        assert_eq!((args.threads_a, args.threads_b), (2, 16));
+        assert_eq!(args.dir, PathBuf::from("/tmp/sm"));
+        assert_eq!(args.family, Family::Clusters);
+
+        assert!(parse(&strings(&["smoke", "--n", "0"])).is_err());
+        assert!(parse(&strings(&["smoke", "--family", "mystery"])).is_err());
+        assert!(parse(&strings(&["smoke", "--bogus"])).is_err());
     }
 
     #[test]

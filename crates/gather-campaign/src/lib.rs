@@ -28,9 +28,14 @@
 //!   re-executes a trace's scenario and verifies every round is
 //!   bit-identical (reporting the first divergent round and robot), and
 //!   `diff` compares two trace sets scenario by scenario.
+//! * [`smoke`] — the large-n determinism smoke: record a bounded-round
+//!   trace at two engine thread counts, replay it through
+//!   digest-verified playback, and require byte-identical files — CI's
+//!   guard on the sharded parallel round-apply.
 //! * The `campaign` binary — `run` / `resume` / `record` / `replay` /
-//!   `diff` / `summarize` subcommands over all of the above, with
-//!   `--spec FILE` loading a scenario matrix from a flat-JSON spec.
+//!   `diff` / `render` / `smoke` / `summarize` subcommands over all of
+//!   the above, with `--spec FILE` loading a scenario matrix from a
+//!   flat-JSON spec.
 //!
 //! Results are pure functions of the scenario, so a campaign executed
 //! with 1 thread and with 8 threads produces the same result *set*
@@ -55,12 +60,14 @@ pub mod cli;
 pub mod executor;
 pub mod record;
 pub mod sink;
+pub mod smoke;
 pub mod spec;
 pub mod trace_ops;
 
 pub use aggregate::summarize;
 pub use record::ScenarioRecord;
 pub use sink::{load_completed, load_records, JsonlSink};
+pub use smoke::{run_smoke, SmokeArgs, SmokeReport};
 pub use spec::{CampaignSpec, Scenario};
 pub use trace_ops::{
     diff_trace_dirs, diff_trace_files, record_scenario, replay_trace, DiffReport, DiffStatus,

@@ -68,13 +68,15 @@ impl TraceJobOutcome {
 /// Streaming trace sink shared with the engine's observer closure.
 /// The first write error latches: the writer is dropped and the error
 /// surfaces after the run (observers cannot return errors mid-round).
-struct TraceSink {
-    writer: Option<TraceWriter<BufWriter<File>>>,
-    error: Option<io::Error>,
+/// Also used by the [`crate::smoke`] recorder — one copy of this
+/// subtle protocol, not two.
+pub(crate) struct TraceSink {
+    pub(crate) writer: Option<TraceWriter<BufWriter<File>>>,
+    pub(crate) error: Option<io::Error>,
 }
 
 impl TraceSink {
-    fn push(&mut self, rec: &RoundRecord) {
+    pub(crate) fn push(&mut self, rec: &RoundRecord) {
         if let Some(writer) = self.writer.as_mut() {
             if let Err(e) = writer.write_round(rec) {
                 self.error = Some(e);

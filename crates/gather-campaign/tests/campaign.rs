@@ -7,6 +7,7 @@ use std::path::PathBuf;
 use gather_bench::{ControllerKind, SchedulerKind};
 use gather_campaign::{executor, load_completed, load_records, CampaignSpec, JsonlSink, Scenario};
 use gather_workloads::Family;
+use grid_engine::{OrientationMode, Swarm};
 
 /// A small but heterogeneous sweep: every scheduler, a worst-case
 /// line, a dense block, and a seeded random family — including cells
@@ -123,4 +124,53 @@ fn resume_of_a_finished_campaign_runs_nothing() {
     let ids: HashSet<String> = jobs.iter().map(Scenario::id).collect();
     assert_eq!(completed, ids);
     std::fs::remove_file(&path).unwrap();
+}
+
+/// The shipped weak-synchrony sweep spec stays loadable: larger sizes
+/// than the standard sweep, ssync-p / rr-k / crash-f ratio axes, and
+/// the sparse clusters family.
+#[test]
+fn shipped_weak_sync_spec_parses_and_expands() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../examples/sweeps/weak_sync.json");
+    let text = std::fs::read_to_string(path).expect("examples/sweeps/weak_sync.json exists");
+    let spec = gather_campaign::cli::spec_from_flat_json(&text).expect("spec parses");
+    assert_eq!(spec.name, "weak-sync");
+    assert!(spec.families.contains(&Family::Clusters));
+    assert!(spec.sizes.iter().all(|&n| n >= 256), "larger n than the standard sweep");
+    assert!(spec.sizes.contains(&2048));
+    let ssync = spec.schedulers.iter().filter(|s| matches!(s, SchedulerKind::Ssync { .. })).count();
+    let rr =
+        spec.schedulers.iter().filter(|s| matches!(s, SchedulerKind::RoundRobin { .. })).count();
+    let crash = spec.schedulers.iter().filter(|s| matches!(s, SchedulerKind::Crash { .. })).count();
+    assert!(ssync >= 3 && rr >= 3 && crash >= 3, "each ratio axis needs >= 3 points");
+    assert!(spec.validate().is_ok());
+    assert!(spec.len() > 1000, "a sweep worth a spec file: {} scenarios", spec.len());
+}
+
+/// The n-scaling axis reaches 10⁶: a million-robot clusters scenario
+/// expands, generates, and *instantiates* — the occupancy index backs a
+/// ~10¹¹-cell bounding box with memory proportional to occupied tiles.
+/// (Running such a scenario to completion is a compute budget, not a
+/// memory one; the instantiation is what the dense grid could not do.)
+#[test]
+fn million_robot_scenario_instantiates_in_tile_memory() {
+    let sc = Scenario {
+        family: Family::Clusters,
+        n: 1_000_000,
+        seed: 1,
+        controller: ControllerKind::Paper,
+        scheduler: SchedulerKind::Fsync,
+    };
+    let points = sc.points();
+    assert_eq!(points.len(), 1_000_000);
+    let swarm: Swarm<()> = Swarm::new(&points, OrientationMode::Scrambled(sc.seed));
+    let bounds = swarm.bounds();
+    let box_cells = bounds.width() as u128 * bounds.height() as u128;
+    assert!(box_cells >= 1_000_000_000, "bounding box only {box_cells} cells");
+    let backed = swarm.index().capacity_cells() as u128;
+    assert!(
+        backed * 100 < box_cells,
+        "index backs {backed} cells for a {box_cells}-cell box — not sparse"
+    );
+    assert!(!swarm.is_gathered(), "O(1) goal check on a million robots");
 }

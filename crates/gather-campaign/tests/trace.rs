@@ -280,3 +280,36 @@ fn truncated_and_drifted_traces_are_refused() {
     }
     std::fs::remove_dir_all(&dir).unwrap();
 }
+
+/// The `campaign render` pipeline: a recorded `.gtrc` replays into the
+/// ASCII movie and the SVG frame strip through `gather-viz`, with the
+/// final frame matching the scenario's real outcome.
+#[test]
+fn recorded_trace_renders_movie_and_svg_strip() {
+    let dir = tmp_dir("render");
+    let sc = Scenario {
+        family: Family::Line,
+        n: 16,
+        seed: 1,
+        controller: ControllerKind::Paper,
+        scheduler: SchedulerKind::Fsync,
+    };
+    let outcome = trace_ops::record_scenario(&sc, &dir);
+    assert!(outcome.error.is_none());
+    let path = outcome.trace_path.expect("engine scenarios are traced");
+
+    let mut reader = TraceReader::new(BufReader::new(File::open(&path).unwrap())).unwrap();
+    let trace = gather_viz::Trace::from_reader(&mut reader, 1).expect("digest-verified replay");
+    assert_eq!(trace.frames.len() as u64, 1 + outcome.record.rounds, "one frame per round + start");
+    assert_eq!(trace.frames[0].points.len(), 16);
+    let last = trace.frames.last().unwrap();
+    assert_eq!(last.round, outcome.record.rounds);
+    assert!(outcome.record.gathered && last.points.len() <= 4, "final frame is the gathered swarm");
+    let movie = trace.render();
+    assert!(movie.contains("--- round 0 ---"));
+    assert!(movie.contains(&format!("--- round {} ---", outcome.record.rounds)));
+    let strip = trace.render_svg_strip(4);
+    assert!(strip.starts_with("<svg") && strip.ends_with("</svg>\n"));
+    assert!(strip.matches("round ").count() == trace.frames.len());
+    std::fs::remove_dir_all(&dir).unwrap();
+}

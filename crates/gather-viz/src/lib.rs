@@ -72,8 +72,32 @@ pub fn svg(swarm: &Swarm<GatherState>, cell: u32) -> String {
     out
 }
 
-/// A rendered run: selected ASCII frames with round labels, for the
-/// movie-style examples.
+/// Render a bare point set as ASCII art (`o` robot, `.` empty), in the
+/// set's own bounding box inflated by `pad` — the positions-only
+/// analogue of [`ascii`], used by trace frames which carry no states.
+pub fn ascii_points(points: &[Point], pad: i32) -> String {
+    let b = Bounds::of(points.iter().copied()).expect("non-empty frame").inflated(pad.max(0));
+    let set: std::collections::BTreeSet<Point> = points.iter().copied().collect();
+    let mut out = String::with_capacity((b.width() as usize + 1) * b.height() as usize);
+    for y in (b.min.y..=b.max.y).rev() {
+        for x in b.min.x..=b.max.x {
+            out.push(if set.contains(&Point::new(x, y)) { 'o' } else { '.' });
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// One sampled frame of a replayed trace: the swarm's positions after
+/// `round` rounds (round 0 is the initial configuration).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceFrame {
+    pub round: u64,
+    pub points: Vec<Point>,
+}
+
+/// A rendered run: sampled position frames with round labels, for the
+/// movie-style examples and `campaign render`.
 ///
 /// Frames are *derived from the trace subsystem's round records*, not
 /// captured live: any recorded `.gtrc` file (or in-memory record
@@ -81,8 +105,10 @@ pub fn svg(swarm: &Swarm<GatherState>, cell: u32) -> String {
 /// a historical campaign run needs only its trace. Playback uses the
 /// engine's own merge semantics and verifies every round's digest — a
 /// frame sequence cannot silently drift from what actually happened.
+/// Frames keep raw positions, so one replay pays for every output
+/// format ([`Trace::render`] ASCII movie, [`Trace::render_svg_strip`]).
 pub struct Trace {
-    pub frames: Vec<(u64, String)>,
+    pub frames: Vec<TraceFrame>,
 }
 
 impl Trace {
@@ -96,14 +122,18 @@ impl Trace {
         every: u64,
     ) -> Result<Trace, PlaybackError> {
         let mut playback = Playback::new(initial);
-        let mut frames = vec![(0, ascii(playback.swarm(), 0))];
+        let frame = |round: u64, pb: &Playback| TraceFrame {
+            round,
+            points: pb.swarm().positions().collect(),
+        };
+        let mut frames = vec![frame(0, &playback)];
         let mut last = 0u64;
         let mut end = 0u64;
         for rec in rounds {
             playback.apply(rec)?;
             end = rec.round + 1;
             if every != 0 && end.is_multiple_of(every) {
-                frames.push((end, ascii(playback.swarm(), 0)));
+                frames.push(frame(end, &playback));
                 last = end;
             }
         }
@@ -111,7 +141,7 @@ impl Trace {
         // empty (the initial frame is the final state) or the sampling
         // cadence already landed on it.
         if end > 0 && last != end {
-            frames.push((end, ascii(playback.swarm(), 0)));
+            frames.push(frame(end, &playback));
         }
         Ok(Trace { frames })
     }
@@ -127,11 +157,57 @@ impl Trace {
         Trace::from_rounds(&initial, &rounds, every).map_err(|e| e.to_string())
     }
 
+    /// The ASCII movie: one labelled frame per sampled round.
     pub fn render(&self) -> String {
         let mut out = String::new();
-        for (round, frame) in &self.frames {
-            out.push_str(&format!("--- round {round} ---\n{frame}\n"));
+        for frame in &self.frames {
+            out.push_str(&format!(
+                "--- round {} ---\n{}\n",
+                frame.round,
+                ascii_points(&frame.points, 0)
+            ));
         }
+        out
+    }
+
+    /// A single SVG document laying the sampled frames out left to
+    /// right in a shared viewport (the union of all frame bounds), so
+    /// the swarm's contraction is visible at a glance.
+    pub fn render_svg_strip(&self, cell: u32) -> String {
+        let cell = cell.max(1);
+        let union = Bounds::of(self.frames.iter().flat_map(|f| f.points.iter().copied()))
+            .expect("traces have at least one frame")
+            .inflated(1);
+        let (fw, fh) = (union.width() as u32 * cell, union.height() as u32 * cell);
+        let gap = cell * 2;
+        let total_w = (fw + gap) * self.frames.len() as u32 - gap.min(fw);
+        let label_h = 12u32;
+        let total_h = fh + label_h;
+        let mut out = format!(
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{total_w}\" height=\"{total_h}\" \
+             viewBox=\"0 0 {total_w} {total_h}\">\n"
+        );
+        for (i, frame) in self.frames.iter().enumerate() {
+            let x0 = (fw + gap) * i as u32;
+            out.push_str(&format!(
+                "<g transform=\"translate({x0} {label_h})\">\n\
+                 <rect width=\"{fw}\" height=\"{fh}\" fill=\"#ffffff\" stroke=\"#b0bec5\"/>\n"
+            ));
+            for p in &frame.points {
+                let x = (p.x - union.min.x) as u32 * cell;
+                let y = (union.max.y - p.y) as u32 * cell;
+                out.push_str(&format!(
+                    "<rect x=\"{x}\" y=\"{y}\" width=\"{cell}\" height=\"{cell}\" \
+                     fill=\"#37474f\"/>\n"
+                ));
+            }
+            out.push_str(&format!(
+                "</g>\n<text x=\"{x0}\" y=\"10\" font-size=\"10\" \
+                 font-family=\"monospace\">round {}</text>\n",
+                frame.round
+            ));
+        }
+        out.push_str("</svg>\n");
         out
     }
 }
@@ -210,6 +286,14 @@ mod tests {
         assert!(rendered.contains("--- round 1 ---"));
         assert!(rendered.contains("--- round 2 ---"));
         assert!(rendered.starts_with("--- round 0 ---\n.o\noo\n"), "{rendered}");
+        // Frames carry positions, so any renderer can consume them.
+        assert_eq!(t.frames[0].points.len(), 3);
+        assert_eq!(t.frames[1].points.len(), 2);
+        let strip = t.render_svg_strip(4);
+        assert!(strip.starts_with("<svg") && strip.ends_with("</svg>\n"));
+        // 3 frame backgrounds + 3 + 2 + 2 robots.
+        assert_eq!(strip.matches("<rect").count(), 3 + 3 + 2 + 2);
+        assert_eq!(strip.matches("round ").count(), 3);
         // A doctored digest is a loud playback error, not a wrong movie.
         let mut bad = rounds.to_vec();
         bad[1].digest ^= 1;
@@ -245,6 +329,7 @@ mod tests {
         let mut reader = TraceReader::new(bytes.as_slice()).unwrap();
         let t = Trace::from_reader(&mut reader, 1).unwrap();
         assert_eq!(t.frames.len(), 2, "initial + final frame");
-        assert_eq!(t.frames[1].1, "o\n", "two robots merged into one cell");
+        assert_eq!(t.frames[1].points, vec![Point::new(1, 0)], "two robots merged into one cell");
+        assert_eq!(ascii_points(&t.frames[1].points, 0), "o\n");
     }
 }

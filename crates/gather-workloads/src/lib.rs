@@ -11,7 +11,7 @@
 //! explicit seed), so every experiment is reproducible.
 
 use grid_engine::fxhash::FxHashSet;
-use grid_engine::Point;
+use grid_engine::{Point, V2};
 use rand::rngs::StdRng;
 use rand::seq::IndexedRandom;
 use rand::{Rng, SeedableRng};
@@ -183,6 +183,73 @@ pub fn spiral(len: usize) -> Vec<Point> {
     out
 }
 
+/// Sparse multi-cluster swarm: `k` Eden-style blobs strung along a
+/// north-east staircase chain, one cell wide. The chain spends ~4/5 of
+/// the cell budget, so the bounding box grows *quadratically* in `n`
+/// (span ≈ 2n/5 per axis) while the swarm stays 4-connected — at
+/// n = 10⁵ the box exceeds 10⁹ cells, which a dense O(area) occupancy
+/// index cannot allocate but the tiled index backs with O(n/4096)
+/// tiles. This is the scale workload for the sparse-occupancy path.
+pub fn clusters(n: usize, k: usize, seed: u64) -> Vec<Point> {
+    assert!(k >= 1, "need at least one cluster");
+    assert!(n >= 8 * k, "need >= 8 cells per cluster (asked {n} for {k})");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut set: FxHashSet<Point> = FxHashSet::default();
+    let mut out: Vec<Point> = Vec::with_capacity(n);
+    let add = |p: Point, set: &mut FxHashSet<Point>, out: &mut Vec<Point>| -> bool {
+        let fresh = set.insert(p);
+        if fresh {
+            out.push(p);
+        }
+        fresh
+    };
+    let chain_total = if k > 1 { n * 4 / 5 } else { 0 };
+    let blob_each = (n - chain_total) / k;
+    let link = chain_total / k.saturating_sub(1).max(1);
+    let mut cursor = Point::new(0, 0);
+    add(cursor, &mut set, &mut out);
+    for ci in 0..k {
+        // Grow an Eden blob around the chain tip. A candidate adjacent
+        // to any existing cell keeps the swarm connected; duplicates are
+        // skipped by the global set.
+        let goal = if ci + 1 == k { n } else { out.len() + blob_each };
+        let mut frontier: Vec<Point> = cursor.neighbors4().to_vec();
+        while out.len() < goal {
+            let i = rng.random_range(0..frontier.len());
+            let p = frontier.swap_remove(i);
+            if add(p, &mut set, &mut out) {
+                frontier.extend(p.neighbors4().iter().filter(|q| !set.contains(q)));
+            }
+            // Rare: the blob grew into a pocket of older cells. Reseed
+            // from random existing cells until one has a free neighbour
+            // (the swarm is finite, so some boundary cell always does —
+            // but a single draw can land on an interior cell, so keep
+            // sampling; an empty frontier would panic in random_range).
+            while frontier.is_empty() {
+                let &base = out.choose(&mut rng).expect("non-empty");
+                frontier.extend(base.neighbors4().iter().filter(|q| !set.contains(q)));
+            }
+        }
+        if ci + 1 < k {
+            // March the staircase chain north-east. Consecutive walk
+            // cells are 4-adjacent and the walk starts inside the blob,
+            // so connectivity holds even where the walk crosses cells
+            // that already exist.
+            let mut placed = 0usize;
+            let mut east = true;
+            while placed < link {
+                cursor += if east { V2::E } else { V2::N };
+                east = !east;
+                if add(cursor, &mut set, &mut out) {
+                    placed += 1;
+                }
+            }
+        }
+    }
+    debug_assert_eq!(out.len(), n, "stage budgets must sum to n");
+    out
+}
+
 /// Random connected blob grown by seeded random attachment (an Eden /
 /// DLA-style cluster): dense, irregular boundary, occasional holes.
 pub fn random_blob(n: usize, seed: u64) -> Vec<Point> {
@@ -277,7 +344,26 @@ mod tests {
             check("blob", &random_blob(300, seed));
             check("tree", &random_tree(120, seed));
             check("skyline", &skyline(25, 9, seed));
+            check("clusters", &clusters(400, 4, seed));
+            check("clusters-k1", &clusters(64, 1, seed));
         }
+    }
+
+    #[test]
+    fn clusters_bounding_box_grows_quadratically() {
+        use grid_engine::Bounds;
+        let pts = clusters(4096, 4, 7);
+        assert_eq!(pts.len(), 4096);
+        let b = Bounds::of(pts.iter().copied()).unwrap();
+        let area = b.width() as u64 * b.height() as u64;
+        // The chain budget is ~4n/5 cells at 2 cells per NE step, so the
+        // span is ~2n/5 per axis and the box ~4n²/25 cells — far beyond
+        // anything an O(area) index should allocate. (At n = 10⁵ this
+        // same shape exceeds 10⁹ cells; asserted at 4096 to keep the
+        // debug-build test fast.)
+        assert!(area >= (pts.len() as u64).pow(2) / 25, "box only {area} cells");
+        // And exactly n cells, every time, per seed.
+        assert_eq!(clusters(4096, 4, 7), pts, "not deterministic");
     }
 
     #[test]

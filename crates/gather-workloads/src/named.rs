@@ -26,6 +26,11 @@ pub enum Family {
     Comb,
     /// One-cell-wide rectangular spiral.
     Spiral,
+    /// Sparse multi-cluster swarm: blobs strung along a long staircase
+    /// chain, bounding box quadratic in n (the tiled-occupancy scale
+    /// workload — a dense O(area) index cannot even allocate it at
+    /// n ≈ 10⁵).
+    Clusters,
 }
 
 impl Family {
@@ -48,6 +53,7 @@ impl Family {
             Family::Skyline => "skyline",
             Family::Comb => "comb",
             Family::Spiral => "spiral",
+            Family::Clusters => "clusters",
         }
     }
 }
@@ -59,7 +65,7 @@ impl std::fmt::Display for Family {
 }
 
 /// Every named family, in a stable report order.
-pub fn all_families() -> [Family; 10] {
+pub fn all_families() -> [Family; 11] {
     [
         Family::Line,
         Family::Square,
@@ -71,6 +77,7 @@ pub fn all_families() -> [Family; 10] {
         Family::Skyline,
         Family::Comb,
         Family::Spiral,
+        Family::Clusters,
     ]
 }
 
@@ -114,6 +121,12 @@ pub fn family(f: Family, n: usize, seed: u64) -> Vec<Point> {
             crate::comb(teeth, tooth_len, pitch)
         }
         Family::Spiral => crate::spiral(n),
+        Family::Clusters => {
+            // 4 clusters once the swarm can afford them (>= 8 cells per
+            // cluster), fewer for tiny sweep sizes.
+            let k = (n / 8).clamp(1, 4);
+            crate::clusters(n, k, seed)
+        }
     }
 }
 

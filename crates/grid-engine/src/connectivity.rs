@@ -5,7 +5,9 @@ use crate::geom::Point;
 use crate::swarm::{RobotState, Swarm};
 
 /// Is the swarm connected under the paper's definition (horizontal or
-/// vertical adjacency)? O(n) BFS over the occupancy index.
+/// vertical adjacency)? O(n) BFS over the tiled occupancy index (each
+/// neighbour probe is one tile-map lookup; the check runs every k-th
+/// round at most, so it stays off the per-round hot path).
 pub fn is_connected<S: RobotState>(swarm: &Swarm<S>) -> bool {
     component_count_bounded(swarm, 2) == 1
 }

@@ -170,7 +170,10 @@ impl<C: Controller> Engine<C> {
 
     /// Execute one scheduler round: activate the scheduler's subset,
     /// compute their actions in parallel, and apply them simultaneously
-    /// (inactive robots keep position and state). Under
+    /// (inactive robots keep position and state). The apply itself also
+    /// uses the configured worker threads — merge detection and the
+    /// occupancy rebuild shard by tile, bit-identically to the
+    /// sequential path. Under
     /// [`Scheduler::Fsync`] this is exactly the paper's FSYNC round.
     /// Activated robots all observe the engine's global round counter —
     /// the weaker schedulers relax *who* acts, not the common clock.
@@ -199,7 +202,7 @@ impl<C: Controller> Engine<C> {
                 if tracing {
                     moves = world_moves(swarm, actions.iter().enumerate());
                 }
-                self.swarm.apply(actions)
+                self.swarm.apply_threads(actions, self.config.threads)
             }
             Activation::Subset(active) => {
                 let computed: Vec<Action<C::State>> =
@@ -211,7 +214,7 @@ impl<C: Controller> Engine<C> {
                 for (i, action) in active.into_iter().zip(computed) {
                     actions[i] = Some(action);
                 }
-                self.swarm.apply_partial(actions)
+                self.swarm.apply_partial_threads(actions, self.config.threads)
             }
         };
         let stats = RoundStats {

@@ -1,8 +1,9 @@
 //! Planar integer geometry: grid points, step vectors, and the dihedral
 //! group `D4` used to model robots without a common compass.
 //!
-//! All coordinates are `i32`; swarms in this project are bounded by a few
-//! thousand cells in each direction, far away from overflow.
+//! All coordinates are `i32`; even the sparse clusters workloads span a
+//! few hundred thousand cells per axis at n = 10⁶, far from overflow
+//! (area computations that could exceed `i32`/`u64` widen explicitly).
 
 use std::fmt;
 use std::ops::{Add, AddAssign, Mul, Neg, Sub};

@@ -1,18 +1,30 @@
 //! Dense occupancy index over the rectangle currently inhabited by the
-//! swarm.
+//! swarm — the *reference* implementation the tiled index is tested
+//! against.
 //!
-//! The FSYNC compute step probes cell occupancy billions of times over a
-//! long simulation; a dense `Vec<u32>` (robot id per cell, sentinel for
-//! empty) turns every probe into one bounds check plus one array read,
-//! which profiling shows is ~10× faster than a hash map at the swarm
-//! sizes used by the benchmarks. The grid grows automatically if robots
-//! walk off its edge (reshapement hops can leave the initial bounding
-//! box by a constant number of cells).
+//! This was the engine's occupancy index before the tiled refactor
+//! ([`crate::tile`]): a dense `Vec<u32>` (robot id per cell, sentinel
+//! for empty) makes every probe one bounds check plus one array read,
+//! but memory is O(bounding-box area) — a sparse two-cluster swarm 10⁵
+//! cells apart would demand ~10¹⁰ cells before the first round runs —
+//! and every escape past the rectangle's edge is a stop-the-world full
+//! copy ([`OccupancyGrid::grow_to_include`]). [`Swarm`](crate::Swarm)
+//! therefore uses [`crate::tile::TileIndex`]; the dense grid stays as
+//! the independent oracle for the tiled-vs-dense equivalence proptests
+//! and *refuses* (loud panic, see [`DENSE_CELL_LIMIT`]) rather than
+//! allocating a bounding box it cannot honestly back.
 
 use crate::geom::{Bounds, Point};
 
 /// Sentinel id for an empty cell.
 pub const EMPTY: u32 = u32::MAX;
+
+/// Hard cap on the dense grid's backing store (2³⁸ bytes would be
+/// absurd; 2²⁸ cells ≈ 1 GiB of `u32`). Beyond this the constructor
+/// panics instead of OOM-killing the process half-way through an
+/// allocation — which is exactly the failure mode the tiled index
+/// exists to remove.
+pub const DENSE_CELL_LIMIT: u128 = 1 << 28;
 
 #[derive(Clone)]
 pub struct OccupancyGrid {
@@ -24,10 +36,21 @@ pub struct OccupancyGrid {
 
 impl OccupancyGrid {
     /// Create a grid covering `bounds` inflated by `margin` cells.
+    ///
+    /// # Panics
+    /// Refuses (panics) when the rectangle exceeds [`DENSE_CELL_LIMIT`]
+    /// cells: a dense index over a sparse far-flung swarm is a memory
+    /// bomb, and the caller should be on [`crate::tile::TileIndex`].
     pub fn covering(bounds: Bounds, margin: i32) -> Self {
         let b = bounds.inflated(margin.max(1));
         let width = b.width();
         let height = b.height();
+        let cells = width as u128 * height as u128;
+        assert!(
+            cells <= DENSE_CELL_LIMIT,
+            "dense occupancy refuses a {width}x{height} bounding box ({cells} cells > \
+             {DENSE_CELL_LIMIT}); use the tiled index (memory ~ occupied tiles) instead"
+        );
         OccupancyGrid {
             origin: b.min,
             width,
@@ -156,5 +179,15 @@ mod tests {
         g.set(Point::new(1, 1), 3);
         assert_eq!(g.set(Point::new(1, 1), 4), Some(3));
         assert_eq!(g.get(Point::new(1, 1)), Some(4));
+    }
+
+    /// The dense grid must *refuse* a sparse far-flung bounding box
+    /// (the clusters-family shape) instead of attempting an O(area)
+    /// allocation — the failure the tiled index exists to remove.
+    #[test]
+    #[should_panic(expected = "dense occupancy refuses")]
+    fn refuses_sparse_cluster_bounding_boxes() {
+        let b = Bounds::of([Point::new(0, 0), Point::new(100_000, 100_000)]).unwrap();
+        let _ = OccupancyGrid::covering(b, 1); // ~10^10 cells
     }
 }

@@ -9,7 +9,10 @@
 //!
 //! * **Grid world** — robots live on ℤ², move to one of their eight
 //!   neighbouring cells per round, and *merge* when co-located
-//!   ([`Swarm::apply`]).
+//!   ([`Swarm::apply`]). Occupancy is a tiled index ([`tile`]): 64×64
+//!   dense tiles in sharded hash maps, so memory scales with occupied
+//!   tiles (not the bounding rectangle) and the round-apply itself
+//!   shards across worker threads bit-identically.
 //! * **Connectivity** — two robots are connected when they are
 //!   horizontal or vertical neighbours; the swarm must stay connected
 //!   ([`connectivity`]).
@@ -35,6 +38,7 @@ pub mod observe;
 pub mod parallel;
 pub mod scheduler;
 pub mod swarm;
+pub mod tile;
 pub mod view;
 
 pub use engine::{
@@ -45,4 +49,5 @@ pub use metrics::{Metrics, RoundStats};
 pub use observe::{BoxedRoundObserver, RobotMove, RoundRecord};
 pub use scheduler::{splitmix64, Activation, Scheduler};
 pub use swarm::{Action, ApplyOutcome, OrientationMode, Robot, RobotState, Swarm};
+pub use tile::{TileIndex, TileKey, TileWindow};
 pub use view::View;

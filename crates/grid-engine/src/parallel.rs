@@ -12,7 +12,10 @@
 use std::num::NonZeroUsize;
 
 /// Below this many items the spawn overhead dominates; run sequentially.
-const PARALLEL_THRESHOLD: usize = 1024;
+/// Shared with the swarm's round-apply, which uses the same cutover to
+/// decide when sharded parallel merge resolution is worth the grouping
+/// pass.
+pub const PARALLEL_THRESHOLD: usize = 1024;
 
 /// Resolve a thread-count request: `0` means "use available parallelism".
 pub fn resolve_threads(requested: usize) -> usize {
@@ -59,6 +62,124 @@ where
         flat.extend(chunk);
     }
     flat
+}
+
+/// [`parallel_map`] for a *small number of coarse work items* (per-shard
+/// jobs rather than per-robot ones): parallelises whenever more than one
+/// thread is requested instead of gating on [`PARALLEL_THRESHOLD`],
+/// because each item is assumed to carry a thread's worth of work.
+/// Results are collected in index order, so the output is independent of
+/// the thread count.
+pub fn parallel_map_coarse<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = resolve_threads(threads);
+    if threads <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let bounds = chunk_bounds(n, threads);
+    let mut out: Vec<Vec<T>> = Vec::with_capacity(bounds.len());
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(bounds.len());
+        for &(lo, hi) in &bounds {
+            let f = &f;
+            handles.push(scope.spawn(move || (lo..hi).map(f).collect::<Vec<T>>()));
+        }
+        for h in handles {
+            out.push(h.join().expect("shard worker panicked"));
+        }
+    });
+    let mut flat = Vec::with_capacity(n);
+    for chunk in out {
+        flat.extend(chunk);
+    }
+    flat
+}
+
+/// Assign each index in `0..n` to one of `shards` buckets via `shard_of`
+/// and return the per-shard index lists. Chunks of the index range are
+/// scanned on scoped threads and their per-shard lists concatenated in
+/// chunk order, so every shard's list is ascending and the result is
+/// identical to a sequential scan regardless of thread count.
+///
+/// This is the grouping half of the sharded-map primitive the parallel
+/// round-apply is built on: downstream per-shard work (merge resolution,
+/// occupancy rebuild) touches disjoint key sets by construction, because
+/// an index appears in exactly one shard's list.
+pub fn shard_indices<F>(n: usize, shards: usize, threads: usize, shard_of: F) -> Vec<Vec<u32>>
+where
+    F: Fn(usize) -> usize + Sync,
+{
+    let threads = resolve_threads(threads);
+    let scan = |lo: usize, hi: usize| {
+        let mut local: Vec<Vec<u32>> = vec![Vec::new(); shards];
+        for i in lo..hi {
+            local[shard_of(i)].push(i as u32);
+        }
+        local
+    };
+    if threads <= 1 || n < PARALLEL_THRESHOLD {
+        return scan(0, n);
+    }
+    let bounds = chunk_bounds(n, threads);
+    let mut partials: Vec<Vec<Vec<u32>>> = Vec::with_capacity(bounds.len());
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(bounds.len());
+        for &(lo, hi) in &bounds {
+            let scan = &scan;
+            handles.push(scope.spawn(move || scan(lo, hi)));
+        }
+        for h in handles {
+            partials.push(h.join().expect("shard-scan worker panicked"));
+        }
+    });
+    let mut merged: Vec<Vec<u32>> = vec![Vec::new(); shards];
+    for (s, out) in merged.iter_mut().enumerate() {
+        out.reserve(partials.iter().map(|p| p[s].len()).sum());
+        for partial in &mut partials {
+            out.append(&mut partial[s]);
+        }
+    }
+    merged
+}
+
+/// Run `f(shard_index, &mut shard)` for every shard, splitting the shard
+/// slice into contiguous per-worker ranges on scoped threads. Each shard
+/// is visited exactly once with exclusive access, so workers can mutate
+/// disjoint map shards without locks; because the assignment of shards
+/// to workers only affects *who* runs a shard, never its input, the
+/// outcome is independent of the thread count.
+pub fn for_each_shard_mut<T, F>(shards: &mut [T], threads: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut T) + Sync,
+{
+    let threads = resolve_threads(threads);
+    if threads <= 1 || shards.len() <= 1 {
+        for (i, shard) in shards.iter_mut().enumerate() {
+            f(i, shard);
+        }
+        return;
+    }
+    let bounds = chunk_bounds(shards.len(), threads);
+    std::thread::scope(|scope| {
+        let mut rest = shards;
+        let mut offset = 0usize;
+        for &(lo, hi) in &bounds {
+            let (chunk, tail) = rest.split_at_mut(hi - lo);
+            rest = tail;
+            let base = offset;
+            offset += chunk.len();
+            let f = &f;
+            scope.spawn(move || {
+                for (j, shard) in chunk.iter_mut().enumerate() {
+                    f(base + j, shard);
+                }
+            });
+        }
+    });
 }
 
 #[cfg(test)]
@@ -122,6 +243,51 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn shard_indices_partition_and_order() {
+        let shard_of = |i: usize| i % 7;
+        for n in [0usize, 5, PARALLEL_THRESHOLD + 13] {
+            let seq = shard_indices(n, 7, 1, shard_of);
+            for threads in [2usize, 3, 8] {
+                assert_eq!(shard_indices(n, 7, threads, shard_of), seq, "n={n} threads={threads}");
+            }
+            // Every index appears exactly once, in its shard, ascending.
+            let mut seen = vec![false; n];
+            for (s, list) in seq.iter().enumerate() {
+                assert!(list.windows(2).all(|w| w[0] < w[1]), "shard {s} not ascending");
+                for &i in list {
+                    assert_eq!(shard_of(i as usize), s);
+                    assert!(!std::mem::replace(&mut seen[i as usize], true));
+                }
+            }
+            assert!(seen.iter().all(|&v| v), "n={n}: some index missing");
+        }
+    }
+
+    #[test]
+    fn for_each_shard_mut_visits_every_shard_once() {
+        for threads in [1usize, 2, 3, 8, 64] {
+            let mut shards: Vec<(usize, u32)> = (0..13).map(|i| (i, 0)).collect();
+            for_each_shard_mut(&mut shards, threads, |i, shard| {
+                assert_eq!(shard.0, i, "shard index mismatch");
+                shard.1 += 1;
+            });
+            assert!(shards.iter().all(|&(_, visits)| visits == 1), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_map_coarse_ignores_the_item_threshold() {
+        // 64 items is far below PARALLEL_THRESHOLD; the coarse variant
+        // must still produce index-ordered results on every thread count.
+        let seq: Vec<usize> = (0..64).map(|i| i * 3).collect();
+        for threads in [1usize, 2, 3, 8] {
+            assert_eq!(parallel_map_coarse(64, threads, |i| i * 3), seq, "threads={threads}");
+        }
+        let empty: Vec<u8> = parallel_map_coarse(0, 8, |_| 0u8);
+        assert!(empty.is_empty());
     }
 
     /// Determinism across thread counts, pinned at a size just above the

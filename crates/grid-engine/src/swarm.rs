@@ -1,10 +1,22 @@
 //! The swarm: robot positions plus per-robot constant-size state, with a
-//! dense occupancy index and the FSYNC *simultaneous move + merge*
+//! tiled occupancy index and the FSYNC *simultaneous move + merge*
 //! semantics of the paper's model.
+//!
+//! The round-apply is thread-scalable: a target cell belongs to exactly
+//! one tile, and a tile to exactly one shard of the
+//! [`TileIndex`](crate::tile::TileIndex), so merge detection and the
+//! occupancy rebuild partition perfectly by shard and run on scoped
+//! worker threads ([`Swarm::apply_partial_threads`]). The per-cell
+//! survivor rule is a *minimum* over an order-free key, so the sharded
+//! path is bit-identical to the sequential one on every thread count —
+//! the property the trace subsystem's replay oracle checks.
 
 use crate::geom::{Bounds, Point, D4, V2};
-use crate::grid::OccupancyGrid;
+use crate::parallel::{
+    for_each_shard_mut, parallel_map, parallel_map_coarse, shard_indices, PARALLEL_THRESHOLD,
+};
 use crate::scheduler::splitmix64;
+use crate::tile::{shard_of, TileIndex, NUM_SHARDS};
 
 /// Per-robot algorithm state carried between rounds.
 ///
@@ -71,7 +83,16 @@ pub struct ApplyOutcome {
 #[derive(Clone)]
 pub struct Swarm<S: RobotState> {
     robots: Vec<Robot<S>>,
-    grid: OccupancyGrid,
+    index: TileIndex,
+}
+
+/// The paper's goal predicate, factored so the fast path is testable: a
+/// 2×2 area holds at most four robots (cells are distinct), so any
+/// larger population fails *without touching positions at all* — the
+/// bounds closure is only invoked for populations ≤ 4, making the
+/// per-round goal check O(1) instead of an O(n) bounding-box rescan.
+pub(crate) fn gathered_check(population: usize, bounds: impl FnOnce() -> Bounds) -> bool {
+    population <= 4 && bounds().fits_2x2()
 }
 
 impl<S: RobotState> Swarm<S> {
@@ -81,8 +102,7 @@ impl<S: RobotState> Swarm<S> {
     /// Panics if `positions` is empty or contains duplicates.
     pub fn new(positions: &[Point], orientation: OrientationMode) -> Self {
         assert!(!positions.is_empty(), "a swarm has at least one robot");
-        let bounds = Bounds::of(positions.iter().copied()).expect("non-empty");
-        let mut grid = OccupancyGrid::covering(bounds, 8);
+        let mut index = TileIndex::new();
         let mut robots = Vec::with_capacity(positions.len());
         for (i, &pos) in positions.iter().enumerate() {
             let orient = match orientation {
@@ -91,11 +111,11 @@ impl<S: RobotState> Swarm<S> {
                     (splitmix64(seed ^ (i as u64).wrapping_mul(0x9e37_79b9)) & 7) as u8,
                 ),
             };
-            let prev = grid.set(pos, i as u32);
+            let prev = index.set(pos, i as u32);
             assert!(prev.is_none(), "duplicate start position {pos:?}");
             robots.push(Robot { pos, state: S::default(), orient });
         }
-        Swarm { robots, grid }
+        Swarm { robots, index }
     }
 
     pub fn len(&self) -> usize {
@@ -110,6 +130,10 @@ impl<S: RobotState> Swarm<S> {
         &self.robots
     }
 
+    /// Mutable access to robot *states and orientations* (tests and
+    /// setup). Positions are owned by the occupancy index — moving a
+    /// robot through this slice would desynchronise it; rounds go
+    /// through [`Swarm::apply`].
     pub fn robots_mut(&mut self) -> &mut [Robot<S>] {
         &mut self.robots
     }
@@ -118,29 +142,34 @@ impl<S: RobotState> Swarm<S> {
         self.robots.iter().map(|r| r.pos)
     }
 
+    /// Bounding box of the swarm, derived from the occupancy index's
+    /// tile-key extremes (O(live tiles), independent of the population)
+    /// rather than a rescan of every robot.
     pub fn bounds(&self) -> Bounds {
-        Bounds::of(self.positions()).expect("non-empty swarm")
+        self.index.bounds().expect("non-empty swarm")
     }
 
-    /// The paper's goal predicate: all robots within a 2×2 area.
+    /// The paper's goal predicate: all robots within a 2×2 area. O(1):
+    /// see [`gathered_check`].
     pub fn is_gathered(&self) -> bool {
-        self.bounds().fits_2x2()
+        gathered_check(self.robots.len(), || Bounds::of(self.positions()).expect("non-empty swarm"))
     }
 
     #[inline]
     pub fn occupied(&self, p: Point) -> bool {
-        self.grid.occupied(p)
+        self.index.occupied(p)
     }
 
     /// Index of the robot at `p`, if any.
     #[inline]
     pub fn robot_at(&self, p: Point) -> Option<usize> {
-        self.grid.get(p).map(|id| id as usize)
+        self.index.get(p).map(|id| id as usize)
     }
 
-    #[allow(dead_code)]
-    pub(crate) fn grid(&self) -> &OccupancyGrid {
-        &self.grid
+    /// The tiled occupancy index (diagnostics: tile/memory accounting,
+    /// windowed probing).
+    pub fn index(&self) -> &TileIndex {
+        &self.index
     }
 
     /// Order-sensitive digest of the swarm's positions (robot order is
@@ -177,19 +206,71 @@ impl<S: RobotState> Swarm<S> {
     /// still be merged into when an active robot lands on its cell, and
     /// the stationary-wins survivor rule then favours it).
     pub fn apply_partial(&mut self, actions: Vec<Option<Action<S>>>) -> ApplyOutcome {
-        assert_eq!(actions.len(), self.robots.len());
-        let n = self.robots.len();
+        self.apply_partial_threads(actions, 1)
+    }
 
+    /// [`Swarm::apply`] with a worker-thread budget for the round-apply
+    /// itself (merge detection and the occupancy rebuild shard by tile).
+    pub fn apply_threads(&mut self, actions: Vec<Action<S>>, threads: usize) -> ApplyOutcome {
+        assert_eq!(actions.len(), self.robots.len());
+        self.apply_partial_threads(actions.into_iter().map(Some).collect(), threads)
+    }
+
+    /// [`Swarm::apply_partial`] with a worker-thread budget. The outcome
+    /// — survivors, their compacted order, every digest — is
+    /// bit-identical for every `threads` value: the per-cell survivor
+    /// rule is a minimum over the order-free key `(moved, previous
+    /// position)`, so shard-local resolution cannot disagree with the
+    /// sequential scan.
+    pub fn apply_partial_threads(
+        &mut self,
+        actions: Vec<Option<Action<S>>>,
+        threads: usize,
+    ) -> ApplyOutcome {
+        assert_eq!(actions.len(), self.robots.len());
+        let threads = crate::parallel::resolve_threads(threads);
+        if threads <= 1 || self.robots.len() < PARALLEL_THRESHOLD {
+            self.apply_partial_seq(actions)
+        } else {
+            self.apply_partial_sharded(actions, threads)
+        }
+    }
+
+    /// World-frame target cell of robot `i` under `action`.
+    #[inline]
+    fn target_of(robot: &Robot<S>, action: &Option<Action<S>>) -> Point {
+        match action {
+            Some(action) => {
+                debug_assert!(action.step.is_step(), "illegal step {:?}", action.step);
+                robot.pos + robot.orient.apply(action.step)
+            }
+            None => robot.pos,
+        }
+    }
+
+    /// Does `i` beat `j` for their shared target cell? Stationary wins
+    /// over movers, then the lexicographically smaller previous position
+    /// — a strict total order per cell (two stationary robots cannot
+    /// share a target), so the winner is the same whatever the
+    /// comparison order.
+    #[inline]
+    fn beats(&self, i: usize, j: usize, targets: &[Point]) -> bool {
+        let i_stay = targets[i] == self.robots[i].pos;
+        let j_stay = targets[j] == self.robots[j].pos;
+        match (i_stay, j_stay) {
+            (true, false) => true,
+            (false, true) => false,
+            _ => self.robots[i].pos < self.robots[j].pos,
+        }
+    }
+
+    /// The sequential round-apply (exactly the historical semantics).
+    fn apply_partial_seq(&mut self, actions: Vec<Option<Action<S>>>) -> ApplyOutcome {
+        let n = self.robots.len();
         let mut targets: Vec<Point> = Vec::with_capacity(n);
         let mut moved = 0usize;
         for (robot, action) in self.robots.iter().zip(&actions) {
-            let target = match action {
-                Some(action) => {
-                    debug_assert!(action.step.is_step(), "illegal step {:?}", action.step);
-                    robot.pos + robot.orient.apply(action.step)
-                }
-                None => robot.pos,
-            };
+            let target = Self::target_of(robot, action);
             if target != robot.pos {
                 moved += 1;
             }
@@ -211,17 +292,7 @@ impl<S: RobotState> Swarm<S> {
                 }
                 std::collections::hash_map::Entry::Occupied(mut e) => {
                     let j = *e.get();
-                    // Decide between i and j.
-                    let i_wins = {
-                        let i_stay = targets[i] == self.robots[i].pos;
-                        let j_stay = targets[j] == self.robots[j].pos;
-                        match (i_stay, j_stay) {
-                            (true, false) => true,
-                            (false, true) => false,
-                            _ => self.robots[i].pos < self.robots[j].pos,
-                        }
-                    };
-                    if i_wins {
+                    if self.beats(i, j, &targets) {
                         survives[j] = false;
                         e.insert(i);
                     } else {
@@ -234,7 +305,7 @@ impl<S: RobotState> Swarm<S> {
 
         // Clear old occupancy, then rebuild from survivors.
         for robot in &self.robots {
-            self.grid.clear(robot.pos);
+            self.index.clear(robot.pos);
         }
         let mut next: Vec<Robot<S>> = Vec::with_capacity(n - merged);
         for (i, (mut robot, action)) in self.robots.drain(..).zip(actions).enumerate() {
@@ -247,8 +318,115 @@ impl<S: RobotState> Swarm<S> {
             }
             let id = next.len() as u32;
             next.push(robot);
-            let prev = self.grid.set(targets[i], id);
+            let prev = self.index.set(targets[i], id);
             debug_assert!(prev.is_none(), "survivor collision at {:?}", targets[i]);
+        }
+        self.robots = next;
+        ApplyOutcome { merged, moved }
+    }
+
+    /// The sharded round-apply: merge detection and occupancy rebuild
+    /// partition by the tile shard of the relevant cell and run on
+    /// scoped worker threads; survivor compaction stays index-ordered.
+    /// Exposed (doc-hidden) so the equivalence proptests can force this
+    /// path on swarms below the parallel threshold.
+    #[doc(hidden)]
+    pub fn apply_partial_sharded(
+        &mut self,
+        actions: Vec<Option<Action<S>>>,
+        threads: usize,
+    ) -> ApplyOutcome {
+        let n = self.robots.len();
+        assert_eq!(actions.len(), n);
+        let robots = &self.robots;
+        let targets: Vec<Point> =
+            parallel_map(n, threads, |i| Self::target_of(&robots[i], &actions[i]));
+        let moved = targets.iter().zip(robots).filter(|(t, r)| **t != r.pos).count();
+
+        // Merge detection, sharded by target tile: each target cell
+        // lives in exactly one shard, so per-shard resolution sees every
+        // contender for its cells and no others.
+        let target_groups = shard_indices(n, NUM_SHARDS, threads, |i| shard_of(targets[i]));
+        let mut survives = vec![true; n];
+        let mut merged = 0usize;
+        let shard_outcomes: Vec<(Vec<u32>, usize)> =
+            parallel_map_coarse(NUM_SHARDS, threads, |s| {
+                let mut owner: crate::fxhash::FxHashMap<Point, u32> =
+                    crate::fxhash::FxHashMap::default();
+                owner.reserve(target_groups[s].len());
+                let mut losers: Vec<u32> = Vec::new();
+                let mut shard_merged = 0usize;
+                for &i in &target_groups[s] {
+                    match owner.entry(targets[i as usize]) {
+                        std::collections::hash_map::Entry::Vacant(e) => {
+                            e.insert(i);
+                        }
+                        std::collections::hash_map::Entry::Occupied(mut e) => {
+                            let j = *e.get();
+                            if self.beats(i as usize, j as usize, &targets) {
+                                losers.push(j);
+                                e.insert(i);
+                            } else {
+                                losers.push(i);
+                            }
+                            shard_merged += 1;
+                        }
+                    }
+                }
+                (losers, shard_merged)
+            });
+        for (losers, shard_merged) in shard_outcomes {
+            merged += shard_merged;
+            for i in losers {
+                survives[i as usize] = false;
+            }
+        }
+
+        // Compacted id of each survivor, so the occupancy rebuild can
+        // run before (and independently of) the sequential compaction.
+        let mut new_id = vec![0u32; n];
+        let mut alive = 0u32;
+        for i in 0..n {
+            new_id[i] = alive;
+            alive += u32::from(survives[i]);
+        }
+
+        // Occupancy rebuild in two sharded phases: clear every robot's
+        // old cell (grouped by old-position shard), then set every
+        // survivor's target (grouped by target shard). Each phase gives
+        // workers exclusive access to disjoint shards; within a shard,
+        // the cells of a phase are distinct, so order is irrelevant.
+        let old_groups = shard_indices(n, NUM_SHARDS, threads, |i| shard_of(robots[i].pos));
+        let Swarm { robots, index } = self;
+        for_each_shard_mut(index.shards_mut(), threads, |s, shard| {
+            for &i in &old_groups[s] {
+                shard.clear(robots[i as usize].pos);
+            }
+        });
+        let survives_ref = &survives;
+        let (targets_ref, new_id_ref) = (&targets, &new_id);
+        for_each_shard_mut(index.shards_mut(), threads, |s, shard| {
+            for &i in &target_groups[s] {
+                let i = i as usize;
+                if survives_ref[i] {
+                    let prev = shard.set(targets_ref[i], new_id_ref[i]);
+                    debug_assert!(prev.is_none(), "survivor collision at {:?}", targets_ref[i]);
+                }
+            }
+        });
+
+        // Index-ordered survivor compaction — identical to the
+        // sequential path, so digests agree bit for bit.
+        let mut next: Vec<Robot<S>> = Vec::with_capacity(alive as usize);
+        for (i, (mut robot, action)) in robots.drain(..).zip(actions).enumerate() {
+            if !survives[i] {
+                continue;
+            }
+            robot.pos = targets[i];
+            if let Some(action) = action {
+                robot.state = action.state;
+            }
+            next.push(robot);
         }
         self.robots = next;
         ApplyOutcome { merged, moved }
@@ -405,5 +583,51 @@ mod tests {
         let out = s.apply(actions);
         assert_eq!(out.merged, 0);
         assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn sharded_apply_matches_sequential_on_a_merge_heavy_round() {
+        // Everyone marches east: a cascade of pairwise decisions that
+        // exercises winner replacement inside a shard.
+        let pts = line(40);
+        let acts = || (0..40).map(|_| Some(Action { step: V2::E, state: () })).collect::<Vec<_>>();
+        let mut seq: Swarm<()> = Swarm::new(&pts, OrientationMode::Aligned);
+        let out_seq = seq.apply_partial(acts());
+        for threads in [1usize, 2, 3, 8] {
+            let mut par: Swarm<()> = Swarm::new(&pts, OrientationMode::Aligned);
+            let out_par = par.apply_partial_sharded(acts(), threads);
+            assert_eq!(out_par, out_seq, "threads={threads}");
+            assert_eq!(par.position_digest(), seq.position_digest(), "threads={threads}");
+            let pp: Vec<Point> = par.positions().collect();
+            let sp: Vec<Point> = seq.positions().collect();
+            assert_eq!(pp, sp, "threads={threads}");
+            // The rebuilt occupancy index agrees with the robot list.
+            for (i, r) in par.robots().iter().enumerate() {
+                assert_eq!(par.robot_at(r.pos), Some(i), "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_swarm_memory_is_tiles_not_bounding_box() {
+        // Two robots 10⁵ cells apart: the dense grid would need ~10¹⁰
+        // cells; the tiled index holds two tiles.
+        let pts = [Point::new(0, 0), Point::new(100_000, 100_000)];
+        let s: Swarm<()> = Swarm::new(&pts, OrientationMode::Aligned);
+        assert_eq!(s.index().tile_count(), 2);
+        assert_eq!(s.bounds(), Bounds { min: pts[0], max: pts[1] });
+        assert!(!s.is_gathered());
+    }
+
+    /// Regression for the O(n)-per-round goal check: with more than four
+    /// robots the predicate must decide *without touching positions* —
+    /// the bounds closure is the old full rescan, so it must not run.
+    #[test]
+    fn gathered_check_never_rescans_large_populations() {
+        assert!(!gathered_check(5, || -> Bounds { panic!("full bounding-box rescan") }));
+        assert!(!gathered_check(1000, || -> Bounds { panic!("full bounding-box rescan") }));
+        let b2 = Bounds { min: Point::new(0, 0), max: Point::new(1, 1) };
+        assert!(gathered_check(4, || b2));
+        assert!(!gathered_check(3, || Bounds { min: Point::new(0, 0), max: Point::new(2, 0) }));
     }
 }

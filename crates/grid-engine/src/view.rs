@@ -10,12 +10,20 @@
 //! Radius enforcement: every probe asserts (in debug builds) that the
 //! queried cell lies within the viewing range, so an algorithm that
 //! accidentally relies on super-constant vision fails loudly in tests.
+//!
+//! Probe cost: a view pins the ≤3×3 block of occupancy tiles covering
+//! its viewing range at construction ([`crate::tile::TileWindow`]), so
+//! the O(radius²) probes of a compute step cost an array read plus two
+//! compares each — tile-map hash lookups are paid once per view, not
+//! once per probe.
 
 use crate::geom::{Point, D4, V2};
 use crate::swarm::{RobotState, Swarm};
+use crate::tile::TileWindow;
 
 pub struct View<'a, S: RobotState> {
     swarm: &'a Swarm<S>,
+    win: TileWindow<'a>,
     id: usize,
     center: Point,
     /// Robot frame -> world frame.
@@ -30,6 +38,7 @@ impl<'a, S: RobotState> View<'a, S> {
         let robot = &swarm.robots()[id];
         View {
             swarm,
+            win: swarm.index().window(robot.pos, radius),
             id,
             center: robot.pos,
             orient: robot.orient,
@@ -58,7 +67,7 @@ impl<'a, S: RobotState> View<'a, S> {
     /// Is the cell at offset `v` (robot frame) occupied?
     #[inline]
     pub fn occupied(&self, v: V2) -> bool {
-        self.swarm.occupied(self.world(v))
+        self.win.occupied(self.world(v))
     }
 
     #[inline]
@@ -75,7 +84,7 @@ impl<'a, S: RobotState> View<'a, S> {
     /// observing robot's frame. `None` if the cell is empty.
     pub fn state(&self, v: V2) -> Option<S> {
         let p = self.world(v);
-        let j = self.swarm.robot_at(p)?;
+        let j = self.win.get(p)? as usize;
         let other = &self.swarm.robots()[j];
         // other frame -> world -> my frame.
         let m = other.orient.then(self.inv);

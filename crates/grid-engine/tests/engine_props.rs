@@ -1,6 +1,10 @@
 //! Property tests on the substrate: simultaneous-move semantics, the
-//! occupancy index, and view/frame coherence under random actions.
+//! occupancy index (tiled vs. dense equivalence), view/frame coherence
+//! under random actions, and cross-thread bit-identity of the sharded
+//! round-apply.
 
+use grid_engine::grid::OccupancyGrid;
+use grid_engine::tile::TileIndex;
 use grid_engine::*;
 use proptest::prelude::*;
 use std::collections::BTreeSet;
@@ -59,6 +63,82 @@ proptest! {
         }
     }
 
+    /// The tiled occupancy index is observationally equivalent to the
+    /// dense reference grid on random set/clear/get sequences — the
+    /// dense grid is the pre-refactor oracle, kept for exactly this.
+    /// Coordinates straddle tile borders (negative and positive) so
+    /// tile keying, shard routing and tile reclamation all fire.
+    #[test]
+    fn tiled_index_matches_dense_reference(
+        ops in proptest::collection::vec((0u8..3, -70i32..70, -70i32..70, 0u32..8), 1..200)
+    ) {
+        let span = Bounds::of([Point::new(-70, -70), Point::new(70, 70)]).unwrap();
+        let mut dense = OccupancyGrid::covering(span, 2);
+        let mut tiled = TileIndex::new();
+        let mut occupied: BTreeSet<Point> = BTreeSet::new();
+        for (op, x, y, id) in ops {
+            let p = Point::new(x, y);
+            match op {
+                0 => {
+                    prop_assert_eq!(tiled.set(p, id), dense.set(p, id), "set {:?}", p);
+                    occupied.insert(p);
+                }
+                1 => {
+                    prop_assert_eq!(tiled.clear(p), dense.clear(p), "clear {:?}", p);
+                    occupied.remove(&p);
+                }
+                _ => prop_assert_eq!(tiled.get(p), dense.get(p), "get {:?}", p),
+            }
+            // Tile-extreme bounds agree with a brute-force rescan.
+            prop_assert_eq!(tiled.bounds(), Bounds::of(occupied.iter().copied()));
+        }
+        // Memory stays proportional to live tiles: coordinates in
+        // -70..70 span at most 4x4 tile keys.
+        prop_assert!(tiled.tile_count() <= 16);
+    }
+
+    /// The sharded parallel round-apply is bit-identical to the
+    /// sequential path for every thread count: same survivor positions,
+    /// digest, merge and move counts — under full and partial
+    /// activation.
+    #[test]
+    fn sharded_apply_is_bit_identical_across_threads(
+        (pts, steps, active_mask, seed) in arb_positions().prop_flat_map(|p| {
+            let n = p.len();
+            (Just(p), arb_steps(n), proptest::collection::vec(0u8..4, n..=n), any::<u64>())
+        })
+    ) {
+        let actions = |_: ()| -> Vec<Option<Action<()>>> {
+            steps
+                .iter()
+                .zip(&active_mask)
+                .map(|(&(dx, dy), &a)| {
+                    // ~3/4 of robots activated; inactive ones exercise the
+                    // stationary-wins rule inside shards.
+                    (a != 0).then(|| Action { step: V2::new(dx as i32, dy as i32), state: () })
+                })
+                .collect()
+        };
+        let mut reference: Swarm<()> = Swarm::new(&pts, OrientationMode::Scrambled(seed));
+        let ref_out = reference.apply_partial(actions(()));
+        let ref_positions: Vec<Point> = reference.positions().collect();
+        for threads in [1usize, 2, 3, 8] {
+            let mut sharded: Swarm<()> = Swarm::new(&pts, OrientationMode::Scrambled(seed));
+            let out = sharded.apply_partial_sharded(actions(()), threads);
+            prop_assert_eq!(out, ref_out, "outcome, threads={}", threads);
+            prop_assert_eq!(
+                sharded.position_digest(),
+                reference.position_digest(),
+                "digest, threads={}", threads
+            );
+            let positions: Vec<Point> = sharded.positions().collect();
+            prop_assert_eq!(&positions, &ref_positions, "positions, threads={}", threads);
+            for (i, r) in sharded.robots().iter().enumerate() {
+                prop_assert_eq!(sharded.robot_at(r.pos), Some(i), "index, threads={}", threads);
+            }
+        }
+    }
+
     /// Stationary rounds are perfect no-ops.
     #[test]
     fn stay_round_is_identity(pts in arb_positions()) {
@@ -70,5 +150,44 @@ proptest! {
         prop_assert_eq!(out.moved, 0);
         let after: Vec<Point> = swarm.positions().collect();
         prop_assert_eq!(before, after);
+    }
+}
+
+/// Above the parallel threshold, the *public* apply engages the sharded
+/// path on its own — this pins the integrated behaviour (not just the
+/// doc-hidden test hook) to the sequential reference across thread
+/// counts, over several merge-heavy rounds.
+#[test]
+fn large_swarm_apply_threads_is_bit_identical() {
+    let n = 2048usize;
+    let pts: Vec<Point> = (0..n as i32).map(|x| Point::new(x, 0)).collect();
+    let round_actions = |round: u64, len: usize| -> Vec<Option<Action<()>>> {
+        (0..len)
+            .map(|i| {
+                let h = splitmix64(round ^ (i as u64).wrapping_mul(0x9e37_79b9));
+                match h % 4 {
+                    0 => Some(Action { step: V2::E, state: () }),
+                    1 => Some(Action { step: V2::W, state: () }),
+                    2 => Some(Action::stay(())),
+                    _ => None,
+                }
+            })
+            .collect()
+    };
+    let run = |threads: usize| {
+        let mut swarm: Swarm<()> = Swarm::new(&pts, OrientationMode::Aligned);
+        let mut digests = Vec::new();
+        let mut merged = 0usize;
+        for round in 0..6u64 {
+            let out = swarm.apply_partial_threads(round_actions(round, swarm.len()), threads);
+            merged += out.merged;
+            digests.push(swarm.position_digest());
+        }
+        (digests, merged, swarm.positions().collect::<Vec<Point>>())
+    };
+    let reference = run(1);
+    assert!(reference.1 > 0, "rounds must actually merge robots");
+    for threads in [2usize, 3, 8] {
+        assert_eq!(run(threads), reference, "threads={threads}");
     }
 }
