@@ -10,7 +10,8 @@
 //!
 //! Usage:
 //!   bench_engine [--n N] [--rounds R] [--threads T1,T2,..] \
-//!                [--family NAME] [--seed S] [--out PATH]
+//!                [--family NAME] [--seed S] [--out PATH] \
+//!                [--gate BASELINE.json] [--tolerance F]
 //!
 //! Defaults: --n 1000000 --rounds 3 --threads 0 --family clusters
 //!           --seed 1 --out BENCH_engine.json
@@ -18,6 +19,16 @@
 //! The post-run position digest is asserted identical across all
 //! measured thread counts — every bench run doubles as a determinism
 //! check of the parallel apply.
+//!
+//! `--gate BASELINE.json` turns the run into a CI regression gate: each
+//! measured thread count is compared against the same-thread-count
+//! entry in the baseline (a previous `--out` file, e.g. the committed
+//! `BENCH_engine.json`), and the process exits non-zero when measured
+//! throughput falls below `baseline / tolerance`. The tolerance
+//! (default 2.5×) is deliberately generous: robot-rounds/s is roughly
+//! n-independent but CI runners are noisy and slower than the baseline
+//! box, so only a real cliff — an accidental O(area) scan, a lost
+//! parallel path — should trip it.
 
 use std::time::Instant;
 
@@ -32,6 +43,8 @@ struct Args {
     family: Family,
     seed: u64,
     out: String,
+    gate: Option<String>,
+    tolerance: f64,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -42,6 +55,8 @@ fn parse_args() -> Result<Args, String> {
         family: Family::Clusters,
         seed: 1,
         out: "BENCH_engine.json".into(),
+        gate: None,
+        tolerance: 2.5,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut it = argv.iter();
@@ -64,13 +79,84 @@ fn parse_args() -> Result<Args, String> {
             }
             "--seed" => args.seed = value()?.parse().map_err(|e| format!("--seed: {e}"))?,
             "--out" => args.out = value()?.to_string(),
+            "--gate" => args.gate = Some(value()?.to_string()),
+            "--tolerance" => {
+                args.tolerance = value()?.parse().map_err(|e| format!("--tolerance: {e}"))?;
+            }
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
     if args.threads.is_empty() || args.rounds == 0 || args.n == 0 {
         return Err("need at least one thread config, one round and one robot".into());
     }
+    if !args.tolerance.is_finite() || args.tolerance < 1.0 {
+        return Err("--tolerance must be >= 1.0 (a slowdown factor)".into());
+    }
     Ok(args)
+}
+
+/// Extract `(threads, robot_rounds_per_s)` pairs from a baseline file
+/// previously written by this binary's `--out`. The `results` array
+/// entries are flat objects, so each `{…}` chunk after the `results`
+/// key parses with the workspace's flat-JSON parser.
+fn baseline_throughputs(json: &str) -> Result<Vec<(usize, f64)>, String> {
+    let (_, results) = json.split_once("\"results\"").ok_or("baseline has no \"results\" array")?;
+    let mut out = Vec::new();
+    let mut rest = results;
+    while let Some(start) = rest.find('{') {
+        let end = rest[start..]
+            .find('}')
+            .map(|i| start + i)
+            .ok_or("unterminated object in baseline results")?;
+        let map = gather_analysis::parse_flat_json(&rest[start..=end])
+            .map_err(|e| format!("baseline results entry: {e}"))?;
+        let threads = map
+            .get("threads")
+            .and_then(|v| v.as_u64())
+            .ok_or("baseline entry is missing \"threads\"")?;
+        let throughput = map
+            .get("robot_rounds_per_s")
+            .and_then(|v| v.as_f64())
+            .ok_or("baseline entry is missing \"robot_rounds_per_s\"")?;
+        out.push((threads as usize, throughput));
+        rest = &rest[end + 1..];
+    }
+    if out.is_empty() {
+        return Err("baseline results array is empty".into());
+    }
+    Ok(out)
+}
+
+/// Compare measured throughputs against the baseline; `Err` lists every
+/// thread config that fell below `baseline / tolerance`.
+fn gate_against(
+    baseline: &[(usize, f64)],
+    measured: &[(usize, f64)],
+    tolerance: f64,
+) -> Result<(), String> {
+    let mut regressions = Vec::new();
+    for &(threads, throughput) in measured {
+        let Some(&(_, reference)) = baseline.iter().find(|&&(t, _)| t == threads) else {
+            return Err(format!("baseline has no threads={threads} entry to gate against"));
+        };
+        let floor = reference / tolerance;
+        if throughput < floor {
+            regressions.push(format!(
+                "threads={threads}: {throughput:.3e} robot-rounds/s < floor {floor:.3e} \
+                 (baseline {reference:.3e} / {tolerance})"
+            ));
+        } else {
+            eprintln!(
+                "gate ok: threads={threads} at {throughput:.3e} robot-rounds/s \
+                 (floor {floor:.3e}, baseline {reference:.3e})"
+            );
+        }
+    }
+    if regressions.is_empty() {
+        Ok(())
+    } else {
+        Err(format!("PERFORMANCE REGRESSION:\n  {}", regressions.join("\n  ")))
+    }
 }
 
 fn main() {
@@ -83,6 +169,7 @@ fn main() {
     };
     let points = gather_workloads::family(args.family, args.n, args.seed);
     let mut results: Vec<String> = Vec::new();
+    let mut measured: Vec<(usize, f64)> = Vec::new();
     let mut digests: Vec<u64> = Vec::new();
     let mut shape: Option<(u128, usize)> = None;
     for &threads in &args.threads {
@@ -121,6 +208,7 @@ fn main() {
         }
         let dt = start.elapsed().as_secs_f64();
         let throughput = robot_rounds as f64 / dt;
+        measured.push((threads, throughput));
         let digest = engine.swarm.position_digest();
         digests.push(digest);
         eprintln!(
@@ -160,4 +248,63 @@ fn main() {
         std::process::exit(1);
     }
     eprintln!("wrote {}", args.out);
+
+    if let Some(gate) = &args.gate {
+        let baseline = match std::fs::read_to_string(gate) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("error reading baseline {gate}: {e}");
+                std::process::exit(2);
+            }
+        };
+        let verdict = baseline_throughputs(&baseline)
+            .map_err(|e| format!("{gate}: {e}"))
+            .and_then(|baseline| gate_against(&baseline, &measured, args.tolerance));
+        if let Err(e) = verdict {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("gate passed against {gate} (tolerance {}x)", args.tolerance);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BASELINE: &str = r#"{
+      "bench": "engine_throughput",
+      "results": [
+        {"threads": 1, "rounds": 3, "robot_rounds_per_s": 250000.0, "digest": "0x1"},
+        {"threads": 8, "rounds": 3, "robot_rounds_per_s": 800000.0, "digest": "0x2"}
+      ]
+    }"#;
+
+    #[test]
+    fn baseline_parses_the_committed_format() {
+        let pairs = baseline_throughputs(BASELINE).unwrap();
+        assert_eq!(pairs, vec![(1, 250_000.0), (8, 800_000.0)]);
+        assert!(baseline_throughputs("{}").is_err(), "no results array");
+        assert!(baseline_throughputs(r#"{"results": []}"#).is_err(), "empty results");
+        assert!(
+            baseline_throughputs(r#"{"results": [{"threads": 1}]}"#).is_err(),
+            "entry without a throughput"
+        );
+    }
+
+    #[test]
+    fn gate_passes_within_tolerance_and_fails_on_cliffs() {
+        let baseline = baseline_throughputs(BASELINE).unwrap();
+        // 2x slower than baseline is inside the 2.5x floor.
+        assert!(gate_against(&baseline, &[(1, 125_000.0)], 2.5).is_ok());
+        // 5x slower is a cliff.
+        let err = gate_against(&baseline, &[(1, 50_000.0)], 2.5).unwrap_err();
+        assert!(err.contains("REGRESSION"), "{err}");
+        assert!(err.contains("threads=1"), "{err}");
+        // One good config does not excuse a regressed one.
+        assert!(gate_against(&baseline, &[(1, 240_000.0), (8, 10_000.0)], 2.5).is_err());
+        // A thread count absent from the baseline cannot be gated.
+        let err = gate_against(&baseline, &[(4, 500_000.0)], 2.5).unwrap_err();
+        assert!(err.contains("threads=4"), "{err}");
+    }
 }

@@ -2,11 +2,19 @@
 //! crate renders: per-(controller, scheduler) scaling tables with one
 //! row per family, plus a reliability table for runs that stalled,
 //! panicked, or broke connectivity.
+//!
+//! [`summarize`] is input-agnostic: a merged shard set (the output of
+//! `campaign merge`, see [`crate::merge`]) summarizes exactly like the
+//! equivalent unsharded run, because records are pure functions of
+//! their scenario and the tables never depend on record order. Merges
+//! additionally render their per-shard provenance via
+//! [`provenance_table`].
 
 use std::collections::BTreeMap;
 
 use gather_analysis::{linear_fit, loglog_slope, Table};
 
+use crate::merge::MergeReport;
 use crate::record::ScenarioRecord;
 
 /// Every run lands in exactly one outcome class, so the reliability
@@ -190,6 +198,30 @@ pub fn summarize(records: &[ScenarioRecord]) -> Vec<Table> {
     tables
 }
 
+/// Per-shard provenance of a verified merge: what each shard file
+/// contributed, how many resumed duplicates were dropped, and how many
+/// torn lines were skipped — the audit trail `campaign merge` prints
+/// next to its coverage confirmation.
+pub fn provenance_table(report: &MergeReport) -> Table {
+    let mut t = Table::new(
+        format!(
+            "Merge provenance — campaign `{}`, {} shard(s), {} scenario(s), coverage verified",
+            report.name, report.shard_count, report.total,
+        ),
+        &["shard", "file", "records", "duplicates dropped", "torn lines skipped"],
+    );
+    for shard in &report.shards {
+        t.push(vec![
+            format!("{}/{}", shard.shard_index, report.shard_count),
+            shard.path.display().to_string(),
+            shard.records.to_string(),
+            shard.duplicates.to_string(),
+            shard.skipped_lines.to_string(),
+        ]);
+    }
+    t
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -345,5 +377,39 @@ mod tests {
         let records = vec![rec(Family::Line, 32, 0, 64, true)];
         let tables = summarize(&records);
         assert_eq!(tables[0].rows[0][2], "n/a");
+    }
+
+    #[test]
+    fn provenance_table_lists_shards_in_index_order() {
+        use crate::merge::{MergeReport, ShardContribution};
+        use std::path::PathBuf;
+
+        let report = MergeReport {
+            name: "weak-sync".into(),
+            shard_count: 2,
+            total: 10,
+            duplicates: 1,
+            shards: vec![
+                ShardContribution {
+                    path: PathBuf::from("a.shard0of2.jsonl"),
+                    shard_index: 0,
+                    records: 6,
+                    duplicates: 1,
+                    skipped_lines: 0,
+                },
+                ShardContribution {
+                    path: PathBuf::from("a.shard1of2.jsonl"),
+                    shard_index: 1,
+                    records: 4,
+                    duplicates: 0,
+                    skipped_lines: 1,
+                },
+            ],
+        };
+        let t = provenance_table(&report);
+        assert!(t.title.contains("weak-sync") && t.title.contains("coverage verified"));
+        assert_eq!(t.rows.len(), 2);
+        assert_eq!(t.rows[0], vec!["0/2", "a.shard0of2.jsonl", "6", "1", "0"]);
+        assert_eq!(t.rows[1], vec!["1/2", "a.shard1of2.jsonl", "4", "0", "1"]);
     }
 }

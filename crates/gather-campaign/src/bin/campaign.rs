@@ -11,8 +11,9 @@ use std::time::Instant;
 
 use gather_campaign::cli::{self, Command, RenderArgs, RunArgs, USAGE};
 use gather_campaign::{
-    executor, load_completed, load_records, run_smoke, summarize, trace_ops, DiffStatus, JsonlSink,
-    ReplayStatus, Scenario, ScenarioRecord, SmokeArgs, TraceJobOutcome,
+    executor, load_completed, load_records, merge_shards, plan_lines, provenance_table, run_smoke,
+    summarize, trace_ops, DiffStatus, JsonlSink, ReplayStatus, Scenario, ScenarioRecord,
+    ShardManifest, SmokeArgs, TraceJobOutcome,
 };
 
 fn main() -> ExitCode {
@@ -32,6 +33,8 @@ fn main() -> ExitCode {
         Command::Run(run) => execute(run, false),
         Command::Resume(run) => execute(run, true),
         Command::Record { run, trace_dir } => execute_record(run, &trace_dir),
+        Command::Merge { inputs, out } => merge_files(&inputs, &out),
+        Command::Plan { run, shards } => plan(&run, shards),
         Command::Replay { trace_dir } => replay_dir(&trace_dir),
         Command::Diff { a, b } => diff_dirs(&a, &b),
         Command::Render(args) => render_trace(&args),
@@ -48,24 +51,57 @@ fn main() -> ExitCode {
 }
 
 fn execute(args: RunArgs, resume: bool) -> Result<(), String> {
-    let RunArgs { spec, threads, out } = args;
+    let RunArgs { spec, threads, out, shard, strategy } = args;
     let jobs = spec.expand();
     let completed = if resume {
         load_completed(&out).map_err(|e| format!("reading {}: {e}", out.display()))?
     } else {
         Default::default()
     };
-    let pending: Vec<Scenario> =
-        jobs.iter().copied().filter(|sc| !completed.contains(&sc.id())).collect();
-    let skipped = jobs.len() - pending.len();
+    let manifest = ShardManifest::for_shard(&spec, shard, strategy);
+    // A resume must be continuing the *same* shard of the *same* spec:
+    // appending another slice's records to this file would poison the
+    // manifest proof that merge relies on.
+    if resume {
+        if let Some(prev) = gather_campaign::read_manifest(&out)? {
+            if let Some(field) = prev.mismatch_against(&manifest) {
+                return Err(format!(
+                    "{} was written for a different campaign ({field} differs) — resume it with \
+                     the spec and shard it was started with",
+                    out.display(),
+                ));
+            }
+            if prev.shard() != shard {
+                return Err(format!(
+                    "{} holds shard {} but this invocation asks for shard {shard}",
+                    out.display(),
+                    prev.shard(),
+                ));
+            }
+        }
+    }
+    let pending = executor::select_pending(&jobs, shard, strategy, &completed);
+    // The manifest already counted this shard's scenarios from the same
+    // ownership predicate — no second pass over the expansion.
+    let owned = manifest.shard_len;
+    let skipped = owned - pending.len();
 
     let mut sink = if resume { JsonlSink::append(&out) } else { JsonlSink::create(&out) }
         .map_err(|e| format!("opening {}: {e}", out.display()))?;
+    // Manifest first, completion marker off: a crash mid-run leaves a
+    // sidecar that says so, and merge refuses the file.
+    gather_campaign::write_manifest(&out, &manifest)
+        .map_err(|e| format!("writing manifest for {}: {e}", out.display()))?;
 
     eprintln!(
-        "campaign `{}`: {} scenarios ({} already done), {} threads -> {}",
+        "campaign `{}`{}: {} scenarios ({} already done), {} threads -> {}",
         spec.name,
-        jobs.len(),
+        if shard.is_full() {
+            String::new()
+        } else {
+            format!(" shard {shard} [{}]", strategy.name())
+        },
+        owned,
         skipped,
         if threads == 0 { "all".to_string() } else { threads.to_string() },
         out.display(),
@@ -109,14 +145,51 @@ fn execute(args: RunArgs, resume: bool) -> Result<(), String> {
     if let Some(e) = write_error {
         return Err(format!("{e} (campaign aborted; completed scenarios are resumable)"));
     }
+    // Every owned scenario is on disk: flip the completion marker that
+    // makes this shard mergeable.
+    let manifest = ShardManifest { complete: true, ..manifest };
+    gather_campaign::write_manifest(&out, &manifest)
+        .map_err(|e| format!("writing manifest for {}: {e}", out.display()))?;
     eprintln!(
-        "campaign `{}` complete: {} run, {} skipped, {} panicked in {:.1?}",
+        "campaign `{}`{} complete: {} run, {} skipped, {} panicked in {:.1?}",
         spec.name,
+        if shard.is_full() { String::new() } else { format!(" shard {shard}") },
         done,
         skipped,
         panicked,
         start.elapsed(),
     );
+    Ok(())
+}
+
+/// `merge`: verify N shard outputs cover their spec exactly once, then
+/// emit one merged JSONL (resumed duplicates dropped, last record wins)
+/// and print the per-shard provenance table.
+fn merge_files(inputs: &[std::path::PathBuf], out: &Path) -> Result<(), String> {
+    let report = merge_shards(inputs, out)?;
+    println!("{}", gather_analysis::render_markdown(&provenance_table(&report)));
+    eprintln!(
+        "merge ok: {} scenarios from {} shard(s) -> {} ({} resumed duplicate(s) dropped)",
+        report.total,
+        report.shards.len(),
+        out.display(),
+        report.duplicates,
+    );
+    Ok(())
+}
+
+/// `plan`: print the per-shard command lines (and the final merge) that
+/// execute the spec as `shards` slices.
+fn plan(run: &RunArgs, shards: u32) -> Result<(), String> {
+    eprintln!(
+        "campaign `{}`: {} scenarios as {shards} shard(s) [{}]",
+        run.spec.name,
+        run.spec.len(),
+        run.strategy.name(),
+    );
+    for line in plan_lines(&run.spec, shards, run.strategy, &run.out, run.threads) {
+        println!("{line}");
+    }
     Ok(())
 }
 
@@ -126,7 +199,7 @@ fn execute(args: RunArgs, resume: bool) -> Result<(), String> {
 /// aborts the campaign (a recording campaign whose traces are silently
 /// incomplete is worse than a dead one).
 fn execute_record(args: RunArgs, trace_dir: &Path) -> Result<(), String> {
-    let RunArgs { spec, threads, out } = args;
+    let RunArgs { spec, threads, out, shard, strategy } = args;
     std::fs::create_dir_all(trace_dir)
         .map_err(|e| format!("creating {}: {e}", trace_dir.display()))?;
     let swept = trace_ops::clean_trace_dir(trace_dir)
@@ -134,12 +207,20 @@ fn execute_record(args: RunArgs, trace_dir: &Path) -> Result<(), String> {
     if swept > 0 {
         eprintln!("removed {swept} trace file(s) left by an earlier recording");
     }
-    let jobs = spec.expand();
+    let jobs = executor::select_pending(&spec.expand(), shard, strategy, &Default::default());
+    let manifest = ShardManifest::for_shard(&spec, shard, strategy);
     let mut sink =
         JsonlSink::create(&out).map_err(|e| format!("opening {}: {e}", out.display()))?;
+    gather_campaign::write_manifest(&out, &manifest)
+        .map_err(|e| format!("writing manifest for {}: {e}", out.display()))?;
     eprintln!(
-        "campaign `{}` (recording): {} scenarios, {} threads -> {} + {}/",
+        "campaign `{}`{} (recording): {} scenarios, {} threads -> {} + {}/",
         spec.name,
+        if shard.is_full() {
+            String::new()
+        } else {
+            format!(" shard {shard} [{}]", strategy.name())
+        },
         jobs.len(),
         if threads == 0 { "all".to_string() } else { threads.to_string() },
         out.display(),
@@ -181,6 +262,9 @@ fn execute_record(args: RunArgs, trace_dir: &Path) -> Result<(), String> {
     if let Some(e) = failure {
         return Err(format!("{e} (recording aborted)"));
     }
+    let manifest = ShardManifest { complete: true, ..manifest };
+    gather_campaign::write_manifest(&out, &manifest)
+        .map_err(|e| format!("writing manifest for {}: {e}", out.display()))?;
     eprintln!(
         "campaign `{}` recorded: {} run, {} traced in {:.1?}",
         spec.name,

@@ -6,15 +6,20 @@ use std::path::PathBuf;
 use gather_bench::{ControllerKind, SchedulerKind};
 use gather_workloads::Family;
 
+use crate::shard::{shard_out_path, ShardSpec, ShardStrategy};
 use crate::spec::CampaignSpec;
 
 pub const USAGE: &str = "\
 campaign — parallel scenario sweeps for the grid-gathering reproduction
 
 USAGE:
-    campaign run       [--threads N] [--out PATH] [--spec FILE] [axis flags]
-    campaign resume    [--threads N] [--out PATH] [--spec FILE] [axis flags]
+    campaign run       [--threads N] [--out PATH] [--spec FILE] [--shard I/M]
+                       [--shard-strategy hash|stride] [axis flags]
+    campaign resume    [--threads N] [--out PATH] [--spec FILE] [--shard I/M]
+                       [--shard-strategy hash|stride] [axis flags]
     campaign record    [run flags]   [--trace-dir DIR]
+    campaign merge     [--out PATH] SHARD.jsonl [SHARD.jsonl ...]
+    campaign plan      --shards M [--out PATH] [--spec FILE] [axis flags]
     campaign replay    [--trace-dir DIR]
     campaign diff      --a DIR --b DIR
     campaign render    TRACE.gtrc [--every K] [--svg PATH] [--cell N]
@@ -25,6 +30,15 @@ USAGE:
 SUBCOMMANDS:
     run        Execute the sweep from scratch (truncates --out)
     resume     Re-run the sweep, skipping scenarios already in --out
+    merge      Verify that the given shard outputs cover their spec
+               exactly once (manifests present, complete, same spec,
+               indexes 0..M with no overlap or gap, records matching the
+               per-shard coverage digests) and write one merged JSONL,
+               dropping resumed duplicates (last record wins). Exits
+               non-zero — writing nothing — on a missing shard, an
+               overlapping shard, mixed specs, or a torn/incomplete file
+    plan       Print the exact per-shard `campaign run` command lines
+               (plus the final merge) that execute the spec as M shards
     record     Run the sweep with per-round tracing on: results stream to
                --out as usual (truncated, like run), plus one binary .gtrc
                trace per engine scenario in --trace-dir, which is cleared
@@ -51,8 +65,20 @@ SUBCOMMANDS:
 
 OPTIONS:
     --threads N        Worker threads; 0 = all cores (default 0)
-    --out PATH         Result JSONL file (default campaign.jsonl; run/resume/record)
+    --out PATH         Result JSONL file (default campaign.jsonl; run/resume/record;
+                       when sharded, the default gains a .shardIofM suffix).
+                       For merge/plan: the merged result path (default campaign.jsonl)
     --in PATH          Input for summarize (default campaign.jsonl)
+    --shard I/M        Run only shard I of an M-way split of the spec (I in 0..M).
+                       Every shard writes a <out>.manifest.json sidecar (spec digest,
+                       shard coordinates, scenario coverage digest, completion marker)
+                       that `merge` uses to verify exact coverage. Resume works per
+                       shard: completed scenario IDs in --out are skipped
+    --shard-strategy S hash (default): assign scenarios by a stable FNV-1a hash of
+                       the scenario ID — any machine partitions any spec identically.
+                       stride: assign by expansion index round-robin, spreading the
+                       size gradient evenly across shards
+    --shards M         (plan) Number of shards to plan for
     --spec FILE        Load the scenario matrix from a flat-JSON spec file;
                        fields absent from the file keep the standard-sweep
                        defaults, and axis flags override spec fields. Fields
@@ -86,6 +112,8 @@ pub enum Command {
     Run(RunArgs),
     Resume(RunArgs),
     Record { run: RunArgs, trace_dir: PathBuf },
+    Merge { inputs: Vec<PathBuf>, out: PathBuf },
+    Plan { run: RunArgs, shards: u32 },
     Replay { trace_dir: PathBuf },
     Diff { a: PathBuf, b: PathBuf },
     Render(RenderArgs),
@@ -110,11 +138,20 @@ pub struct RunArgs {
     pub spec: CampaignSpec,
     pub threads: usize,
     pub out: PathBuf,
+    /// Which slice of the spec this invocation executes (`0/1` = all).
+    pub shard: ShardSpec,
+    pub strategy: ShardStrategy,
 }
 
 impl Default for RunArgs {
     fn default() -> Self {
-        RunArgs { spec: CampaignSpec::standard(), threads: 0, out: PathBuf::from("campaign.jsonl") }
+        RunArgs {
+            spec: CampaignSpec::standard(),
+            threads: 0,
+            out: PathBuf::from("campaign.jsonl"),
+            shard: ShardSpec::FULL,
+            strategy: ShardStrategy::Hash,
+        }
     }
 }
 
@@ -132,6 +169,50 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
         "record" => {
             let (run, trace_dir) = parse_run_args(&rest, true)?;
             Ok(Command::Record { run, trace_dir: trace_dir.unwrap_or_else(default_trace_dir) })
+        }
+        "merge" => {
+            let mut inputs = Vec::new();
+            let mut out = PathBuf::from("campaign.jsonl");
+            let mut it = rest.iter();
+            while let Some(&arg) = it.next() {
+                match arg {
+                    "--out" => out = PathBuf::from(value_of(arg, it.next().copied())?),
+                    "-h" | "--help" => return Ok(Command::Help),
+                    flag if flag.starts_with("--") => {
+                        return Err(format!("unknown merge flag {flag:?}"));
+                    }
+                    path => inputs.push(PathBuf::from(path)),
+                }
+            }
+            if inputs.is_empty() {
+                return Err("merge needs at least one SHARD.jsonl input".into());
+            }
+            if inputs.contains(&out) {
+                return Err(format!(
+                    "merge output {out:?} is also an input — it would be truncated before reading"
+                ));
+            }
+            Ok(Command::Merge { inputs, out })
+        }
+        "plan" => {
+            // `--shards M` is plan's own flag; extract it, then reuse
+            // the run-flag parser for everything else.
+            let mut rest = rest.clone();
+            let i = rest
+                .iter()
+                .position(|&a| a == "--shards")
+                .ok_or("plan needs --shards M (how many ways to split the spec)")?;
+            let v = *rest.get(i + 1).ok_or("--shards needs a value")?;
+            let shards: u32 = v.parse().map_err(|e| format!("--shards {v:?}: {e}"))?;
+            if shards == 0 {
+                return Err("--shards must be >= 1".into());
+            }
+            rest.drain(i..=i + 1);
+            let (run, _) = parse_run_args(&rest, false)?;
+            if !run.shard.is_full() {
+                return Err("plan computes --shard for every slice itself; don't pass one".into());
+            }
+            Ok(Command::Plan { run, shards })
         }
         "replay" => {
             let mut trace_dir = default_trace_dir();
@@ -293,6 +374,7 @@ fn parse_run_args(
             return Err("--spec given twice".into());
         }
     }
+    let mut out_explicit = false;
     let mut it = args.iter();
     while let Some(&flag) = it.next() {
         match flag {
@@ -301,7 +383,16 @@ fn parse_run_args(
                 out.threads =
                     v.parse().map_err(|e| format!("--threads {v:?} is not a count: {e}"))?;
             }
-            "--out" => out.out = PathBuf::from(value_of(flag, it.next().copied())?),
+            "--out" => {
+                out.out = PathBuf::from(value_of(flag, it.next().copied())?);
+                out_explicit = true;
+            }
+            "--shard" => out.shard = ShardSpec::parse(value_of(flag, it.next().copied())?)?,
+            "--shard-strategy" => {
+                let v = value_of(flag, it.next().copied())?;
+                out.strategy = ShardStrategy::parse(v)
+                    .ok_or_else(|| format!("unknown shard strategy {v:?} (hash or stride)"))?;
+            }
             "--trace-dir" if accept_trace_dir => {
                 trace_dir = Some(PathBuf::from(value_of(flag, it.next().copied())?));
             }
@@ -321,6 +412,12 @@ fn parse_run_args(
         }
     }
     out.spec.validate()?;
+    // Sharded runs of the same spec must not clobber each other's
+    // default result file: when --out was not given, suffix the default
+    // with the shard coordinates (c.jsonl -> c.shard2of4.jsonl).
+    if !out.shard.is_full() && !out_explicit {
+        out.out = shard_out_path(&out.out, out.shard);
+    }
     Ok((out, trace_dir))
 }
 
@@ -514,6 +611,118 @@ mod tests {
         };
         assert_eq!(args.spec.schedulers, vec![SchedulerKind::Crash { f: 3 }]);
         assert!(parse(&strings(&["run", "--schedulers", "crash-f0"])).is_err());
+    }
+
+    #[test]
+    fn shard_flags_parse_and_suffix_the_default_out() {
+        let Command::Run(args) = parse(&strings(&["run", "--shard", "2/4"])).unwrap() else {
+            panic!()
+        };
+        assert_eq!(args.shard, ShardSpec { index: 2, count: 4 });
+        assert_eq!(args.strategy, ShardStrategy::Hash, "hash is the default strategy");
+        assert_eq!(
+            args.out,
+            PathBuf::from("campaign.shard2of4.jsonl"),
+            "the default out must gain the shard suffix so shards cannot clobber each other"
+        );
+
+        // An explicit --out is taken verbatim.
+        let Command::Run(args) =
+            parse(&strings(&["run", "--shard", "1/2", "--out", "x.jsonl"])).unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(args.out, PathBuf::from("x.jsonl"));
+
+        let Command::Resume(args) =
+            parse(&strings(&["resume", "--shard", "0/2", "--shard-strategy", "stride"])).unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(args.strategy, ShardStrategy::Stride);
+
+        // Unsharded runs keep the plain default path.
+        let Command::Run(args) = parse(&strings(&["run"])).unwrap() else { panic!() };
+        assert_eq!(args.out, PathBuf::from("campaign.jsonl"));
+        assert_eq!(args.shard, ShardSpec::FULL);
+
+        for bad in ["4/4", "x/4", "1/0", "3"] {
+            assert!(parse(&strings(&["run", "--shard", bad])).is_err(), "{bad:?}");
+        }
+        assert!(parse(&strings(&["run", "--shard-strategy", "mystery"])).is_err());
+    }
+
+    #[test]
+    fn merge_parses_inputs_and_guards_the_output() {
+        let Command::Merge { inputs, out } =
+            parse(&strings(&["merge", "--out", "m.jsonl", "a.jsonl", "b.jsonl"])).unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(inputs, vec![PathBuf::from("a.jsonl"), PathBuf::from("b.jsonl")]);
+        assert_eq!(out, PathBuf::from("m.jsonl"));
+
+        let Command::Merge { out, .. } = parse(&strings(&["merge", "a.jsonl"])).unwrap() else {
+            panic!()
+        };
+        assert_eq!(out, PathBuf::from("campaign.jsonl"), "default merge output");
+
+        assert!(parse(&strings(&["merge"])).is_err(), "at least one input required");
+        assert!(parse(&strings(&["merge", "--bogus"])).is_err());
+        assert!(
+            parse(&strings(&["merge", "--out", "a.jsonl", "a.jsonl"])).is_err(),
+            "an output that is also an input would truncate it before reading"
+        );
+    }
+
+    #[test]
+    fn plan_parses_and_its_lines_parse_back() {
+        let Command::Plan { run, shards } = parse(&strings(&[
+            "plan",
+            "--shards",
+            "4",
+            "--sizes",
+            "16,32",
+            "--families",
+            "line,square",
+            "--out",
+            "w.jsonl",
+        ]))
+        .unwrap() else {
+            panic!()
+        };
+        assert_eq!(shards, 4);
+        assert_eq!(run.spec.sizes, vec![16, 32]);
+
+        // Every command line plan prints must parse back through this
+        // very parser: the run lines as sharded runs covering all
+        // slices, the final line as the merge.
+        let lines =
+            crate::shard::plan_lines(&run.spec, shards, run.strategy, &run.out, run.threads);
+        assert_eq!(lines.len(), 5);
+        for (i, line) in lines.iter().enumerate() {
+            let args: Vec<String> = line.split_whitespace().skip(1).map(str::to_string).collect();
+            match parse(&args).unwrap() {
+                Command::Run(parsed) => {
+                    assert_eq!(parsed.shard, ShardSpec { index: i as u32, count: 4 });
+                    assert_eq!(parsed.spec.sizes, run.spec.sizes, "axes survive the round trip");
+                    assert_eq!(parsed.spec.families, run.spec.families);
+                }
+                Command::Merge { inputs, out } => {
+                    assert_eq!(i, lines.len() - 1, "merge must be the final line");
+                    assert_eq!(inputs.len(), 4);
+                    assert_eq!(out, PathBuf::from("w.jsonl"));
+                }
+                other => panic!("unexpected plan line {line:?} -> {other:?}"),
+            }
+        }
+
+        assert!(parse(&strings(&["plan"])).is_err(), "--shards is required");
+        assert!(parse(&strings(&["plan", "--shards", "0"])).is_err());
+        assert!(
+            parse(&strings(&["plan", "--shards", "2", "--shard", "0/2"])).is_err(),
+            "plan computes shards itself"
+        );
     }
 
     #[test]

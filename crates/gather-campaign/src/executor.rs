@@ -10,6 +10,7 @@
 //! Results stream back to the caller's callback on the submitting
 //! thread, in completion order, while workers keep running.
 
+use std::collections::HashSet;
 use std::ops::ControlFlow;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -18,6 +19,7 @@ use std::sync::mpsc;
 use grid_engine::parallel::resolve_threads;
 
 use crate::record::ScenarioRecord;
+use crate::shard::{ShardSpec, ShardStrategy};
 use crate::spec::Scenario;
 
 /// Run every job and hand each result to `consume` on the calling
@@ -90,6 +92,27 @@ where
         }
     });
     panics.into_inner()
+}
+
+/// The jobs a worker should actually execute: those its shard owns
+/// under `strategy` (job index taken in expansion order, as the
+/// partitioner requires) minus the `completed` resume set. This is the
+/// single filtering step shared by `run`, `resume` and `record`, so a
+/// sharded resume cannot accidentally pick up another shard's work.
+pub fn select_pending(
+    jobs: &[Scenario],
+    shard: ShardSpec,
+    strategy: ShardStrategy,
+    completed: &HashSet<String>,
+) -> Vec<Scenario> {
+    jobs.iter()
+        .enumerate()
+        .filter(|(i, sc)| {
+            let id = sc.id();
+            shard.owns(strategy, *i, &id) && !completed.contains(&id)
+        })
+        .map(|(_, &sc)| sc)
+        .collect()
 }
 
 /// Execute scenarios; `progress(done, total, record)` fires on the
@@ -187,6 +210,37 @@ mod tests {
             assert_eq!(poisoned, 5);
             assert_eq!(ok, 45);
         }
+    }
+
+    #[test]
+    fn select_pending_filters_by_shard_and_resume_set() {
+        use crate::spec::CampaignSpec;
+
+        let jobs = CampaignSpec::standard().expand();
+        let none = HashSet::new();
+        // The union over a 4-way split, with nothing completed, is the
+        // whole job list.
+        let mut union = 0usize;
+        for index in 0..4u32 {
+            let shard = ShardSpec { index, count: 4 };
+            union += select_pending(&jobs, shard, ShardStrategy::Hash, &none).len();
+        }
+        assert_eq!(union, jobs.len());
+        // Completed IDs drop out of exactly their own shard.
+        let shard = ShardSpec { index: 0, count: 4 };
+        let owned = select_pending(&jobs, shard, ShardStrategy::Hash, &none);
+        let completed: HashSet<String> = owned.iter().take(3).map(Scenario::id).collect();
+        let pending = select_pending(&jobs, shard, ShardStrategy::Hash, &completed);
+        assert_eq!(pending.len(), owned.len() - 3);
+        assert!(pending.iter().all(|sc| !completed.contains(&sc.id())));
+        // A completed ID from another shard changes nothing here.
+        let foreign =
+            select_pending(&jobs, ShardSpec { index: 1, count: 4 }, ShardStrategy::Hash, &none);
+        let foreign_done: HashSet<String> = foreign.iter().take(1).map(Scenario::id).collect();
+        assert_eq!(
+            select_pending(&jobs, shard, ShardStrategy::Hash, &foreign_done).len(),
+            owned.len(),
+        );
     }
 
     #[test]

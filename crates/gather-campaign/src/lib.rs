@@ -22,6 +22,15 @@
 //!   campaign skips every scenario already on disk ([`load_completed`]).
 //! * [`aggregate`] — folds a result file into per-family rounds/n
 //!   scaling tables via `gather-analysis`.
+//! * [`shard`] / [`merge`] — distributed campaigns: `--shard I/M`
+//!   splits any spec into M disjoint slices by a stable FNV-1a hash of
+//!   the scenario ID (identical on every machine; `stride` spreads the
+//!   size gradient instead), each shard run writes a digest-bearing
+//!   manifest next to its JSONL, and `campaign merge` proves a set of
+//!   shard outputs covers the spec exactly once — rejecting missing,
+//!   overlapping, mixed-spec, torn, or incomplete shards — before
+//!   emitting one merged result file. `campaign plan --shards M` prints
+//!   the per-shard command lines.
 //! * [`trace_ops`] — per-round trace recording, bit-exact replay, and
 //!   trace-set diffing over the `gather-trace` binary format: `record`
 //!   streams one compact `.gtrc` file per engine scenario, `replay`
@@ -58,17 +67,23 @@
 pub mod aggregate;
 pub mod cli;
 pub mod executor;
+pub mod merge;
 pub mod record;
+pub mod shard;
 pub mod sink;
 pub mod smoke;
 pub mod spec;
 pub mod trace_ops;
 
-pub use aggregate::summarize;
+pub use aggregate::{provenance_table, summarize};
+pub use merge::{merge_shards, MergeReport, ShardContribution};
 pub use record::ScenarioRecord;
-pub use sink::{load_completed, load_records, JsonlSink};
+pub use shard::{fnv1a_64, plan_lines, shard_out_path, ShardManifest, ShardSpec, ShardStrategy};
+pub use sink::{
+    load_completed, load_records, manifest_path, read_manifest, write_manifest, JsonlSink,
+};
 pub use smoke::{run_smoke, SmokeArgs, SmokeReport};
-pub use spec::{CampaignSpec, Scenario};
+pub use spec::{coverage_xor, CampaignSpec, Scenario};
 pub use trace_ops::{
     diff_trace_dirs, diff_trace_files, record_scenario, replay_trace, DiffReport, DiffStatus,
     ReplayReport, ReplayStatus, TraceJobOutcome,

@@ -9,9 +9,10 @@
 use std::collections::HashSet;
 use std::fs::{File, OpenOptions};
 use std::io::{self, BufRead, BufReader, BufWriter, Read, Seek, SeekFrom, Write};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 use crate::record::ScenarioRecord;
+use crate::shard::ShardManifest;
 
 /// Append-only, line-buffered writer of scenario records.
 pub struct JsonlSink {
@@ -100,6 +101,37 @@ pub fn load_completed(path: impl AsRef<Path>) -> io::Result<HashSet<String>> {
     Ok(records.into_iter().map(|r| r.id).collect())
 }
 
+/// Where the shard manifest for the result file `out` lives: the suffix
+/// is appended to the full file name (`c.jsonl` → `c.jsonl.manifest.json`)
+/// so the pairing survives any result-file naming scheme.
+pub fn manifest_path(out: &Path) -> PathBuf {
+    let mut name = out.as_os_str().to_os_string();
+    name.push(".manifest.json");
+    PathBuf::from(name)
+}
+
+/// Write (or overwrite) the manifest next to `out`. Called once with
+/// `complete: false` when a shard run starts and again with
+/// `complete: true` after its last record is flushed, so a manifest
+/// claiming completion always describes a fully-written result file.
+pub fn write_manifest(out: &Path, manifest: &ShardManifest) -> io::Result<()> {
+    let mut text = manifest.to_json();
+    text.push('\n');
+    std::fs::write(manifest_path(out), text)
+}
+
+/// Read the manifest next to `out`; `Ok(None)` when there is none
+/// (result files predating the shard subsystem have no sidecar).
+pub fn read_manifest(out: &Path) -> Result<Option<ShardManifest>, String> {
+    let path = manifest_path(out);
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(format!("reading {}: {e}", path.display())),
+    };
+    ShardManifest::from_json(&text).map(Some).map_err(|e| format!("{}: {e}", path.display()))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -183,5 +215,32 @@ mod tests {
         let path = tmp("missing-never-created");
         assert!(load_completed(&path).unwrap().is_empty());
         assert_eq!(load_records(&path).unwrap().0.len(), 0);
+    }
+
+    #[test]
+    fn manifest_round_trips_next_to_the_result_file() {
+        use crate::shard::{ShardSpec, ShardStrategy};
+        use crate::spec::CampaignSpec;
+
+        let out = tmp("manifest.jsonl");
+        assert_eq!(
+            manifest_path(&out).file_name().unwrap().to_string_lossy(),
+            format!("{}.manifest.json", out.file_name().unwrap().to_string_lossy()),
+        );
+        assert_eq!(read_manifest(&out).unwrap(), None, "absent sidecar reads as None");
+
+        let spec = CampaignSpec::standard();
+        let mut m =
+            ShardManifest::for_shard(&spec, ShardSpec { index: 1, count: 4 }, ShardStrategy::Hash);
+        write_manifest(&out, &m).unwrap();
+        assert_eq!(read_manifest(&out).unwrap(), Some(m.clone()));
+        // The completion flip overwrites in place.
+        m.complete = true;
+        write_manifest(&out, &m).unwrap();
+        assert_eq!(read_manifest(&out).unwrap(), Some(m));
+
+        std::fs::write(manifest_path(&out), "not json").unwrap();
+        assert!(read_manifest(&out).is_err(), "corrupt manifest must be loud");
+        std::fs::remove_file(manifest_path(&out)).unwrap();
     }
 }

@@ -5,6 +5,7 @@ use gather_workloads::Family;
 use grid_engine::Point;
 
 use crate::record::ScenarioRecord;
+use crate::shard::{ShardSpec, ShardStrategy};
 
 /// A declarative scenario matrix. Expansion order is the nested product
 /// family → size → seed → controller → scheduler, so the job list (and
@@ -73,15 +74,29 @@ impl CampaignSpec {
     }
 
     pub fn validate(&self) -> Result<(), String> {
-        for (axis, empty) in [
-            ("families", self.families.is_empty()),
-            ("sizes", self.sizes.is_empty()),
-            ("seeds", self.seeds.is_empty()),
-            ("controllers", self.controllers.is_empty()),
-            ("schedulers", self.schedulers.is_empty()),
+        fn has_duplicates<T: PartialEq>(items: &[T]) -> bool {
+            items.iter().enumerate().any(|(i, item)| items[..i].contains(item))
+        }
+        for (axis, empty, repeated) in [
+            ("families", self.families.is_empty(), has_duplicates(&self.families)),
+            ("sizes", self.sizes.is_empty(), has_duplicates(&self.sizes)),
+            ("seeds", self.seeds.is_empty(), has_duplicates(&self.seeds)),
+            ("controllers", self.controllers.is_empty(), has_duplicates(&self.controllers)),
+            ("schedulers", self.schedulers.is_empty(), has_duplicates(&self.schedulers)),
         ] {
             if empty {
                 return Err(format!("campaign spec has no {axis}"));
+            }
+            // A repeated axis value expands to scenarios with identical
+            // IDs: resume would treat the twin as already done, and the
+            // shard coverage digests (XOR folds over IDs) would cancel
+            // the pair — a sharded sweep would burn all its compute and
+            // then unavoidably fail the merge. Reject it up front.
+            if repeated {
+                return Err(format!(
+                    "campaign spec repeats a value in {axis}: duplicate scenario IDs would \
+                     break resume and shard coverage"
+                ));
             }
         }
         if self.sizes.contains(&0) {
@@ -121,6 +136,48 @@ impl CampaignSpec {
         }
         out
     }
+
+    /// Expand only the scenarios `shard` owns under `strategy`, in
+    /// expansion order. The `count`-way partition is a disjoint exact
+    /// cover of [`CampaignSpec::expand`]: every job lands in exactly one
+    /// shard, and the `hash` strategy places it identically on any
+    /// machine (the ID hash is machine- and order-independent). This is
+    /// the executor's own filter with an empty resume set, so the
+    /// partition here cannot drift from the one runs actually execute.
+    pub fn expand_shard(&self, shard: ShardSpec, strategy: ShardStrategy) -> Vec<Scenario> {
+        crate::executor::select_pending(&self.expand(), shard, strategy, &Default::default())
+    }
+
+    /// Order-sensitive digest of the full expanded scenario-ID list:
+    /// two specs share a digest iff they expand to the same jobs in the
+    /// same order. This is what pins N shard outputs to one spec — a
+    /// merge refuses shards whose spec digests differ.
+    pub fn spec_digest(&self) -> u64 {
+        let mut joined = String::new();
+        for sc in self.expand() {
+            joined.push_str(&sc.id());
+            joined.push('\n');
+        }
+        gather_trace::digest_bytes(joined.as_bytes())
+    }
+
+    /// Order-free coverage digest of the full expansion — the XOR fold
+    /// of per-ID digests ([`coverage_xor`]). Because XOR is commutative
+    /// and self-inverse, the folds of N *disjoint* shards combine to
+    /// exactly this value iff their union is the whole spec, which is
+    /// how a merge proves coverage by digest arithmetic alone.
+    pub fn coverage_digest(&self) -> u64 {
+        let ids: Vec<String> = self.expand().iter().map(Scenario::id).collect();
+        coverage_xor(ids.iter().map(String::as_str))
+    }
+}
+
+/// XOR fold of [`gather_trace::digest_bytes`] over a set of scenario
+/// IDs: an order-free set digest (the empty set folds to 0). Callers
+/// must deduplicate first — XOR cancels pairs, so a duplicated ID would
+/// vanish instead of being detected.
+pub fn coverage_xor<'a>(ids: impl Iterator<Item = &'a str>) -> u64 {
+    ids.fold(0u64, |acc, id| acc ^ gather_trace::digest_bytes(id.as_bytes()))
 }
 
 /// One fully-pinned experiment: everything needed to reproduce the run.
@@ -285,6 +342,71 @@ mod tests {
     }
 
     #[test]
+    fn shard_expansion_is_a_disjoint_exact_cover() {
+        let spec = CampaignSpec::standard();
+        let all = spec.expand();
+        for strategy in [ShardStrategy::Hash, ShardStrategy::Stride] {
+            for count in [1u32, 2, 3, 4, 7] {
+                let mut seen = std::collections::HashSet::new();
+                let mut union = 0usize;
+                for index in 0..count {
+                    let shard = spec.expand_shard(ShardSpec { index, count }, strategy);
+                    union += shard.len();
+                    for sc in &shard {
+                        assert!(seen.insert(sc.id()), "{strategy:?} {count}: {} twice", sc.id());
+                    }
+                }
+                assert_eq!(union, all.len(), "{strategy:?} {count}-way cover lost jobs");
+            }
+        }
+        // Stride round-robins the expansion order exactly.
+        let s0 = spec.expand_shard(ShardSpec { index: 0, count: 3 }, ShardStrategy::Stride);
+        assert_eq!(s0[0], all[0]);
+        assert_eq!(s0[1], all[3]);
+    }
+
+    #[test]
+    fn spec_digest_pins_jobs_and_their_order() {
+        let spec = CampaignSpec::standard();
+        assert_eq!(spec.spec_digest(), CampaignSpec::standard().spec_digest());
+        let mut resized = CampaignSpec::standard();
+        resized.sizes.push(256);
+        assert_ne!(spec.spec_digest(), resized.spec_digest());
+        // The name is not part of the expansion, so it does not shift
+        // the digest — renaming a spec file keeps its shards mergeable.
+        let mut renamed = CampaignSpec::standard();
+        renamed.name = "other".into();
+        assert_eq!(spec.spec_digest(), renamed.spec_digest());
+        // Reordering an axis reorders the expansion: order-sensitive.
+        let mut reordered = CampaignSpec::standard();
+        reordered.sizes.reverse();
+        assert_ne!(spec.spec_digest(), reordered.spec_digest());
+        // ...but the order-free coverage digest is reorder-invariant.
+        assert_eq!(spec.coverage_digest(), reordered.coverage_digest());
+    }
+
+    #[test]
+    fn shard_coverage_digests_fold_to_the_spec_coverage() {
+        let spec = CampaignSpec::standard();
+        for strategy in [ShardStrategy::Hash, ShardStrategy::Stride] {
+            let mut folded = 0u64;
+            let mut total = 0usize;
+            for index in 0..4u32 {
+                let ids: Vec<String> = spec
+                    .expand_shard(ShardSpec { index, count: 4 }, strategy)
+                    .iter()
+                    .map(Scenario::id)
+                    .collect();
+                total += ids.len();
+                folded ^= coverage_xor(ids.iter().map(String::as_str));
+            }
+            assert_eq!(folded, spec.coverage_digest(), "{strategy:?}");
+            assert_eq!(total, spec.len());
+        }
+        assert_eq!(coverage_xor(std::iter::empty()), 0, "empty shard folds to zero");
+    }
+
+    #[test]
     fn validate_rejects_empty_axes() {
         assert!(CampaignSpec::standard().validate().is_ok());
         let mut spec = CampaignSpec::standard();
@@ -299,6 +421,26 @@ mod tests {
         let mut spec = CampaignSpec::standard();
         spec.schedulers = vec![SchedulerKind::Ssync { p: 0 }];
         assert!(spec.validate().is_err(), "out-of-range ssync probability must be rejected");
+    }
+
+    #[test]
+    fn validate_rejects_repeated_axis_values() {
+        // A repeated value expands to duplicate scenario IDs, which
+        // cancel in the XOR coverage digests: a sharded sweep would run
+        // to completion and then always fail its merge. Loud and early.
+        let mut spec = CampaignSpec::standard();
+        spec.seeds = vec![1, 2, 1];
+        let err = spec.validate().unwrap_err();
+        assert!(err.contains("seeds"), "{err}");
+        let mut spec = CampaignSpec::standard();
+        spec.sizes = vec![16, 16];
+        assert!(spec.validate().is_err());
+        let mut spec = CampaignSpec::standard();
+        spec.families.push(spec.families[0]);
+        assert!(spec.validate().is_err());
+        let mut spec = CampaignSpec::standard();
+        spec.schedulers = vec![SchedulerKind::Fsync, SchedulerKind::Fsync];
+        assert!(spec.validate().is_err());
     }
 
     #[test]

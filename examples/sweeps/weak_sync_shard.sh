@@ -1,0 +1,15 @@
+#!/usr/bin/env sh
+# Print the per-shard command lines (plus the final verified merge) that
+# run the 2000-scenario weak-synchrony sweep as M shards — one line per
+# machine, no coordination needed: the hash partitioner splits the spec
+# identically everywhere, and each shard writes a manifest that
+# `campaign merge` uses to prove the outputs cover the spec exactly once.
+#
+# Usage:   examples/sweeps/weak_sync_shard.sh [M]     (default: 4 shards)
+# Execute: run each printed `campaign run` line on its machine, collect
+#          the .jsonl + .manifest.json pairs in one place, then run the
+#          printed `campaign merge` line and `campaign summarize`.
+set -eu
+cd "$(dirname "$0")/../.."
+exec cargo run --release --bin campaign -- plan --shards "${1:-4}" \
+    --spec examples/sweeps/weak_sync.json --out weak_sync.jsonl
