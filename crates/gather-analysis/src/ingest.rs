@@ -95,6 +95,19 @@ impl JsonObjWriter {
         self.field_u64(key, value as u64)
     }
 
+    /// Emit `value` via Rust's shortest-round-trip float formatting, so
+    /// the parser recovers it bit-exactly. Non-finite values have no
+    /// JSON literal and are written as `0` — callers measuring durations
+    /// never produce them.
+    pub fn field_f64(mut self, key: &str, value: f64) -> Self {
+        self.sep();
+        let value = if value.is_finite() { value } else { 0.0 };
+        // Bare integral floats ("3") would parse back as Int; that still
+        // satisfies as_f64, so no decoration is needed.
+        let _ = write!(self.buf, "{}:{}", escape_json(key), value);
+        self
+    }
+
     pub fn field_bool(mut self, key: &str, value: bool) -> Self {
         self.sep();
         let _ = write!(self.buf, "{}:{}", escape_json(key), value);
@@ -344,6 +357,22 @@ mod tests {
         assert_eq!(map["x"], JsonScalar::Int(-3));
         assert_eq!(map["x"].as_u64(), None);
         assert_eq!(map["x"].as_f64(), Some(-3.0));
+    }
+
+    #[test]
+    fn f64_fields_round_trip_bit_exactly() {
+        for v in [0.0f64, 1.5, 0.1 + 0.2, 1e-9, 12345.6789, f64::MAX] {
+            let line = JsonObjWriter::new().field_f64("secs", v).finish();
+            let map = parse_flat_json(&line).unwrap();
+            assert_eq!(map["secs"].as_f64(), Some(v), "line {line}");
+        }
+        // Integral floats come out as bare integers and still read back.
+        let line = JsonObjWriter::new().field_f64("secs", 3.0).finish();
+        assert_eq!(line, r#"{"secs":3}"#);
+        assert_eq!(parse_flat_json(&line).unwrap()["secs"].as_f64(), Some(3.0));
+        // Non-finite values degrade to zero instead of breaking the line.
+        let line = JsonObjWriter::new().field_f64("secs", f64::NAN).finish();
+        assert_eq!(parse_flat_json(&line).unwrap()["secs"].as_f64(), Some(0.0));
     }
 
     #[test]

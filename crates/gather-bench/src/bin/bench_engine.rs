@@ -11,10 +11,17 @@
 //! Usage:
 //!   bench_engine [--n N] [--rounds R] [--threads T1,T2,..] \
 //!                [--family NAME] [--seed S] [--out PATH] \
-//!                [--gate BASELINE.json] [--tolerance F]
+//!                [--gate BASELINE.json] [--tolerance F] [--profile]
 //!
 //! Defaults: --n 1000000 --rounds 3 --threads 0 --family clusters
 //!           --seed 1 --out BENCH_engine.json
+//!
+//! `--profile` installs the engine's phase profiler for each measured
+//! thread config: the per-phase breakdown is printed to stderr and
+//! written as a `profile` array in the output JSON (before `results`,
+//! whose chunk-parsing gate readers skip everything earlier). Timing
+//! probes add a little overhead, so profiled throughputs run slightly
+//! under unprofiled ones — the gate tolerance absorbs it.
 //!
 //! The post-run position digest is asserted identical across all
 //! measured thread counts — every bench run doubles as a determinism
@@ -30,11 +37,13 @@
 //! box, so only a real cliff — an accidental O(area) scan, a lost
 //! parallel path — should trip it.
 
+use std::cell::RefCell;
+use std::rc::Rc;
 use std::time::Instant;
 
 use gather_core::GatherController;
 use gather_workloads::Family;
-use grid_engine::{ConnectivityCheck, Engine, EngineConfig, OrientationMode};
+use grid_engine::{ConnectivityCheck, Engine, EngineConfig, OrientationMode, Phase, ProfileTotals};
 
 struct Args {
     n: usize,
@@ -45,6 +54,7 @@ struct Args {
     out: String,
     gate: Option<String>,
     tolerance: f64,
+    profile: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -57,6 +67,7 @@ fn parse_args() -> Result<Args, String> {
         out: "BENCH_engine.json".into(),
         gate: None,
         tolerance: 2.5,
+        profile: false,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut it = argv.iter();
@@ -83,6 +94,7 @@ fn parse_args() -> Result<Args, String> {
             "--tolerance" => {
                 args.tolerance = value()?.parse().map_err(|e| format!("--tolerance: {e}"))?;
             }
+            "--profile" => args.profile = true,
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
@@ -127,6 +139,26 @@ fn baseline_throughputs(json: &str) -> Result<Vec<(usize, f64)>, String> {
     Ok(out)
 }
 
+/// One thread config's accumulated phase breakdown as a flat JSON
+/// object for the output's `profile` array.
+fn profile_json(threads: usize, totals: &ProfileTotals) -> String {
+    let mut s = format!(
+        "{{\"threads\": {threads}, \"rounds\": {}, \"wall_ns\": {}, \"coverage\": {:.4}",
+        totals.rounds,
+        totals.wall_ns,
+        totals.coverage(),
+    );
+    for phase in Phase::ALL {
+        s.push_str(&format!(", \"{}_ns\": {}", phase.name(), totals.phase_ns[phase as usize]));
+    }
+    s.push_str(&format!(", \"shard_gap_ns\": {}", totals.shard_imbalance_ns));
+    if totals.allocs_counted {
+        s.push_str(&format!(", \"allocs\": {}", totals.allocs));
+    }
+    s.push('}');
+    s
+}
+
 /// Compare measured throughputs against the baseline; `Err` lists every
 /// thread config that fell below `baseline / tolerance`.
 fn gate_against(
@@ -169,6 +201,7 @@ fn main() {
     };
     let points = gather_workloads::family(args.family, args.n, args.seed);
     let mut results: Vec<String> = Vec::new();
+    let mut profiles: Vec<String> = Vec::new();
     let mut measured: Vec<(usize, f64)> = Vec::new();
     let mut digests: Vec<u64> = Vec::new();
     let mut shape: Option<(u128, usize)> = None;
@@ -179,6 +212,11 @@ fn main() {
             GatherController::paper(),
             EngineConfig { threads, connectivity: ConnectivityCheck::Never, ..Default::default() },
         );
+        let totals = Rc::new(RefCell::new(ProfileTotals::default()));
+        if args.profile {
+            let sink = Rc::clone(&totals);
+            engine.set_profiler(Box::new(move |p| sink.borrow_mut().add(p)));
+        }
         if shape.is_none() {
             // Shape diagnostics come from the first measurement engine
             // (before its timer starts) — building a separate probe
@@ -222,6 +260,11 @@ fn main() {
              \"digest\": \"{digest:#018x}\"}}",
             args.rounds,
         ));
+        if args.profile {
+            let totals = totals.borrow();
+            eprint!("threads={threads} phase breakdown:\n{}", totals.render());
+            profiles.push(profile_json(threads, &totals));
+        }
     }
     assert!(
         digests.windows(2).all(|w| w[0] == w[1]),
@@ -230,10 +273,17 @@ fn main() {
     eprintln!("digest identical across thread counts {:?}", args.threads);
 
     let (bounding_cells, tiles) = shape.expect("at least one thread config ran");
+    // The `profile` array sits BEFORE `results`: gate readers chunk-parse
+    // the objects after the `results` key and must not see profile rows.
+    let profile_block = if profiles.is_empty() {
+        String::new()
+    } else {
+        format!("\"profile\": [\n    {}\n  ],\n  ", profiles.join(",\n    "))
+    };
     let json = format!(
         "{{\n  \"bench\": \"engine_throughput\",\n  \"family\": \"{}\",\n  \"n_requested\": {},\n  \
          \"n_actual\": {},\n  \"seed\": {},\n  \"rounds\": {},\n  \"bounding_cells\": {},\n  \
-         \"occupied_tiles\": {},\n  \"results\": [\n    {}\n  ]\n}}\n",
+         \"occupied_tiles\": {},\n  {profile_block}\"results\": [\n    {}\n  ]\n}}\n",
         args.family.name(),
         args.n,
         points.len(),
@@ -290,6 +340,39 @@ mod tests {
             baseline_throughputs(r#"{"results": [{"threads": 1}]}"#).is_err(),
             "entry without a throughput"
         );
+    }
+
+    #[test]
+    fn baseline_parser_skips_a_profile_array_before_results() {
+        // A `--profile` baseline carries phase rows before `results`;
+        // the chunk parser must only see the results entries.
+        let with_profile = r#"{
+          "bench": "engine_throughput",
+          "profile": [
+            {"threads": 1, "rounds": 3, "wall_ns": 900, "coverage": 0.97, "compute_ns": 500}
+          ],
+          "results": [
+            {"threads": 1, "rounds": 3, "robot_rounds_per_s": 250000.0, "digest": "0x1"}
+          ]
+        }"#;
+        let pairs = baseline_throughputs(with_profile).unwrap();
+        assert_eq!(pairs, vec![(1, 250_000.0)]);
+    }
+
+    #[test]
+    fn profile_rows_are_flat_json_with_every_phase() {
+        let mut totals = ProfileTotals { rounds: 3, wall_ns: 1_000, ..Default::default() };
+        totals.phase_ns[Phase::Compute as usize] = 600;
+        totals.shard_imbalance_ns = 42;
+        let row = profile_json(8, &totals);
+        let map = gather_analysis::parse_flat_json(&row).expect("profile row parses flat");
+        assert_eq!(map.get("threads").and_then(|v| v.as_u64()), Some(8));
+        assert_eq!(map.get("compute_ns").and_then(|v| v.as_u64()), Some(600));
+        assert_eq!(map.get("shard_gap_ns").and_then(|v| v.as_u64()), Some(42));
+        for phase in Phase::ALL {
+            assert!(map.contains_key(&format!("{}_ns", phase.name())), "{row}");
+        }
+        assert!(!map.contains_key("allocs"), "allocs only when counted");
     }
 
     #[test]

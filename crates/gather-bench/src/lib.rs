@@ -8,8 +8,8 @@ use gather_baselines::{AsyncGreedy, GoToCenter};
 use gather_core::{GatherConfig, GatherController};
 use grid_engine::connectivity::is_connected;
 use grid_engine::{
-    BoxedRoundObserver, ConnectivityCheck, Engine, EngineConfig, EngineError, OrientationMode,
-    Point, RunOutcome, Scheduler,
+    BoxedProfileSink, BoxedRoundObserver, ConnectivityCheck, Engine, EngineConfig, EngineError,
+    OrientationMode, Point, RunOutcome, Scheduler,
 };
 
 /// Outcome of one measured gathering run.
@@ -208,6 +208,26 @@ pub fn run_measured_observed(
     engine_threads: usize,
     observer: Option<BoxedRoundObserver>,
 ) -> Measurement {
+    run_measured_instrumented(kind, scheduler, points, seed, budget, engine_threads, observer, None)
+}
+
+/// [`run_measured_observed`] with an optional per-round profile sink
+/// attached to the engine as well — the hook `campaign run --perf`
+/// uses. The profiler only *times* phases; measured results stay
+/// bit-identical with profiling on or off (the engine guarantees no
+/// behavioural difference, only clock reads). The greedy baseline has
+/// no engine rounds, so its runs invoke the profiler zero times.
+#[allow(clippy::too_many_arguments)]
+pub fn run_measured_instrumented(
+    kind: ControllerKind,
+    scheduler: SchedulerKind,
+    points: &[Point],
+    seed: u64,
+    budget: u64,
+    engine_threads: usize,
+    observer: Option<BoxedRoundObserver>,
+    profiler: Option<BoxedProfileSink>,
+) -> Measurement {
     let policy = scheduler.to_policy(seed, points.len());
     match kind {
         ControllerKind::Paper => run_paper_configured(
@@ -218,9 +238,10 @@ pub fn run_measured_observed(
             engine_threads,
             policy,
             observer,
+            profiler,
         ),
         ControllerKind::Center => {
-            run_center_configured(points, seed, budget, engine_threads, policy, observer)
+            run_center_configured(points, seed, budget, engine_threads, policy, observer, profiler)
         }
         ControllerKind::Greedy => run_greedy(points, budget),
     }
@@ -235,6 +256,7 @@ fn run_paper_configured(
     threads: usize,
     scheduler: Scheduler,
     observer: Option<BoxedRoundObserver>,
+    profiler: Option<BoxedProfileSink>,
 ) -> Measurement {
     let controller = GatherController::with_config(cfg).expect("valid config");
     let mut engine = Engine::from_positions(
@@ -246,13 +268,16 @@ fn run_paper_configured(
     if let Some(observer) = observer {
         engine.set_observer(observer);
     }
+    if let Some(profiler) = profiler {
+        engine.set_profiler(profiler);
+    }
     finish(points.len(), engine.run_until_gathered(budget), &mut engine)
 }
 
 /// Run the paper's algorithm on `points` until gathered (or the budget
 /// dies). `seed` scrambles per-robot orientations (no-compass model).
 pub fn run_paper(points: &[Point], seed: u64, cfg: GatherConfig, budget: u64) -> Measurement {
-    run_paper_configured(points, seed, cfg, budget, 0, Scheduler::Fsync, None)
+    run_paper_configured(points, seed, cfg, budget, 0, Scheduler::Fsync, None, None)
 }
 
 /// Same, pinned to a given worker-thread count (E10).
@@ -265,6 +290,7 @@ pub fn run_paper_threads(points: &[Point], seed: u64, threads: usize, budget: u6
         threads,
         Scheduler::Fsync,
         None,
+        None,
     )
 }
 
@@ -272,12 +298,12 @@ pub fn run_paper_threads(points: &[Point], seed: u64, threads: usize, budget: u6
 /// enforced: the baseline is allowed to break the model's invariant so
 /// the experiment can report how often it does.
 pub fn run_center(points: &[Point], seed: u64, budget: u64) -> Measurement {
-    run_center_configured(points, seed, budget, 0, Scheduler::Fsync, None)
+    run_center_configured(points, seed, budget, 0, Scheduler::Fsync, None, None)
 }
 
 /// [`run_center`] pinned to a given engine worker-thread count.
 pub fn run_center_threads(points: &[Point], seed: u64, budget: u64, threads: usize) -> Measurement {
-    run_center_configured(points, seed, budget, threads, Scheduler::Fsync, None)
+    run_center_configured(points, seed, budget, threads, Scheduler::Fsync, None, None)
 }
 
 fn run_center_configured(
@@ -287,6 +313,7 @@ fn run_center_configured(
     threads: usize,
     scheduler: Scheduler,
     observer: Option<BoxedRoundObserver>,
+    profiler: Option<BoxedProfileSink>,
 ) -> Measurement {
     let mut engine = Engine::from_positions(
         points,
@@ -296,6 +323,9 @@ fn run_center_configured(
     );
     if let Some(observer) = observer {
         engine.set_observer(observer);
+    }
+    if let Some(profiler) = profiler {
+        engine.set_profiler(profiler);
     }
     finish(points.len(), engine.run_until_gathered(budget), &mut engine)
 }

@@ -13,6 +13,7 @@
 use std::collections::BTreeMap;
 
 use gather_analysis::{linear_fit, loglog_slope, Table};
+use grid_engine::{Phase, PHASE_COUNT};
 
 use crate::merge::MergeReport;
 use crate::record::ScenarioRecord;
@@ -198,6 +199,97 @@ pub fn summarize(records: &[ScenarioRecord]) -> Vec<Table> {
     tables
 }
 
+/// Engine phase-share table from records written by `campaign run
+/// --perf`: one row per (family, n, scheduler), columns are each
+/// phase's share of engine wall time plus attribution coverage and
+/// scenario throughput. `Err` when no record carries a perf block —
+/// summarizing a plain result file with `--perf` is a pipeline mistake
+/// that should be loud, not an empty table.
+pub fn summarize_perf(records: &[ScenarioRecord]) -> Result<Vec<Table>, String> {
+    struct PerfCell {
+        runs: usize,
+        wall_s: f64,
+        secs: f64,
+        robot_rounds: f64,
+        phase_s: [f64; PHASE_COUNT],
+        shard_gap_s: f64,
+        allocs: Option<u64>,
+    }
+
+    // (family, n, scheduler) -> accumulated phase times.
+    let mut groups: BTreeMap<(&str, usize, &str), PerfCell> = BTreeMap::new();
+    for r in records {
+        let Some(perf) = &r.perf else { continue };
+        let cell =
+            groups.entry((r.family.as_str(), r.n, r.scheduler.as_str())).or_insert(PerfCell {
+                runs: 0,
+                wall_s: 0.0,
+                secs: 0.0,
+                robot_rounds: 0.0,
+                phase_s: [0.0; PHASE_COUNT],
+                shard_gap_s: 0.0,
+                allocs: None,
+            });
+        cell.runs += 1;
+        cell.wall_s += perf.wall_s;
+        cell.secs += r.secs;
+        cell.robot_rounds += r.n as f64 * r.rounds as f64;
+        for (sum, s) in cell.phase_s.iter_mut().zip(&perf.phase_s) {
+            *sum += s;
+        }
+        cell.shard_gap_s += perf.shard_gap_s;
+        if let Some(a) = perf.allocs {
+            cell.allocs = Some(cell.allocs.unwrap_or(0) + a);
+        }
+    }
+    if groups.is_empty() {
+        return Err("no perf data in the result file (records carry phase profiles only when the \
+             campaign ran with --perf)"
+            .into());
+    }
+
+    let mut headers: Vec<&str> = vec!["family", "n", "scheduler", "runs", "wall s"];
+    headers.extend(Phase::ALL.iter().map(|p| p.name()));
+    headers.extend(["shard gap", "coverage", "robot·rounds/s"]);
+    let counted_allocs = groups.values().any(|c| c.allocs.is_some());
+    if counted_allocs {
+        headers.push("allocs");
+    }
+    let mut t = Table::new(
+        "Engine phase shares — fraction of engine wall time per phase (run --perf)",
+        &headers,
+    );
+    for (&(family, n, scheduler), cell) in &groups {
+        let share = |s: f64| {
+            if cell.wall_s > 0.0 {
+                format!("{:.1}%", s / cell.wall_s * 100.0)
+            } else {
+                "n/a".into()
+            }
+        };
+        let mut row = vec![
+            family.to_string(),
+            n.to_string(),
+            scheduler.to_string(),
+            cell.runs.to_string(),
+            format!("{:.3}", cell.wall_s),
+        ];
+        row.extend(Phase::ALL.iter().map(|&p| share(cell.phase_s[p as usize])));
+        row.push(share(cell.shard_gap_s));
+        row.push(share(cell.phase_s.iter().sum()));
+        row.push(if cell.secs > 0.0 {
+            format!("{:.0}", cell.robot_rounds / cell.secs)
+        } else {
+            "n/a".into()
+        });
+        if counted_allocs {
+            row.push(cell.allocs.map_or_else(|| "n/a".into(), |a| a.to_string()));
+        }
+        t.push(row);
+    }
+    Ok(vec![t])
+}
+
 /// Per-shard provenance of a verified merge: what each shard file
 /// contributed, how many resumed duplicates were dropped, and how many
 /// torn lines were skipped — the audit trail `campaign merge` prints
@@ -377,6 +469,46 @@ mod tests {
         let records = vec![rec(Family::Line, 32, 0, 64, true)];
         let tables = summarize(&records);
         assert_eq!(tables[0].rows[0][2], "n/a");
+    }
+
+    #[test]
+    fn perf_summary_renders_phase_shares() {
+        use crate::record::PerfSummary;
+
+        let mut with_perf = rec(Family::Line, 32, 0, 64, true);
+        with_perf.secs = 2.0;
+        let mut perf = PerfSummary {
+            wall_s: 1.0,
+            rounds: 64,
+            phase_s: [0.0; PHASE_COUNT],
+            shard_gap_s: 0.05,
+            allocs: None,
+        };
+        perf.phase_s[Phase::Compute as usize] = 0.6;
+        perf.phase_s[Phase::MergeDetect as usize] = 0.3;
+        with_perf.perf = Some(perf);
+        let plain = rec(Family::Line, 64, 0, 128, true);
+
+        let tables = summarize_perf(&[with_perf, plain]).unwrap();
+        assert_eq!(tables.len(), 1);
+        let t = &tables[0];
+        assert_eq!(t.rows.len(), 1, "records without perf are skipped");
+        assert_eq!(&t.rows[0][..3], ["line", "32", "fsync"]);
+        let compute_col = t.headers.iter().position(|h| h == "compute").unwrap();
+        assert_eq!(t.rows[0][compute_col], "60.0%");
+        let coverage_col = t.headers.iter().position(|h| h == "coverage").unwrap();
+        assert_eq!(t.rows[0][coverage_col], "90.0%");
+        let tput_col = t.headers.iter().position(|h| h == "robot·rounds/s").unwrap();
+        assert_eq!(t.rows[0][tput_col], "1024", "32 robots · 64 rounds / 2 s");
+        assert!(!t.headers.iter().any(|h| h == "allocs"), "no alloc column without counts");
+    }
+
+    #[test]
+    fn perf_summary_without_perf_data_is_an_error() {
+        let err = summarize_perf(&[rec(Family::Line, 32, 0, 64, true)]).unwrap_err();
+        assert!(err.contains("--perf"), "{err}");
+        let err = summarize_perf(&[]).unwrap_err();
+        assert!(err.contains("no perf data"), "{err}");
     }
 
     #[test]

@@ -1,5 +1,5 @@
 //! The campaign CLI: `run`, `resume`, `record`, `replay`, `diff`,
-//! `render`, `smoke` and `summarize` subcommands over the
+//! `render`, `smoke`, `summarize` and `events` subcommands over the
 //! gather-campaign library. See `--help` for flags.
 
 use std::fs::File;
@@ -10,10 +10,11 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use gather_campaign::cli::{self, Command, RenderArgs, RunArgs, USAGE};
+use gather_campaign::executor::JobEvent;
 use gather_campaign::{
     executor, load_completed, load_records, merge_shards, plan_lines, provenance_table, run_smoke,
-    summarize, trace_ops, DiffStatus, JsonlSink, ReplayStatus, Scenario, ScenarioRecord,
-    ShardManifest, SmokeArgs, TraceJobOutcome,
+    summarize, summarize_perf, trace_ops, DiffStatus, JsonlSink, ProgressReporter, ReplayStatus,
+    Scenario, ScenarioRecord, ShardManifest, SmokeArgs, TraceJobOutcome,
 };
 
 fn main() -> ExitCode {
@@ -39,7 +40,8 @@ fn main() -> ExitCode {
         Command::Diff { a, b } => diff_dirs(&a, &b),
         Command::Render(args) => render_trace(&args),
         Command::Smoke(args) => smoke(&args),
-        Command::Summarize { input } => summarize_file(&input),
+        Command::Summarize { input, perf } => summarize_file(&input, perf),
+        Command::EventsTail { file } => events_tail(&file),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
@@ -51,7 +53,7 @@ fn main() -> ExitCode {
 }
 
 fn execute(args: RunArgs, resume: bool) -> Result<(), String> {
-    let RunArgs { spec, threads, out, shard, strategy } = args;
+    let RunArgs { spec, threads, out, shard, strategy, events, quiet, perf } = args;
     let jobs = spec.expand();
     let completed = if resume {
         load_completed(&out).map_err(|e| format!("reading {}: {e}", out.display()))?
@@ -108,43 +110,54 @@ fn execute(args: RunArgs, resume: bool) -> Result<(), String> {
     );
 
     let start = Instant::now();
-    let total = pending.len();
-    let mut write_error: Option<String> = None;
-    let mut done = 0usize;
-    let mut panicked = 0usize;
-    // A failed write aborts the whole campaign (ControlFlow::Break):
-    // results that cannot be persisted are not worth computing, and the
-    // file on disk is a valid checkpoint for `resume`.
-    executor::execute_jobs(
+    // The reporter owns both progress surfaces — stderr lines and the
+    // optional `--events` NDJSON stream — so they can never disagree.
+    // On resume the event file is appended as a new segment.
+    let mut reporter =
+        ProgressReporter::start(&spec.name, pending.len(), events.as_deref(), resume, quiet)
+            .map_err(|e| format!("opening event stream: {e}"))?;
+    let mut failure: Option<String> = None;
+    // A failed result or event write aborts the whole campaign
+    // (ControlFlow::Break): results that cannot be persisted are not
+    // worth computing, and the file on disk is a valid checkpoint for
+    // `resume`. The aborted event stream correctly reads as incomplete
+    // (no `job_finished`).
+    executor::execute_jobs_observed(
         &pending,
         threads,
-        Scenario::run,
-        ScenarioRecord::for_panic,
-        |_i, rec| {
-            done += 1;
-            if rec.panicked {
-                panicked += 1;
+        |sc: &Scenario| if perf { sc.run_profiled() } else { sc.run() },
+        |sc, secs| {
+            let mut rec = ScenarioRecord::for_panic(sc);
+            if perf {
+                rec.secs = secs;
             }
-            if let Err(e) = sink.write(&rec) {
-                write_error = Some(format!("writing {}: {e}", out.display()));
-                return ControlFlow::Break(());
+            rec
+        },
+        |event| match event {
+            JobEvent::Started(i) => {
+                if let Err(e) = reporter.scenario_started(&pending[i].id()) {
+                    failure = Some(format!("writing event stream: {e}"));
+                    return ControlFlow::Break(());
+                }
+                ControlFlow::Continue(())
             }
-            let status = if rec.panicked {
-                "PANIC"
-            } else if !rec.gathered && !rec.connected {
-                "disc"
-            } else if !rec.gathered {
-                "stall"
-            } else {
-                "ok"
-            };
-            eprintln!("[{done}/{total}] {:<32} {status:>5}  rounds={}", rec.id, rec.rounds);
-            ControlFlow::Continue(())
+            JobEvent::Finished(_i, rec, secs) => {
+                if let Err(e) = sink.write(&rec) {
+                    failure = Some(format!("writing {}: {e}", out.display()));
+                    return ControlFlow::Break(());
+                }
+                if let Err(e) = reporter.scenario_finished(&rec, secs) {
+                    failure = Some(format!("writing event stream: {e}"));
+                    return ControlFlow::Break(());
+                }
+                ControlFlow::Continue(())
+            }
         },
     );
-    if let Some(e) = write_error {
+    if let Some(e) = failure {
         return Err(format!("{e} (campaign aborted; completed scenarios are resumable)"));
     }
+    reporter.finish().map_err(|e| format!("writing event stream: {e}"))?;
     // Every owned scenario is on disk: flip the completion marker that
     // makes this shard mergeable.
     let manifest = ShardManifest { complete: true, ..manifest };
@@ -154,9 +167,9 @@ fn execute(args: RunArgs, resume: bool) -> Result<(), String> {
         "campaign `{}`{} complete: {} run, {} skipped, {} panicked in {:.1?}",
         spec.name,
         if shard.is_full() { String::new() } else { format!(" shard {shard}") },
-        done,
+        reporter.done(),
         skipped,
-        panicked,
+        reporter.panicked(),
         start.elapsed(),
     );
     Ok(())
@@ -199,7 +212,7 @@ fn plan(run: &RunArgs, shards: u32) -> Result<(), String> {
 /// aborts the campaign (a recording campaign whose traces are silently
 /// incomplete is worse than a dead one).
 fn execute_record(args: RunArgs, trace_dir: &Path) -> Result<(), String> {
-    let RunArgs { spec, threads, out, shard, strategy } = args;
+    let RunArgs { spec, threads, out, shard, strategy, events, quiet, perf } = args;
     std::fs::create_dir_all(trace_dir)
         .map_err(|e| format!("creating {}: {e}", trace_dir.display()))?;
     let swept = trace_ops::clean_trace_dir(trace_dir)
@@ -227,48 +240,61 @@ fn execute_record(args: RunArgs, trace_dir: &Path) -> Result<(), String> {
         trace_dir.display(),
     );
     let start = Instant::now();
-    let total = jobs.len();
+    let mut reporter =
+        ProgressReporter::start(&spec.name, jobs.len(), events.as_deref(), false, quiet)
+            .map_err(|e| format!("opening event stream: {e}"))?;
     let mut failure: Option<String> = None;
-    let mut done = 0usize;
     let mut traced = 0usize;
-    executor::execute_jobs(
+    executor::execute_jobs_observed(
         &jobs,
         threads,
-        |sc| trace_ops::record_scenario(sc, trace_dir),
-        TraceJobOutcome::for_panic,
-        |_i, outcome| {
-            done += 1;
-            if let Some(e) = outcome.error {
-                failure = Some(format!("recording {}: {e}", outcome.record.id));
-                return ControlFlow::Break(());
+        |sc| trace_ops::record_scenario_profiled(sc, trace_dir, perf),
+        |sc, secs| {
+            let mut outcome = TraceJobOutcome::for_panic(sc);
+            if perf {
+                outcome.record.secs = secs;
             }
-            if let Err(e) = sink.write(&outcome.record) {
-                failure = Some(format!("writing {}: {e}", out.display()));
-                return ControlFlow::Break(());
+            outcome
+        },
+        |event| match event {
+            JobEvent::Started(i) => {
+                if let Err(e) = reporter.scenario_started(&jobs[i].id()) {
+                    failure = Some(format!("writing event stream: {e}"));
+                    return ControlFlow::Break(());
+                }
+                ControlFlow::Continue(())
             }
-            let mark = if outcome.trace_path.is_some() {
-                traced += 1;
-                "traced"
-            } else {
-                "-"
-            };
-            eprintln!(
-                "[{done}/{total}] {:<32} {mark:>6}  rounds={}",
-                outcome.record.id, outcome.record.rounds
-            );
-            ControlFlow::Continue(())
+            JobEvent::Finished(_i, outcome, secs) => {
+                if let Some(e) = outcome.error {
+                    failure = Some(format!("recording {}: {e}", outcome.record.id));
+                    return ControlFlow::Break(());
+                }
+                if let Err(e) = sink.write(&outcome.record) {
+                    failure = Some(format!("writing {}: {e}", out.display()));
+                    return ControlFlow::Break(());
+                }
+                if outcome.trace_path.is_some() {
+                    traced += 1;
+                }
+                if let Err(e) = reporter.scenario_finished(&outcome.record, secs) {
+                    failure = Some(format!("writing event stream: {e}"));
+                    return ControlFlow::Break(());
+                }
+                ControlFlow::Continue(())
+            }
         },
     );
     if let Some(e) = failure {
         return Err(format!("{e} (recording aborted)"));
     }
+    reporter.finish().map_err(|e| format!("writing event stream: {e}"))?;
     let manifest = ShardManifest { complete: true, ..manifest };
     gather_campaign::write_manifest(&out, &manifest)
         .map_err(|e| format!("writing manifest for {}: {e}", out.display()))?;
     eprintln!(
         "campaign `{}` recorded: {} run, {} traced in {:.1?}",
         spec.name,
-        done,
+        reporter.done(),
         traced,
         start.elapsed(),
     );
@@ -424,7 +450,7 @@ fn smoke(args: &SmokeArgs) -> Result<(), String> {
     Ok(())
 }
 
-fn summarize_file(input: &Path) -> Result<(), String> {
+fn summarize_file(input: &Path, perf: bool) -> Result<(), String> {
     let (records, skipped) =
         load_records(input).map_err(|e| format!("reading {}: {e}", input.display()))?;
     if records.is_empty() {
@@ -433,8 +459,43 @@ fn summarize_file(input: &Path) -> Result<(), String> {
     if skipped > 0 {
         eprintln!("warning: skipped {skipped} malformed line(s)");
     }
-    for table in summarize(&records) {
+    let tables = if perf { summarize_perf(&records)? } else { summarize(&records) };
+    for table in tables {
         println!("{}", gather_analysis::render_markdown(&table));
+    }
+    Ok(())
+}
+
+/// `events tail`: one-line status of an event stream, exit non-zero if
+/// the file is torn mid-event or the job never finished — the check CI
+/// runs against a `--events` campaign.
+fn events_tail(file: &Path) -> Result<(), String> {
+    let stream =
+        gather_obs::read_events(file).map_err(|e| format!("reading {}: {e}", file.display()))?;
+    if stream.skipped > 0 {
+        eprintln!("warning: skipped {} unparseable line(s)", stream.skipped);
+    }
+    let summary = gather_obs::validate(&stream.events)?;
+    let state = if summary.complete {
+        match summary.secs {
+            Some(secs) => format!("complete in {secs:.1}s"),
+            None => "complete".to_string(),
+        }
+    } else {
+        match summary.eta_secs {
+            Some(eta) => format!("running, eta {eta:.0}s"),
+            None => "running".to_string(),
+        }
+    };
+    println!(
+        "job '{}': {}/{} done, {} panicked, {state}",
+        summary.job, summary.done, summary.total, summary.panicked,
+    );
+    if stream.torn {
+        return Err(format!("{} ends in a torn line", file.display()));
+    }
+    if !summary.complete {
+        return Err("stream has no job_finished — the campaign is still running or died".into());
     }
     Ok(())
 }

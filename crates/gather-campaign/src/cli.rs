@@ -14,9 +14,11 @@ campaign — parallel scenario sweeps for the grid-gathering reproduction
 
 USAGE:
     campaign run       [--threads N] [--out PATH] [--spec FILE] [--shard I/M]
-                       [--shard-strategy hash|stride] [axis flags]
+                       [--shard-strategy hash|stride] [--events FILE]
+                       [--quiet] [--perf] [axis flags]
     campaign resume    [--threads N] [--out PATH] [--spec FILE] [--shard I/M]
-                       [--shard-strategy hash|stride] [axis flags]
+                       [--shard-strategy hash|stride] [--events FILE]
+                       [--quiet] [--perf] [axis flags]
     campaign record    [run flags]   [--trace-dir DIR]
     campaign merge     [--out PATH] SHARD.jsonl [SHARD.jsonl ...]
     campaign plan      --shards M [--out PATH] [--spec FILE] [axis flags]
@@ -25,7 +27,8 @@ USAGE:
     campaign render    TRACE.gtrc [--every K] [--svg PATH] [--cell N]
     campaign smoke     [--n N] [--rounds R] [--family F] [--seed S]
                        [--threads-a A] [--threads-b B] [--dir DIR]
-    campaign summarize [--in PATH]
+    campaign summarize [--in PATH] [--perf]
+    campaign events tail FILE
 
 SUBCOMMANDS:
     run        Execute the sweep from scratch (truncates --out)
@@ -61,10 +64,30 @@ SUBCOMMANDS:
                exits non-zero on any divergence (defaults: n=100000,
                rounds=12, family=clusters, threads 1 vs 8)
     summarize  Fold a result file into per-family scaling tables,
-               grouped per (controller, scheduler)
+               grouped per (controller, scheduler); --perf instead
+               renders the engine phase-share table per (family, n,
+               scheduler) from records written by `run --perf`
+    events     `events tail FILE`: one-line status of an --events
+               stream (done/total, panics, ETA or final wall time);
+               exits non-zero when the stream is torn or has no
+               terminating job_finished — the CI check that a streamed
+               run really completed
 
 OPTIONS:
     --threads N        Worker threads; 0 = all cores (default 0)
+    --events FILE      Also emit the run as a versioned NDJSON event stream
+                       (job_started / scenario_started / scenario_finished /
+                       heartbeat / job_finished; one flat JSON object per
+                       line). run/record truncate FILE; resume appends a new
+                       segment. The stderr progress lines are rendered from
+                       these same events, so the two can never disagree
+    --quiet            Suppress the per-scenario stderr progress lines
+                       (the --events stream, when given, stays complete)
+    --perf             Attach the engine phase profiler to every scenario:
+                       records gain `secs` and a `perf_*` phase breakdown.
+                       Trades result-file byte-reproducibility (timings
+                       differ run to run) for observability; measured
+                       result fields stay bit-identical
     --out PATH         Result JSONL file (default campaign.jsonl; run/resume/record;
                        when sharded, the default gains a .shardIofM suffix).
                        For merge/plan: the merged result path (default campaign.jsonl)
@@ -118,7 +141,8 @@ pub enum Command {
     Diff { a: PathBuf, b: PathBuf },
     Render(RenderArgs),
     Smoke(crate::smoke::SmokeArgs),
-    Summarize { input: PathBuf },
+    Summarize { input: PathBuf, perf: bool },
+    EventsTail { file: PathBuf },
     Help,
 }
 
@@ -141,6 +165,12 @@ pub struct RunArgs {
     /// Which slice of the spec this invocation executes (`0/1` = all).
     pub shard: ShardSpec,
     pub strategy: ShardStrategy,
+    /// Also emit the run as an NDJSON event stream to this file.
+    pub events: Option<PathBuf>,
+    /// Suppress the stderr progress lines.
+    pub quiet: bool,
+    /// Attach the engine phase profiler (records gain timing fields).
+    pub perf: bool,
 }
 
 impl Default for RunArgs {
@@ -151,6 +181,9 @@ impl Default for RunArgs {
             out: PathBuf::from("campaign.jsonl"),
             shard: ShardSpec::FULL,
             strategy: ShardStrategy::Hash,
+            events: None,
+            quiet: false,
+            perf: false,
         }
     }
 }
@@ -322,12 +355,14 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
         }
         "summarize" => {
             let mut input = PathBuf::from("campaign.jsonl");
+            let mut perf = false;
             let mut it = rest.iter();
             while let Some(&flag) = it.next() {
                 match flag {
                     "--in" => {
                         input = PathBuf::from(value_of(flag, it.next().copied())?);
                     }
+                    "--perf" => perf = true,
                     // `--out` used to be a silent, undocumented alias
                     // for `--in`; reject it so a run/summarize pipeline
                     // typo cannot silently read the wrong file.
@@ -340,7 +375,33 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                     other => return Err(format!("unknown summarize flag {other:?}")),
                 }
             }
-            Ok(Command::Summarize { input })
+            Ok(Command::Summarize { input, perf })
+        }
+        "events" => {
+            let mut it = rest.iter();
+            match it.next().copied() {
+                Some("tail") => {
+                    let mut file = None;
+                    for &arg in it {
+                        match arg {
+                            "-h" | "--help" => return Ok(Command::Help),
+                            flag if flag.starts_with("--") => {
+                                return Err(format!("unknown events tail flag {flag:?}"));
+                            }
+                            path if file.is_none() => file = Some(PathBuf::from(path)),
+                            extra => {
+                                return Err(format!(
+                                    "events tail takes one FILE, got {extra:?} too"
+                                ));
+                            }
+                        }
+                    }
+                    let file = file.ok_or("events tail needs an event FILE")?;
+                    Ok(Command::EventsTail { file })
+                }
+                Some("-h" | "--help") | None => Ok(Command::Help),
+                Some(other) => Err(format!("unknown events verb {other:?} (try tail)")),
+            }
         }
         other => Err(format!("unknown subcommand {other:?} (try --help)")),
     }
@@ -388,6 +449,9 @@ fn parse_run_args(
                 out_explicit = true;
             }
             "--shard" => out.shard = ShardSpec::parse(value_of(flag, it.next().copied())?)?,
+            "--events" => out.events = Some(PathBuf::from(value_of(flag, it.next().copied())?)),
+            "--quiet" => out.quiet = true,
+            "--perf" => out.perf = true,
             "--shard-strategy" => {
                 let v = value_of(flag, it.next().copied())?;
                 out.strategy = ShardStrategy::parse(v)
@@ -577,12 +641,65 @@ mod tests {
     #[test]
     fn resume_and_summarize_parse() {
         assert!(matches!(parse(&strings(&["resume"])).unwrap(), Command::Resume(_)));
-        let Command::Summarize { input } =
+        let Command::Summarize { input, perf } =
             parse(&strings(&["summarize", "--in", "r.jsonl"])).unwrap()
         else {
             panic!()
         };
         assert_eq!(input, PathBuf::from("r.jsonl"));
+        assert!(!perf);
+        let Command::Summarize { perf, .. } = parse(&strings(&["summarize", "--perf"])).unwrap()
+        else {
+            panic!()
+        };
+        assert!(perf);
+    }
+
+    #[test]
+    fn observability_flags_parse() {
+        let Command::Run(args) =
+            parse(&strings(&["run", "--events", "ev.ndjson", "--quiet", "--perf"])).unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(args.events, Some(PathBuf::from("ev.ndjson")));
+        assert!(args.quiet && args.perf);
+
+        // Defaults: no stream, not quiet, no profiling.
+        let Command::Run(args) = parse(&strings(&["run"])).unwrap() else { panic!() };
+        assert_eq!(args.events, None);
+        assert!(!args.quiet && !args.perf);
+
+        // resume and record accept the same flags.
+        assert!(matches!(
+            parse(&strings(&["resume", "--events", "e", "--quiet"])).unwrap(),
+            Command::Resume(_)
+        ));
+        let Command::Record { run, .. } =
+            parse(&strings(&["record", "--perf", "--events", "e"])).unwrap()
+        else {
+            panic!()
+        };
+        assert!(run.perf);
+        assert_eq!(run.events, Some(PathBuf::from("e")));
+
+        assert!(parse(&strings(&["run", "--events"])).is_err(), "--events needs a value");
+    }
+
+    #[test]
+    fn events_tail_parses() {
+        let Command::EventsTail { file } =
+            parse(&strings(&["events", "tail", "ev.ndjson"])).unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(file, PathBuf::from("ev.ndjson"));
+
+        assert!(matches!(parse(&strings(&["events"])).unwrap(), Command::Help));
+        assert!(parse(&strings(&["events", "tail"])).is_err(), "FILE is required");
+        assert!(parse(&strings(&["events", "tail", "a", "b"])).is_err(), "one FILE only");
+        assert!(parse(&strings(&["events", "watch", "x"])).is_err(), "unknown verb");
+        assert!(parse(&strings(&["events", "tail", "--bogus"])).is_err());
     }
 
     #[test]

@@ -15,6 +15,7 @@ use std::ops::ControlFlow;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
+use std::time::Instant;
 
 use grid_engine::parallel::resolve_threads;
 
@@ -22,10 +23,25 @@ use crate::record::ScenarioRecord;
 use crate::shard::{ShardSpec, ShardStrategy};
 use crate::spec::Scenario;
 
-/// Run every job and hand each result to `consume` on the calling
-/// thread as it completes. `run` executes on worker threads; a panic
-/// inside it is caught and converted via `on_panic` instead of tearing
-/// the campaign down. Returns the number of panicked jobs.
+/// One lifecycle notification from the executor, delivered to the
+/// caller's callback on the submitting thread. The progress/event layer
+/// maps these 1:1 onto `scenario_started`/`scenario_finished` stream
+/// events, which is why the executor — the only place that knows when a
+/// worker actually picks a job up — emits them itself.
+pub enum JobEvent<R> {
+    /// A worker picked up job `i`.
+    Started(usize),
+    /// Job `i` completed (panics included, converted via `on_panic`);
+    /// the `f64` is the job's measured wall time in seconds. Failure
+    /// paths carry their real elapsed time, not zero.
+    Finished(usize, R, f64),
+}
+
+/// Run every job and hand lifecycle events to `consume` on the calling
+/// thread as they happen. `run` executes on worker threads; a panic
+/// inside it is caught and converted via `on_panic(job, elapsed_secs)`
+/// instead of tearing the campaign down. Returns the number of panicked
+/// jobs.
 ///
 /// `consume` returning [`ControlFlow::Break`] aborts the campaign:
 /// workers stop pulling new jobs and in-flight results are discarded
@@ -34,6 +50,81 @@ use crate::spec::Scenario;
 ///
 /// `threads == 0` means available parallelism; `threads == 1` runs
 /// inline, in job order, with the same panic isolation.
+pub fn execute_jobs_observed<J, R, F, P, C>(
+    jobs: &[J],
+    threads: usize,
+    run: F,
+    on_panic: P,
+    mut consume: C,
+) -> usize
+where
+    J: Sync,
+    R: Send,
+    F: Fn(&J) -> R + Sync,
+    P: Fn(&J, f64) -> R + Sync,
+    C: FnMut(JobEvent<R>) -> ControlFlow<()>,
+{
+    let threads = resolve_threads(threads).min(jobs.len().max(1));
+    let panics = AtomicUsize::new(0);
+    let guarded = |job: &J| -> (R, f64) {
+        let start = Instant::now();
+        match catch_unwind(AssertUnwindSafe(|| run(job))) {
+            Ok(result) => (result, start.elapsed().as_secs_f64()),
+            Err(_) => {
+                panics.fetch_add(1, Ordering::Relaxed);
+                let secs = start.elapsed().as_secs_f64();
+                (on_panic(job, secs), secs)
+            }
+        }
+    };
+
+    if threads <= 1 {
+        for (i, job) in jobs.iter().enumerate() {
+            if consume(JobEvent::Started(i)).is_break() {
+                break;
+            }
+            let (result, secs) = guarded(job);
+            if consume(JobEvent::Finished(i, result, secs)).is_break() {
+                break;
+            }
+        }
+        return panics.into_inner();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<JobEvent<R>>();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let tx = tx.clone();
+            let cursor = &cursor;
+            let guarded = &guarded;
+            scope.spawn(move || loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(job) = jobs.get(i) else { break };
+                if tx.send(JobEvent::Started(i)).is_err() {
+                    break;
+                }
+                let (result, secs) = guarded(job);
+                if tx.send(JobEvent::Finished(i, result, secs)).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        for event in rx {
+            if consume(event).is_break() {
+                // Dropping the receiver makes every worker's next
+                // send fail, so they stop pulling jobs.
+                break;
+            }
+        }
+    });
+    panics.into_inner()
+}
+
+/// [`execute_jobs_observed`] for callers that only want completed
+/// results: start notifications and timings are dropped, `on_panic`
+/// sees just the job. The historical executor entry point.
 pub fn execute_jobs<J, R, F, P, C>(
     jobs: &[J],
     threads: usize,
@@ -48,50 +139,16 @@ where
     P: Fn(&J) -> R + Sync,
     C: FnMut(usize, R) -> ControlFlow<()>,
 {
-    let threads = resolve_threads(threads).min(jobs.len().max(1));
-    let panics = AtomicUsize::new(0);
-    let guarded = |job: &J| -> R {
-        catch_unwind(AssertUnwindSafe(|| run(job))).unwrap_or_else(|_| {
-            panics.fetch_add(1, Ordering::Relaxed);
-            on_panic(job)
-        })
-    };
-
-    if threads <= 1 {
-        for (i, job) in jobs.iter().enumerate() {
-            let result = guarded(job);
-            if consume(i, result).is_break() {
-                break;
-            }
-        }
-        return panics.into_inner();
-    }
-
-    let cursor = AtomicUsize::new(0);
-    let (tx, rx) = mpsc::channel::<(usize, R)>();
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            let tx = tx.clone();
-            let cursor = &cursor;
-            let guarded = &guarded;
-            scope.spawn(move || loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                let Some(job) = jobs.get(i) else { break };
-                if tx.send((i, guarded(job))).is_err() {
-                    break;
-                }
-            });
-        }
-        drop(tx);
-        for (i, result) in rx {
-            if consume(i, result).is_break() {
-                // Dropping the receiver makes every worker's next
-                // send fail, so they stop pulling jobs.
-                break;
-            }
-        }
-    });
-    panics.into_inner()
+    execute_jobs_observed(
+        jobs,
+        threads,
+        run,
+        |job: &J, _secs| on_panic(job),
+        |event| match event {
+            JobEvent::Started(_) => ControlFlow::Continue(()),
+            JobEvent::Finished(i, result, _secs) => consume(i, result),
+        },
+    )
 }
 
 /// The jobs a worker should actually execute: those its shard owns
@@ -241,6 +298,79 @@ mod tests {
             select_pending(&jobs, shard, ShardStrategy::Hash, &foreign_done).len(),
             owned.len(),
         );
+    }
+
+    #[test]
+    fn observed_execution_pairs_started_and_finished_with_real_timings() {
+        let jobs: Vec<u64> = (0..40).collect();
+        for threads in [1usize, 4] {
+            let mut started = vec![0u32; jobs.len()];
+            let mut finished = vec![0u32; jobs.len()];
+            let panics = execute_jobs_observed(
+                &jobs,
+                threads,
+                |&j| {
+                    if j == 7 {
+                        std::thread::sleep(std::time::Duration::from_millis(5));
+                    }
+                    if j % 13 == 3 {
+                        panic!("job {j} exploded");
+                    }
+                    j
+                },
+                |&j, secs| {
+                    assert!(secs >= 0.0);
+                    j + 1000
+                },
+                |event| {
+                    match event {
+                        JobEvent::Started(i) => started[i] += 1,
+                        JobEvent::Finished(i, r, secs) => {
+                            assert_eq!(
+                                started[i], 1,
+                                "finished before started (threads={threads})"
+                            );
+                            assert!(secs >= 0.0);
+                            if jobs[i] == 7 {
+                                assert!(secs >= 0.004, "slow job must report real elapsed time");
+                            }
+                            let expected = if jobs[i] % 13 == 3 { jobs[i] + 1000 } else { jobs[i] };
+                            assert_eq!(r, expected);
+                            finished[i] += 1;
+                        }
+                    }
+                    ControlFlow::Continue(())
+                },
+            );
+            assert_eq!(panics, 3, "threads={threads}");
+            assert!(started.iter().all(|&c| c == 1), "threads={threads}");
+            assert!(finished.iter().all(|&c| c == 1), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn panicked_jobs_report_their_real_elapsed_time() {
+        // The failure-path timing contract: a panicking job's elapsed
+        // time flows both to `on_panic` and to the Finished event.
+        let jobs = [0u64];
+        let mut event_secs = -1.0f64;
+        execute_jobs_observed(
+            &jobs,
+            1,
+            |_: &u64| -> f64 {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+                panic!("boom");
+            },
+            |_, secs| secs,
+            |event| {
+                if let JobEvent::Finished(_, panic_secs, secs) = event {
+                    assert!(panic_secs >= 0.004, "on_panic saw {panic_secs}");
+                    event_secs = secs;
+                }
+                ControlFlow::Continue(())
+            },
+        );
+        assert!(event_secs >= 0.004, "event carried {event_secs}");
     }
 
     #[test]

@@ -68,6 +68,7 @@ pub mod aggregate;
 pub mod cli;
 pub mod executor;
 pub mod merge;
+pub mod progress;
 pub mod record;
 pub mod shard;
 pub mod sink;
@@ -75,9 +76,10 @@ pub mod smoke;
 pub mod spec;
 pub mod trace_ops;
 
-pub use aggregate::{provenance_table, summarize};
+pub use aggregate::{provenance_table, summarize, summarize_perf};
 pub use merge::{merge_shards, MergeReport, ShardContribution};
-pub use record::ScenarioRecord;
+pub use progress::{record_status, ProgressReporter};
+pub use record::{PerfSummary, ScenarioRecord};
 pub use shard::{fnv1a_64, plan_lines, shard_out_path, ShardManifest, ShardSpec, ShardStrategy};
 pub use sink::{
     load_completed, load_records, manifest_path, read_manifest, write_manifest, JsonlSink,
@@ -85,8 +87,8 @@ pub use sink::{
 pub use smoke::{run_smoke, SmokeArgs, SmokeReport};
 pub use spec::{coverage_xor, CampaignSpec, Scenario};
 pub use trace_ops::{
-    diff_trace_dirs, diff_trace_files, record_scenario, replay_trace, DiffReport, DiffStatus,
-    ReplayReport, ReplayStatus, TraceJobOutcome,
+    diff_trace_dirs, diff_trace_files, record_scenario, record_scenario_profiled, replay_trace,
+    DiffReport, DiffStatus, ReplayReport, ReplayStatus, TraceJobOutcome,
 };
 
 // Axis types, re-exported so campaign callers need only this crate.

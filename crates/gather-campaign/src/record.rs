@@ -2,14 +2,62 @@
 
 use gather_analysis::{parse_flat_json, JsonObjWriter};
 use gather_bench::Measurement;
+use grid_engine::{Phase, ProfileTotals, PHASE_COUNT};
 
 use crate::spec::Scenario;
 
-/// Outcome of one scenario, as streamed to the result file. Every field
-/// is a pure function of the scenario, so records are byte-identical
-/// across runs and thread counts (wall-clock timing is deliberately
-/// excluded for exactly that reason).
-#[derive(Clone, Debug, PartialEq, Eq)]
+/// Aggregated phase profile of one scenario run, attached to its record
+/// by `campaign run --perf`. All durations in seconds.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct PerfSummary {
+    /// Wall time spent inside the engine's `step()` calls.
+    pub wall_s: f64,
+    /// Rounds the profile covers.
+    pub rounds: u64,
+    /// Per-phase attributed time, indexed by `Phase as usize`.
+    pub phase_s: [f64; PHASE_COUNT],
+    /// Accumulated slowest-minus-fastest shard gap in the sharded
+    /// merge-detect section (parallel imbalance).
+    pub shard_gap_s: f64,
+    /// Allocation events over the run; `Some` only when the engine was
+    /// built with the `count-alloc` feature.
+    pub allocs: Option<u64>,
+}
+
+impl PerfSummary {
+    /// Convert the engine's accumulated totals (nanoseconds) into the
+    /// record's second-denominated summary.
+    pub fn from_totals(t: &ProfileTotals) -> Self {
+        let mut phase_s = [0.0; PHASE_COUNT];
+        for phase in Phase::ALL {
+            phase_s[phase as usize] = t.phase_ns[phase as usize] as f64 / 1e9;
+        }
+        PerfSummary {
+            wall_s: t.wall_ns as f64 / 1e9,
+            rounds: t.rounds,
+            phase_s,
+            shard_gap_s: t.shard_imbalance_ns as f64 / 1e9,
+            allocs: t.allocs_counted.then_some(t.allocs),
+        }
+    }
+
+    /// Fraction of engine wall time attributed to named phases.
+    pub fn coverage(&self) -> f64 {
+        if self.wall_s == 0.0 {
+            1.0
+        } else {
+            self.phase_s.iter().sum::<f64>() / self.wall_s
+        }
+    }
+}
+
+/// Outcome of one scenario, as streamed to the result file. The default
+/// fields are a pure function of the scenario, so default records are
+/// byte-identical across runs and thread counts. The timing fields
+/// (`secs`, `perf`) are strictly opt-in — they serialize only when set,
+/// so plain runs keep byte-reproducible result files and `--perf`
+/// explicitly trades that for wall-clock data.
+#[derive(Clone, Debug, PartialEq)]
 pub struct ScenarioRecord {
     /// Stable scenario ID (`family/n<size>/s<seed>/<controller>` for
     /// FSYNC, with a fifth `/<scheduler>` segment otherwise).
@@ -34,8 +82,16 @@ pub struct ScenarioRecord {
     /// Whether the swarm was still connected when the run ended.
     pub connected: bool,
     /// True when the job panicked (isolated by the executor); all
-    /// numeric fields are zero in that case.
+    /// numeric result fields are zero in that case (`secs` still
+    /// carries the real elapsed time under `--perf`).
     pub panicked: bool,
+    /// Executor-measured wall time of the job, seconds. `0.0` means
+    /// "not measured" and is omitted from the JSON line, keeping
+    /// default records byte-identical with pre-perf result files.
+    pub secs: f64,
+    /// Engine phase breakdown, present only under `--perf` (and only
+    /// when the run had engine rounds — the greedy baseline has none).
+    pub perf: Option<PerfSummary>,
 }
 
 impl ScenarioRecord {
@@ -54,6 +110,8 @@ impl ScenarioRecord {
             gathered: m.gathered,
             connected: m.connected,
             panicked: false,
+            secs: 0.0,
+            perf: None,
         }
     }
 
@@ -73,12 +131,16 @@ impl ScenarioRecord {
             gathered: false,
             connected: false,
             panicked: true,
+            secs: 0.0,
+            perf: None,
         }
     }
 
     /// One line of the campaign JSONL stream (no trailing newline).
+    /// The timing fields serialize only when set, so a record produced
+    /// without `--perf` emits exactly the pre-perf byte layout.
     pub fn to_json_line(&self) -> String {
-        JsonObjWriter::new()
+        let mut w = JsonObjWriter::new()
             .field_str("id", &self.id)
             .field_str("family", &self.family)
             .field_str("controller", &self.controller)
@@ -91,8 +153,21 @@ impl ScenarioRecord {
             .field_u64("activations", self.activations)
             .field_bool("gathered", self.gathered)
             .field_bool("connected", self.connected)
-            .field_bool("panicked", self.panicked)
-            .finish()
+            .field_bool("panicked", self.panicked);
+        if self.secs != 0.0 {
+            w = w.field_f64("secs", self.secs);
+        }
+        if let Some(perf) = &self.perf {
+            w = w.field_f64("perf_wall_s", perf.wall_s).field_u64("perf_rounds", perf.rounds);
+            for phase in Phase::ALL {
+                w = w.field_f64(&format!("perf_{}_s", phase.name()), perf.phase_s[phase as usize]);
+            }
+            w = w.field_f64("perf_shard_gap_s", perf.shard_gap_s);
+            if let Some(allocs) = perf.allocs {
+                w = w.field_u64("perf_allocs", allocs);
+            }
+        }
+        w.finish()
     }
 
     /// Parse one line; `Err` covers malformed and truncated lines.
@@ -114,6 +189,23 @@ impl ScenarioRecord {
                 .and_then(|v| v.as_bool())
                 .ok_or_else(|| format!("missing bool field {key:?}"))
         };
+        let f64_field = |key: &str| map.get(key).and_then(|v| v.as_f64());
+        // A record carries a perf block iff its anchor field is present
+        // (phase fields default to 0.0 so the format can grow phases).
+        let perf = f64_field("perf_wall_s").map(|wall_s| {
+            let mut phase_s = [0.0; PHASE_COUNT];
+            for phase in Phase::ALL {
+                phase_s[phase as usize] =
+                    f64_field(&format!("perf_{}_s", phase.name())).unwrap_or(0.0);
+            }
+            PerfSummary {
+                wall_s,
+                rounds: map.get("perf_rounds").and_then(|v| v.as_u64()).unwrap_or(0),
+                phase_s,
+                shard_gap_s: f64_field("perf_shard_gap_s").unwrap_or(0.0),
+                allocs: map.get("perf_allocs").and_then(|v| v.as_u64()),
+            }
+        });
         Ok(ScenarioRecord {
             id: str_field("id")?,
             family: str_field("family")?,
@@ -130,6 +222,8 @@ impl ScenarioRecord {
             gathered: bool_field("gathered")?,
             connected: bool_field("connected")?,
             panicked: bool_field("panicked")?,
+            secs: f64_field("secs").unwrap_or(0.0),
+            perf,
         })
     }
 }
@@ -193,6 +287,59 @@ mod tests {
     #[test]
     fn missing_fields_rejected() {
         assert!(ScenarioRecord::from_json_line(r#"{"id":"x"}"#).is_err());
+    }
+
+    #[test]
+    fn default_records_keep_the_pre_perf_byte_layout() {
+        // The opt-in contract: a record without timing must serialize
+        // with no `secs`/`perf_*` fields at all — byte-for-byte the
+        // pre-perf format, so byte-comparing result files stays valid.
+        let line = sample().to_json_line();
+        assert!(!line.contains("secs"), "{line}");
+        assert!(!line.contains("perf"), "{line}");
+        assert!(line.ends_with(r#""panicked":false}"#), "{line}");
+    }
+
+    #[test]
+    fn perf_fields_round_trip() {
+        let mut rec = sample();
+        rec.secs = 1.25;
+        let mut perf = PerfSummary {
+            wall_s: 1.2,
+            rounds: 412,
+            phase_s: [0.0; PHASE_COUNT],
+            shard_gap_s: 0.03,
+            allocs: Some(1234),
+        };
+        for (i, slot) in perf.phase_s.iter_mut().enumerate() {
+            *slot = 0.125 * (i as f64 + 1.0);
+        }
+        rec.perf = Some(perf);
+        let line = rec.to_json_line();
+        assert!(line.contains(r#""secs":1.25"#), "{line}");
+        assert!(line.contains(r#""perf_compute_s":0.25"#), "{line}");
+        assert!(line.contains(r#""perf_allocs":1234"#), "{line}");
+        assert_eq!(ScenarioRecord::from_json_line(&line).unwrap(), rec);
+
+        // Without allocation counting the field is simply absent.
+        rec.perf.as_mut().unwrap().allocs = None;
+        let line = rec.to_json_line();
+        assert!(!line.contains("perf_allocs"), "{line}");
+        assert_eq!(ScenarioRecord::from_json_line(&line).unwrap(), rec);
+    }
+
+    #[test]
+    fn perf_summary_from_totals_converts_ns_to_seconds() {
+        let mut totals = ProfileTotals { rounds: 10, wall_ns: 2_000_000_000, ..Default::default() };
+        totals.phase_ns[Phase::Compute as usize] = 1_500_000_000;
+        totals.shard_imbalance_ns = 40_000_000;
+        let perf = PerfSummary::from_totals(&totals);
+        assert_eq!(perf.rounds, 10);
+        assert!((perf.wall_s - 2.0).abs() < 1e-9);
+        assert!((perf.phase_s[Phase::Compute as usize] - 1.5).abs() < 1e-9);
+        assert!((perf.shard_gap_s - 0.04).abs() < 1e-9);
+        assert_eq!(perf.allocs, None, "allocs not counted");
+        assert!((perf.coverage() - 0.75).abs() < 1e-9);
     }
 
     #[test]

@@ -293,6 +293,41 @@ impl Scenario {
         );
         ScenarioRecord::from_measurement(self, &m)
     }
+
+    /// [`Scenario::run`] with the engine's phase profiler attached: the
+    /// record carries its wall time and a [`crate::PerfSummary`]. The
+    /// profiler only reads clocks, so the measured result fields are
+    /// bit-identical with [`Scenario::run`]'s. The greedy baseline has
+    /// no engine rounds — its record gets `secs` but no perf block.
+    pub fn run_profiled(&self) -> ScenarioRecord {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        use std::time::Instant;
+
+        let points = self.points();
+        let budget = self.budget(points.len());
+        let totals: Rc<RefCell<grid_engine::ProfileTotals>> = Rc::default();
+        let sink = totals.clone();
+        let start = Instant::now();
+        let m = gather_bench::run_measured_instrumented(
+            self.controller,
+            self.scheduler,
+            &points,
+            self.seed,
+            budget,
+            1,
+            None,
+            Some(Box::new(move |profile| sink.borrow_mut().add(profile))),
+        );
+        let secs = start.elapsed().as_secs_f64();
+        let mut rec = ScenarioRecord::from_measurement(self, &m);
+        rec.secs = secs;
+        let totals = totals.borrow();
+        if totals.rounds > 0 {
+            rec.perf = Some(crate::record::PerfSummary::from_totals(&totals));
+        }
+        rec
+    }
 }
 
 #[cfg(test)]

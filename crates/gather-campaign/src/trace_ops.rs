@@ -12,7 +12,7 @@ use std::io::{self, BufReader, BufWriter};
 use std::path::{Path, PathBuf};
 use std::rc::Rc;
 
-use gather_bench::{run_measured_observed, ControllerKind};
+use gather_bench::{run_measured_instrumented, run_measured_observed, ControllerKind};
 use gather_trace::{
     divergence_between, RoundDivergence, TraceError, TraceHeader, TraceReader, TraceWriter,
 };
@@ -90,10 +90,20 @@ impl TraceSink {
 /// `dir/<trace_file_name(id)>`. The measurement is identical to an
 /// untraced [`Scenario::run`] — observation never perturbs the run.
 pub fn record_scenario(sc: &Scenario, dir: &Path) -> TraceJobOutcome {
+    record_scenario_profiled(sc, dir, false)
+}
+
+/// [`record_scenario`] with the engine phase profiler optionally
+/// attached (`campaign record --perf`): the scenario record gains
+/// `secs` and a perf block, while the trace bytes stay identical to an
+/// unprofiled recording — the profiler only reads clocks, so the
+/// observer sees the same round stream either way.
+pub fn record_scenario_profiled(sc: &Scenario, dir: &Path, perf: bool) -> TraceJobOutcome {
     if sc.controller == ControllerKind::Greedy {
         // The sequential strawman drives itself; there is no engine
         // round stream to record.
-        return TraceJobOutcome { record: sc.run(), trace_path: None, error: None };
+        let record = if perf { sc.run_profiled() } else { sc.run() };
+        return TraceJobOutcome { record, trace_path: None, error: None };
     }
     let points = sc.points();
     let budget = sc.budget(points.len());
@@ -127,7 +137,14 @@ pub fn record_scenario(sc: &Scenario, dir: &Path) -> TraceJobOutcome {
         let sink = sink.clone();
         Box::new(move |rec: &RoundRecord| sink.borrow_mut().push(rec))
     };
-    let m = run_measured_observed(
+    let totals: Rc<RefCell<grid_engine::ProfileTotals>> = Rc::default();
+    let profiler = perf.then(|| {
+        let totals = totals.clone();
+        Box::new(move |profile: &grid_engine::RoundProfile| totals.borrow_mut().add(profile))
+            as grid_engine::BoxedProfileSink
+    });
+    let start = std::time::Instant::now();
+    let m = run_measured_instrumented(
         sc.controller,
         sc.scheduler,
         &points,
@@ -135,7 +152,9 @@ pub fn record_scenario(sc: &Scenario, dir: &Path) -> TraceJobOutcome {
         budget,
         1,
         Some(observer),
+        profiler,
     );
+    let secs = start.elapsed().as_secs_f64();
     let mut sink =
         Rc::try_unwrap(sink).ok().expect("engine dropped its observer clone").into_inner();
     let error = sink
@@ -146,8 +165,16 @@ pub fn record_scenario(sc: &Scenario, dir: &Path) -> TraceJobOutcome {
     if error.is_some() {
         let _ = fs::remove_file(&tmp);
     }
+    let mut record = ScenarioRecord::from_measurement(sc, &m);
+    if perf {
+        record.secs = secs;
+        let totals = totals.borrow();
+        if totals.rounds > 0 {
+            record.perf = Some(crate::record::PerfSummary::from_totals(&totals));
+        }
+    }
     TraceJobOutcome {
-        record: ScenarioRecord::from_measurement(sc, &m),
+        record,
         trace_path: error.is_none().then_some(path),
         error: error.map(|e| e.to_string()),
     }

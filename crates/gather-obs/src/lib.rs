@@ -1,0 +1,31 @@
+//! # gather-obs
+//!
+//! Structured campaign observability: the versioned NDJSON event stream
+//! a running campaign emits (`--events FILE`), the torn-line-safe
+//! writer that produces it, and the validating reader its consumers
+//! share.
+//!
+//! One event per line, flat JSON, every line carrying the schema
+//! version (`"v"`) and the event kind (`"event"`). The stream is the
+//! exact progress protocol a future `campaign serve` speaks over a
+//! socket — file and socket consumers parse identical bytes:
+//!
+//! | event               | fields                                           |
+//! |---------------------|--------------------------------------------------|
+//! | `job_started`       | `job`, `total`                                   |
+//! | `scenario_started`  | `id`                                             |
+//! | `scenario_finished` | `id`, `status`, `rounds`, `secs`, `robot_rounds_per_s` |
+//! | `heartbeat`         | `done`, `total`, `eta_secs`                      |
+//! | `job_finished`      | `done`, `panicked`, `secs`                       |
+//!
+//! A resumed campaign appends a fresh `job_started` to the same file,
+//! opening a new *segment*; scenarios left in flight by a killed run
+//! are implicitly abandoned by the segment boundary, which is how the
+//! exactly-one-`started`/`finished`-pair-per-completed-scenario
+//! invariant survives crashes ([`validate`]).
+
+pub mod event;
+pub mod stream;
+
+pub use event::{Event, Status, EVENT_VERSION};
+pub use stream::{read_events, validate, EventStream, EventWriter, StreamSummary};

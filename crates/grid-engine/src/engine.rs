@@ -7,6 +7,7 @@ use crate::geom::{Bounds, V2};
 use crate::metrics::{Metrics, RoundStats};
 use crate::observe::{BoxedRoundObserver, RobotMove, RoundRecord};
 use crate::parallel::parallel_map;
+use crate::profile::{self, timed, BoxedProfileSink, Phase, RoundProfile};
 use crate::scheduler::{Activation, Scheduler};
 use crate::swarm::{Action, OrientationMode, RobotState, Swarm};
 use crate::view::View;
@@ -122,12 +123,13 @@ pub struct Engine<C: Controller> {
     round: u64,
     metrics: Metrics,
     observer: Option<BoxedRoundObserver>,
+    profiler: Option<BoxedProfileSink>,
 }
 
 impl<C: Controller> Engine<C> {
     pub fn new(swarm: Swarm<C::State>, controller: C, config: EngineConfig) -> Self {
         let metrics = Metrics::new(config.keep_history);
-        Engine { swarm, controller, config, round: 0, metrics, observer: None }
+        Engine { swarm, controller, config, round: 0, metrics, observer: None, profiler: None }
     }
 
     /// Convenience constructor from bare positions.
@@ -168,6 +170,22 @@ impl<C: Controller> Engine<C> {
         self.observer = None;
     }
 
+    /// Attach a per-round profile sink: called once after every round
+    /// (failing rounds included) with the round's [`RoundProfile`] —
+    /// wall time attributed to named phases, shard imbalance in the
+    /// parallel apply, and the allocation delta when the `count-alloc`
+    /// feature is on. Profiling observes the round *after* its work, so
+    /// results are bit-identical with and without a sink; with no sink
+    /// attached the round loop reads no clocks at all.
+    pub fn set_profiler(&mut self, profiler: BoxedProfileSink) {
+        self.profiler = Some(profiler);
+    }
+
+    /// Detach the profile sink installed by [`Engine::set_profiler`].
+    pub fn clear_profiler(&mut self) {
+        self.profiler = None;
+    }
+
     /// Execute one scheduler round: activate the scheduler's subset,
     /// compute their actions in parallel, and apply them simultaneously
     /// (inactive robots keep position and state). The apply itself also
@@ -179,10 +197,21 @@ impl<C: Controller> Engine<C> {
     /// the weaker schedulers relax *who* acts, not the common clock.
     /// Returns the round's statistics.
     pub fn step(&mut self) -> Result<RoundStats, EngineError> {
+        // Profiling is pay-as-you-go like observation: with no sink
+        // attached, `timed` degenerates to a direct call and no clock is
+        // read anywhere in the round.
+        let profiling = self.profiler.is_some();
+        let round_start = profiling.then(std::time::Instant::now);
+        let allocs_before = if profiling { profile::allocation_count() } else { None };
+        let mut profile_buf =
+            profiling.then(|| RoundProfile { round: self.round, ..Default::default() });
+        let mut prof = profile_buf.as_mut();
+
         let n = self.swarm.len();
         let ctx = RoundCtx { round: self.round };
         let radius = self.controller.radius();
-        let activation = self.config.scheduler.activate(self.round, n);
+        let activation =
+            timed(&mut prof, Phase::Activate, || self.config.scheduler.activate(self.round, n));
         let activated = activation.len(n);
         let swarm = &self.swarm;
         let controller = &self.controller;
@@ -198,23 +227,39 @@ impl<C: Controller> Engine<C> {
         let mut moves: Vec<RobotMove> = Vec::new();
         let outcome = match activation {
             Activation::All => {
-                let actions: Vec<Action<C::State>> = parallel_map(n, self.config.threads, decide);
+                let actions: Vec<Action<C::State>> = timed(&mut prof, Phase::Compute, || {
+                    parallel_map(n, self.config.threads, decide)
+                });
                 if tracing {
-                    moves = world_moves(swarm, actions.iter().enumerate());
+                    moves = timed(&mut prof, Phase::Observe, || {
+                        world_moves(swarm, actions.iter().enumerate())
+                    });
                 }
-                self.swarm.apply_threads(actions, self.config.threads)
+                self.swarm.apply_threads_profiled(actions, self.config.threads, prof.as_deref_mut())
             }
             Activation::Subset(active) => {
-                let computed: Vec<Action<C::State>> =
-                    parallel_map(active.len(), self.config.threads, |j| decide(active[j]));
+                let computed: Vec<Action<C::State>> = timed(&mut prof, Phase::Compute, || {
+                    parallel_map(active.len(), self.config.threads, |j| decide(active[j]))
+                });
                 if tracing {
-                    moves = world_moves(swarm, active.iter().copied().zip(computed.iter()));
+                    moves = timed(&mut prof, Phase::Observe, || {
+                        world_moves(swarm, active.iter().copied().zip(computed.iter()))
+                    });
                 }
-                let mut actions: Vec<Option<Action<C::State>>> = (0..n).map(|_| None).collect();
-                for (i, action) in active.into_iter().zip(computed) {
-                    actions[i] = Some(action);
-                }
-                self.swarm.apply_partial_threads(actions, self.config.threads)
+                let actions: Vec<Option<Action<C::State>>> =
+                    timed(&mut prof, Phase::ApplyTargets, || {
+                        let mut actions: Vec<Option<Action<C::State>>> =
+                            (0..n).map(|_| None).collect();
+                        for (i, action) in active.into_iter().zip(computed) {
+                            actions[i] = Some(action);
+                        }
+                        actions
+                    });
+                self.swarm.apply_partial_threads_profiled(
+                    actions,
+                    self.config.threads,
+                    prof.as_deref_mut(),
+                )
             }
         };
         let stats = RoundStats {
@@ -231,31 +276,53 @@ impl<C: Controller> Engine<C> {
         // replay must observe exactly the rounds the recorded run
         // executed — including the failing one.
         if let Some(observer) = self.observer.as_mut() {
-            let record = RoundRecord {
-                round: stats.round,
-                activated: recorded_activation.expect("cloned when tracing"),
-                moves,
-                merged: stats.merged as u32,
-                population: self.swarm.len() as u32,
-                digest: self.swarm.position_digest(),
-            };
-            observer(&record);
-        }
-
-        let check = match self.config.connectivity {
-            ConnectivityCheck::Never => false,
-            ConnectivityCheck::Always => true,
-            ConnectivityCheck::Every(k) => k != 0 && self.round.is_multiple_of(k),
-        };
-        if check && !is_connected(&self.swarm) {
-            return Err(EngineError::Disconnected { round: stats.round });
-        }
-        if self.metrics.mergeless_streak() >= self.config.stall_limit && !self.swarm.is_gathered() {
-            return Err(EngineError::Stalled {
-                round: stats.round,
-                streak: self.metrics.mergeless_streak(),
+            let swarm = &self.swarm;
+            timed(&mut prof, Phase::Observe, || {
+                let record = RoundRecord {
+                    round: stats.round,
+                    activated: recorded_activation.expect("cloned when tracing"),
+                    moves,
+                    merged: stats.merged as u32,
+                    population: swarm.len() as u32,
+                    digest: swarm.position_digest(),
+                };
+                observer(&record);
             });
         }
+
+        let invariants = timed(&mut prof, Phase::Invariants, || {
+            let check = match self.config.connectivity {
+                ConnectivityCheck::Never => false,
+                ConnectivityCheck::Always => true,
+                ConnectivityCheck::Every(k) => k != 0 && self.round.is_multiple_of(k),
+            };
+            if check && !is_connected(&self.swarm) {
+                return Err(EngineError::Disconnected { round: stats.round });
+            }
+            if self.metrics.mergeless_streak() >= self.config.stall_limit
+                && !self.swarm.is_gathered()
+            {
+                return Err(EngineError::Stalled {
+                    round: stats.round,
+                    streak: self.metrics.mergeless_streak(),
+                });
+            }
+            Ok(())
+        });
+
+        // The profile goes out on failing rounds too — a round that
+        // disconnected still cost its wall time — after all round work,
+        // so the sink can never perturb the simulation.
+        if let Some(mut p) = profile_buf {
+            p.wall_ns = round_start.expect("set when profiling").elapsed().as_nanos() as u64;
+            if let (Some(before), Some(after)) = (allocs_before, profile::allocation_count()) {
+                p.allocs = Some(after.saturating_sub(before));
+            }
+            if let Some(sink) = self.profiler.as_mut() {
+                sink(&p);
+            }
+        }
+        invariants?;
         Ok(stats)
     }
 
@@ -471,6 +538,107 @@ mod tests {
             }
             assert_eq!(run(4, scheduler), reference, "{scheduler:?}: records depend on threads");
         }
+    }
+
+    #[test]
+    fn profiler_never_perturbs_results_and_attributes_round_time() {
+        use crate::profile::{ProfileTotals, RoundProfile};
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        let pts: Vec<Point> = (0..2000).map(|x| Point::new(x, 0)).collect();
+        let run = |threads: usize, profile: bool| {
+            let profiles: Rc<RefCell<Vec<RoundProfile>>> = Rc::default();
+            let mut engine = Engine::from_positions(
+                &pts,
+                OrientationMode::Aligned,
+                MarchEast,
+                EngineConfig {
+                    threads,
+                    connectivity: ConnectivityCheck::Never,
+                    ..Default::default()
+                },
+            );
+            if profile {
+                let sink = profiles.clone();
+                engine.set_profiler(Box::new(move |p| sink.borrow_mut().push(p.clone())));
+            }
+            for _ in 0..10 {
+                engine.step().expect("unchecked steps cannot fail");
+            }
+            let digest = engine.swarm.position_digest();
+            drop(engine);
+            let profiles =
+                Rc::try_unwrap(profiles).map(RefCell::into_inner).expect("engine dropped");
+            (digest, engine_len_from(&profiles), profiles)
+        };
+        fn engine_len_from(profiles: &[RoundProfile]) -> usize {
+            profiles.len()
+        }
+        for threads in [1usize, 4] {
+            let (plain_digest, _, profiles_off) = run(threads, false);
+            let (profiled_digest, rounds, profiles) = run(threads, true);
+            assert!(profiles_off.is_empty(), "profile emitted without a sink");
+            assert_eq!(plain_digest, profiled_digest, "profiling perturbed the run");
+            assert_eq!(rounds, 10, "one profile per round");
+            let mut totals = ProfileTotals::default();
+            for (i, p) in profiles.iter().enumerate() {
+                assert_eq!(p.round, i as u64);
+                assert!(p.phases_total_ns() <= p.wall_ns, "phases exceed wall time");
+                assert!(p.shard_min_ns <= p.shard_max_ns);
+                totals.add(p);
+            }
+            // The named phases must explain the overwhelming share of
+            // the round wall time (acceptance: ≥90%).
+            assert!(
+                totals.coverage() >= 0.9,
+                "threads={threads}: phase coverage {:.1}% < 90%\n{}",
+                totals.coverage() * 100.0,
+                totals.render(),
+            );
+            // This swarm is above PARALLEL_THRESHOLD, so the parallel
+            // path ran and clocked its merge shards.
+            if threads > 1 {
+                assert!(
+                    profiles.iter().any(|p| p.shard_max_ns > 0),
+                    "threads={threads}: sharded section never clocked"
+                );
+            }
+            assert_eq!(
+                profiles.iter().all(|p| p.allocs.is_some()),
+                cfg!(feature = "count-alloc"),
+                "alloc counting must track the count-alloc feature"
+            );
+        }
+    }
+
+    #[test]
+    fn profile_emitted_on_failing_rounds_too() {
+        struct Idle;
+        impl Controller for Idle {
+            type State = ();
+            fn radius(&self) -> i32 {
+                1
+            }
+            fn decide(&self, _v: &View<'_, ()>, _c: RoundCtx) -> Action<()> {
+                Action::stay(())
+            }
+        }
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        let pts: Vec<Point> = (0..5).map(|x| Point::new(x, 0)).collect();
+        let mut engine = Engine::from_positions(
+            &pts,
+            OrientationMode::Aligned,
+            Idle,
+            EngineConfig { stall_limit: 1, ..Default::default() },
+        );
+        let profiles: Rc<RefCell<Vec<crate::profile::RoundProfile>>> = Rc::default();
+        let sink = profiles.clone();
+        engine.set_profiler(Box::new(move |p| sink.borrow_mut().push(p.clone())));
+        let err = engine.step().unwrap_err();
+        assert!(matches!(err, EngineError::Stalled { .. }), "{err:?}");
+        assert_eq!(profiles.borrow().len(), 1, "failing round must still emit its profile");
     }
 
     #[test]

@@ -36,6 +36,7 @@ pub mod grid;
 pub mod metrics;
 pub mod observe;
 pub mod parallel;
+pub mod profile;
 pub mod scheduler;
 pub mod swarm;
 pub mod tile;
@@ -47,6 +48,9 @@ pub use engine::{
 pub use geom::{Bounds, Point, D4, V2};
 pub use metrics::{Metrics, RoundStats};
 pub use observe::{BoxedRoundObserver, RobotMove, RoundRecord};
+pub use profile::{
+    allocation_count, BoxedProfileSink, Phase, ProfileTotals, RoundProfile, PHASE_COUNT,
+};
 pub use scheduler::{splitmix64, Activation, Scheduler};
 pub use swarm::{Action, ApplyOutcome, OrientationMode, Robot, RobotState, Swarm};
 pub use tile::{TileIndex, TileKey, TileWindow};

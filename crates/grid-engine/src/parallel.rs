@@ -98,6 +98,29 @@ where
     flat
 }
 
+/// [`parallel_map_coarse`] that additionally clocks each work item when
+/// `clocked` is set, returning `(result, elapsed_ns)` pairs (`0` ns when
+/// not clocked — no clock is read at all). The round profiler uses this
+/// to measure per-shard imbalance in the round-apply's parallel merge
+/// resolution without the swarm layer owning timing code; timing wraps
+/// each item from outside, so results are unaffected.
+pub fn parallel_map_coarse_clocked<T, F>(
+    n: usize,
+    threads: usize,
+    clocked: bool,
+    f: F,
+) -> Vec<(T, u64)>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    parallel_map_coarse(n, threads, move |i| {
+        let start = clocked.then(std::time::Instant::now);
+        let out = f(i);
+        (out, start.map_or(0, |t| t.elapsed().as_nanos() as u64))
+    })
+}
+
 /// Assign each index in `0..n` to one of `shards` buckets via `shard_of`
 /// and return the per-shard index lists. Chunks of the index range are
 /// scanned on scoped threads and their per-shard lists concatenated in
@@ -275,6 +298,21 @@ mod tests {
                 shard.1 += 1;
             });
             assert!(shards.iter().all(|&(_, visits)| visits == 1), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn clocked_coarse_map_matches_unclocked_results() {
+        let seq: Vec<usize> = (0..64).map(|i| i * 3).collect();
+        for threads in [1usize, 2, 8] {
+            for clocked in [false, true] {
+                let out = parallel_map_coarse_clocked(64, threads, clocked, |i| i * 3);
+                let values: Vec<usize> = out.iter().map(|&(v, _)| v).collect();
+                assert_eq!(values, seq, "threads={threads} clocked={clocked}");
+                if !clocked {
+                    assert!(out.iter().all(|&(_, ns)| ns == 0), "unclocked items read a clock");
+                }
+            }
         }
     }
 

@@ -1,0 +1,355 @@
+//! Round phase profiler: attributes each engine round's wall time to
+//! named phases (compute, merge detection, occupancy rebuild, survivor
+//! compaction, …) plus per-shard imbalance in the parallel sections.
+//!
+//! The design generalises the observer hook's zero-cost-when-unset
+//! pattern: the engine holds an `Option<BoxedProfileSink>`, and every
+//! timing site goes through [`timed`], which calls the section closure
+//! directly — no `Instant`, no branch-per-item — when no profile is
+//! being collected. With a sink installed the engine emits one
+//! [`RoundProfile`] per round, *after* the round's work, so profiling
+//! can never perturb the simulation itself (the bit-identity tests pin
+//! this).
+//!
+//! Allocation counting is feature-gated (`count-alloc`): the feature
+//! installs a counting `#[global_allocator]` wrapper around the system
+//! allocator, and [`allocation_count`] returns the process-global
+//! allocation counter (`None` without the feature). The engine records
+//! the per-round delta; because the counter is process-global, deltas
+//! include allocations from other live threads — a documented
+//! approximation that is exact for the single-campaign-thread case the
+//! metric exists for.
+
+use std::time::Instant;
+
+/// Named phases of one engine round. The engine attributes wall time to
+/// these slots; everything not covered (scheduler bookkeeping, stats
+/// assembly) is the gap between [`RoundProfile::phases_total_ns`] and
+/// `wall_ns`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Phase {
+    /// Scheduler activation-set construction.
+    Activate = 0,
+    /// The look/compute parallel map (controller decisions).
+    Compute = 1,
+    /// Target-cell computation and move counting in the round-apply.
+    ApplyTargets = 2,
+    /// Merge detection: grouping robots by target cell and resolving
+    /// survivors (sharded by tile on the parallel path).
+    MergeDetect = 3,
+    /// Occupancy-index rebuild: clearing old cells, setting survivors.
+    OccupancyRebuild = 4,
+    /// Survivor compaction: draining the robot vector in index order.
+    Compact = 5,
+    /// Observer record materialisation and emission.
+    Observe = 6,
+    /// Post-round invariant checks (connectivity, stall detection).
+    Invariants = 7,
+}
+
+/// Number of phase slots in a [`RoundProfile`].
+pub const PHASE_COUNT: usize = 8;
+
+impl Phase {
+    /// Every phase, in slot order.
+    pub const ALL: [Phase; PHASE_COUNT] = [
+        Phase::Activate,
+        Phase::Compute,
+        Phase::ApplyTargets,
+        Phase::MergeDetect,
+        Phase::OccupancyRebuild,
+        Phase::Compact,
+        Phase::Observe,
+        Phase::Invariants,
+    ];
+
+    /// Stable snake_case name, used as the JSON/report field suffix.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Activate => "activate",
+            Phase::Compute => "compute",
+            Phase::ApplyTargets => "targets",
+            Phase::MergeDetect => "merge_detect",
+            Phase::OccupancyRebuild => "rebuild",
+            Phase::Compact => "compact",
+            Phase::Observe => "observe",
+            Phase::Invariants => "invariants",
+        }
+    }
+}
+
+/// One round's timing breakdown, emitted to the profile sink after the
+/// round completes (on failing rounds too — a disconnection is still a
+/// round that cost time).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RoundProfile {
+    pub round: u64,
+    /// Wall time of the whole `step()` call.
+    pub wall_ns: u64,
+    /// Per-phase wall time, indexed by `Phase as usize`.
+    pub phase_ns: [u64; PHASE_COUNT],
+    /// Fastest worked shard in the sharded merge-detect section, ns
+    /// (0 when the round took the sequential path).
+    pub shard_min_ns: u64,
+    /// Slowest worked shard in the sharded merge-detect section, ns.
+    pub shard_max_ns: u64,
+    /// Allocations during the round (process-global delta); `None`
+    /// unless the `count-alloc` feature is enabled.
+    pub allocs: Option<u64>,
+}
+
+impl RoundProfile {
+    /// Sum of the attributed phase times.
+    pub fn phases_total_ns(&self) -> u64 {
+        self.phase_ns.iter().sum()
+    }
+
+    /// Fraction of the round's wall time attributed to named phases
+    /// (1.0 when `wall_ns` is zero — nothing was left unattributed).
+    pub fn coverage(&self) -> f64 {
+        if self.wall_ns == 0 {
+            1.0
+        } else {
+            self.phases_total_ns() as f64 / self.wall_ns as f64
+        }
+    }
+}
+
+/// A per-round profile consumer, owned by the engine.
+pub type BoxedProfileSink = Box<dyn FnMut(&RoundProfile)>;
+
+/// Time `f` into `prof`'s `phase` slot when a profile is being
+/// collected; with profiling off this is a direct call — no clock read.
+#[inline]
+pub fn timed<T>(prof: &mut Option<&mut RoundProfile>, phase: Phase, f: impl FnOnce() -> T) -> T {
+    match prof {
+        Some(p) => {
+            let start = Instant::now();
+            let out = f();
+            p.phase_ns[phase as usize] += start.elapsed().as_nanos() as u64;
+            out
+        }
+        None => f(),
+    }
+}
+
+/// Accumulated profile over a run: per-phase sums, wall time, shard
+/// imbalance extremes, and the allocation total — the shape the bench
+/// and campaign layers aggregate into their reports.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ProfileTotals {
+    pub rounds: u64,
+    pub wall_ns: u64,
+    pub phase_ns: [u64; PHASE_COUNT],
+    /// Sum of per-round slowest-shard minus fastest-shard gaps, ns.
+    pub shard_imbalance_ns: u64,
+    /// Total allocations over profiled rounds; meaningful only when
+    /// `allocs_counted` (the `count-alloc` feature was on).
+    pub allocs: u64,
+    pub allocs_counted: bool,
+}
+
+impl ProfileTotals {
+    /// Fold one round's profile into the totals.
+    pub fn add(&mut self, p: &RoundProfile) {
+        self.rounds += 1;
+        self.wall_ns += p.wall_ns;
+        for (sum, &ns) in self.phase_ns.iter_mut().zip(&p.phase_ns) {
+            *sum += ns;
+        }
+        self.shard_imbalance_ns += p.shard_max_ns.saturating_sub(p.shard_min_ns);
+        if let Some(a) = p.allocs {
+            self.allocs += a;
+            self.allocs_counted = true;
+        }
+    }
+
+    /// Total attributed phase time.
+    pub fn phases_total_ns(&self) -> u64 {
+        self.phase_ns.iter().sum()
+    }
+
+    /// Fraction of wall time attributed to named phases.
+    pub fn coverage(&self) -> f64 {
+        if self.wall_ns == 0 {
+            1.0
+        } else {
+            self.phases_total_ns() as f64 / self.wall_ns as f64
+        }
+    }
+
+    /// `phase`'s share of the total wall time.
+    pub fn share(&self, phase: Phase) -> f64 {
+        if self.wall_ns == 0 {
+            0.0
+        } else {
+            self.phase_ns[phase as usize] as f64 / self.wall_ns as f64
+        }
+    }
+
+    /// Render the breakdown as aligned `phase  time  share` lines — the
+    /// human-readable report `bench_engine --profile` prints.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "rounds {}, wall {:.3}s, attributed {:.1}%\n",
+            self.rounds,
+            self.wall_ns as f64 / 1e9,
+            self.coverage() * 100.0,
+        ));
+        for phase in Phase::ALL {
+            out.push_str(&format!(
+                "  {:<12} {:>10.3}s  {:>5.1}%\n",
+                phase.name(),
+                self.phase_ns[phase as usize] as f64 / 1e9,
+                self.share(phase) * 100.0,
+            ));
+        }
+        out.push_str(&format!(
+            "  {:<12} {:>10.3}s\n",
+            "shard_gap",
+            self.shard_imbalance_ns as f64 / 1e9,
+        ));
+        if self.allocs_counted {
+            out.push_str(&format!(
+                "  allocs {} total, {:.1}/round\n",
+                self.allocs,
+                self.allocs as f64 / self.rounds.max(1) as f64,
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(feature = "count-alloc")]
+mod alloc_counter {
+    //! Counting wrapper around the system allocator. Installed as the
+    //! process global allocator when the `count-alloc` feature is on;
+    //! counts allocation *events* (alloc, alloc_zeroed, realloc), not
+    //! bytes — the metric the allocation-flat engine push tracks.
+
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+    pub struct CountingAllocator;
+
+    // SAFETY: delegates every operation to `System`; the counter is a
+    // relaxed atomic with no effect on allocation behaviour.
+    unsafe impl GlobalAlloc for CountingAllocator {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+            System.alloc(layout)
+        }
+
+        unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+            System.alloc_zeroed(layout)
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+            System.realloc(ptr, layout, new_size)
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            System.dealloc(ptr, layout)
+        }
+    }
+
+    #[global_allocator]
+    static GLOBAL: CountingAllocator = CountingAllocator;
+
+    pub fn allocation_count() -> Option<u64> {
+        Some(ALLOCATIONS.load(Ordering::Relaxed))
+    }
+}
+
+/// Process-global allocation-event counter, or `None` when the
+/// `count-alloc` feature is off. Callers take before/after deltas.
+#[cfg(feature = "count-alloc")]
+pub fn allocation_count() -> Option<u64> {
+    alloc_counter::allocation_count()
+}
+
+/// Process-global allocation-event counter, or `None` when the
+/// `count-alloc` feature is off. Callers take before/after deltas.
+#[cfg(not(feature = "count-alloc"))]
+pub fn allocation_count() -> Option<u64> {
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_slots_and_names_line_up() {
+        for (slot, phase) in Phase::ALL.iter().enumerate() {
+            assert_eq!(*phase as usize, slot);
+        }
+        let names: Vec<&str> = Phase::ALL.iter().map(|p| p.name()).collect();
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), PHASE_COUNT, "duplicate phase name in {names:?}");
+    }
+
+    #[test]
+    fn timed_accumulates_only_when_profiling() {
+        let mut off: Option<&mut RoundProfile> = None;
+        assert_eq!(timed(&mut off, Phase::Compute, || 7), 7);
+
+        let mut profile = RoundProfile::default();
+        let mut on = Some(&mut profile);
+        let out = timed(&mut on, Phase::Compute, || {
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            41
+        });
+        assert_eq!(out, 41);
+        assert!(profile.phase_ns[Phase::Compute as usize] > 0);
+        assert_eq!(profile.phase_ns[Phase::MergeDetect as usize], 0);
+    }
+
+    #[test]
+    fn totals_fold_rounds_and_compute_shares() {
+        let mut totals = ProfileTotals::default();
+        let mut p = RoundProfile { round: 0, wall_ns: 100, ..Default::default() };
+        p.phase_ns[Phase::Compute as usize] = 60;
+        p.phase_ns[Phase::MergeDetect as usize] = 30;
+        p.shard_min_ns = 5;
+        p.shard_max_ns = 9;
+        totals.add(&p);
+        totals.add(&p);
+        assert_eq!(totals.rounds, 2);
+        assert_eq!(totals.wall_ns, 200);
+        assert_eq!(totals.phases_total_ns(), 180);
+        assert!((totals.coverage() - 0.9).abs() < 1e-9);
+        assert!((totals.share(Phase::Compute) - 0.6).abs() < 1e-9);
+        assert_eq!(totals.shard_imbalance_ns, 8);
+        assert!(!totals.allocs_counted);
+        let rendered = totals.render();
+        assert!(rendered.contains("merge_detect"), "{rendered}");
+    }
+
+    #[test]
+    fn coverage_of_empty_profile_is_total() {
+        assert_eq!(RoundProfile::default().coverage(), 1.0);
+        assert_eq!(ProfileTotals::default().coverage(), 1.0);
+    }
+
+    #[test]
+    fn allocation_counter_matches_feature_gate() {
+        let count = allocation_count();
+        if cfg!(feature = "count-alloc") {
+            let before = count.expect("feature on");
+            let v: Vec<u64> = Vec::with_capacity(64);
+            drop(v);
+            assert!(allocation_count().expect("feature on") > before);
+        } else {
+            assert_eq!(count, None);
+        }
+    }
+}

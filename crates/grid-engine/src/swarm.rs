@@ -13,8 +13,10 @@
 
 use crate::geom::{Bounds, Point, D4, V2};
 use crate::parallel::{
-    for_each_shard_mut, parallel_map, parallel_map_coarse, shard_indices, PARALLEL_THRESHOLD,
+    for_each_shard_mut, parallel_map, parallel_map_coarse_clocked, shard_indices,
+    PARALLEL_THRESHOLD,
 };
+use crate::profile::{timed, Phase, RoundProfile};
 use crate::scheduler::splitmix64;
 use crate::tile::{shard_of, TileIndex, NUM_SHARDS};
 
@@ -212,8 +214,21 @@ impl<S: RobotState> Swarm<S> {
     /// [`Swarm::apply`] with a worker-thread budget for the round-apply
     /// itself (merge detection and the occupancy rebuild shard by tile).
     pub fn apply_threads(&mut self, actions: Vec<Action<S>>, threads: usize) -> ApplyOutcome {
+        self.apply_threads_profiled(actions, threads, None)
+    }
+
+    /// [`Swarm::apply_threads`] that additionally attributes the apply's
+    /// sub-phases (targets, merge detect, rebuild, compaction) to `prof`
+    /// when one is given. Timing observes the phases from outside, so
+    /// the outcome is bit-identical with and without a profile.
+    pub fn apply_threads_profiled(
+        &mut self,
+        actions: Vec<Action<S>>,
+        threads: usize,
+        prof: Option<&mut RoundProfile>,
+    ) -> ApplyOutcome {
         assert_eq!(actions.len(), self.robots.len());
-        self.apply_partial_threads(actions.into_iter().map(Some).collect(), threads)
+        self.apply_partial_threads_profiled(actions.into_iter().map(Some).collect(), threads, prof)
     }
 
     /// [`Swarm::apply_partial`] with a worker-thread budget. The outcome
@@ -227,12 +242,23 @@ impl<S: RobotState> Swarm<S> {
         actions: Vec<Option<Action<S>>>,
         threads: usize,
     ) -> ApplyOutcome {
+        self.apply_partial_threads_profiled(actions, threads, None)
+    }
+
+    /// [`Swarm::apply_partial_threads`] with optional phase attribution
+    /// into `prof` (see [`Swarm::apply_threads_profiled`]).
+    pub fn apply_partial_threads_profiled(
+        &mut self,
+        actions: Vec<Option<Action<S>>>,
+        threads: usize,
+        prof: Option<&mut RoundProfile>,
+    ) -> ApplyOutcome {
         assert_eq!(actions.len(), self.robots.len());
         let threads = crate::parallel::resolve_threads(threads);
         if threads <= 1 || self.robots.len() < PARALLEL_THRESHOLD {
-            self.apply_partial_seq(actions)
+            self.apply_partial_seq_profiled(actions, prof)
         } else {
-            self.apply_partial_sharded(actions, threads)
+            self.apply_partial_sharded_profiled(actions, threads, prof)
         }
     }
 
@@ -265,63 +291,83 @@ impl<S: RobotState> Swarm<S> {
     }
 
     /// The sequential round-apply (exactly the historical semantics).
-    fn apply_partial_seq(&mut self, actions: Vec<Option<Action<S>>>) -> ApplyOutcome {
+    /// Phase attribution is an approximation on this path: the final
+    /// drain both rebuilds occupancy and compacts survivors, and is
+    /// charged to [`Phase::Compact`]; [`Phase::OccupancyRebuild`] gets
+    /// the old-cell clearing pass.
+    fn apply_partial_seq_profiled(
+        &mut self,
+        actions: Vec<Option<Action<S>>>,
+        prof: Option<&mut RoundProfile>,
+    ) -> ApplyOutcome {
+        let mut prof = prof;
         let n = self.robots.len();
-        let mut targets: Vec<Point> = Vec::with_capacity(n);
-        let mut moved = 0usize;
-        for (robot, action) in self.robots.iter().zip(&actions) {
-            let target = Self::target_of(robot, action);
-            if target != robot.pos {
-                moved += 1;
+        let (targets, moved) = timed(&mut prof, Phase::ApplyTargets, || {
+            let mut targets: Vec<Point> = Vec::with_capacity(n);
+            let mut moved = 0usize;
+            for (robot, action) in self.robots.iter().zip(&actions) {
+                let target = Self::target_of(robot, action);
+                if target != robot.pos {
+                    moved += 1;
+                }
+                targets.push(target);
             }
-            targets.push(target);
-        }
+            (targets, moved)
+        });
 
         // Group robots by target cell to find merges. The common case is
         // "no merge anywhere", so detect duplicates with a map from cell
         // to first-arriving robot index.
-        let mut owner: crate::fxhash::FxHashMap<Point, usize> = crate::fxhash::FxHashMap::default();
-        owner.reserve(n);
-        // survivor[i] = does robot i survive this round?
-        let mut survives = vec![true; n];
-        let mut merged = 0usize;
-        for i in 0..n {
-            match owner.entry(targets[i]) {
-                std::collections::hash_map::Entry::Vacant(e) => {
-                    e.insert(i);
-                }
-                std::collections::hash_map::Entry::Occupied(mut e) => {
-                    let j = *e.get();
-                    if self.beats(i, j, &targets) {
-                        survives[j] = false;
+        let (survives, merged) = timed(&mut prof, Phase::MergeDetect, || {
+            let mut owner: crate::fxhash::FxHashMap<Point, usize> =
+                crate::fxhash::FxHashMap::default();
+            owner.reserve(n);
+            // survivor[i] = does robot i survive this round?
+            let mut survives = vec![true; n];
+            let mut merged = 0usize;
+            for i in 0..n {
+                match owner.entry(targets[i]) {
+                    std::collections::hash_map::Entry::Vacant(e) => {
                         e.insert(i);
-                    } else {
-                        survives[i] = false;
                     }
-                    merged += 1;
+                    std::collections::hash_map::Entry::Occupied(mut e) => {
+                        let j = *e.get();
+                        if self.beats(i, j, &targets) {
+                            survives[j] = false;
+                            e.insert(i);
+                        } else {
+                            survives[i] = false;
+                        }
+                        merged += 1;
+                    }
                 }
             }
-        }
+            (survives, merged)
+        });
 
         // Clear old occupancy, then rebuild from survivors.
-        for robot in &self.robots {
-            self.index.clear(robot.pos);
-        }
-        let mut next: Vec<Robot<S>> = Vec::with_capacity(n - merged);
-        for (i, (mut robot, action)) in self.robots.drain(..).zip(actions).enumerate() {
-            if !survives[i] {
-                continue;
+        timed(&mut prof, Phase::OccupancyRebuild, || {
+            for robot in &self.robots {
+                self.index.clear(robot.pos);
             }
-            robot.pos = targets[i];
-            if let Some(action) = action {
-                robot.state = action.state;
+        });
+        timed(&mut prof, Phase::Compact, || {
+            let mut next: Vec<Robot<S>> = Vec::with_capacity(n - merged);
+            for (i, (mut robot, action)) in self.robots.drain(..).zip(actions).enumerate() {
+                if !survives[i] {
+                    continue;
+                }
+                robot.pos = targets[i];
+                if let Some(action) = action {
+                    robot.state = action.state;
+                }
+                let id = next.len() as u32;
+                next.push(robot);
+                let prev = self.index.set(targets[i], id);
+                debug_assert!(prev.is_none(), "survivor collision at {:?}", targets[i]);
             }
-            let id = next.len() as u32;
-            next.push(robot);
-            let prev = self.index.set(targets[i], id);
-            debug_assert!(prev.is_none(), "survivor collision at {:?}", targets[i]);
-        }
-        self.robots = next;
+            self.robots = next;
+        });
         ApplyOutcome { merged, moved }
     }
 
@@ -336,99 +382,137 @@ impl<S: RobotState> Swarm<S> {
         actions: Vec<Option<Action<S>>>,
         threads: usize,
     ) -> ApplyOutcome {
+        self.apply_partial_sharded_profiled(actions, threads, None)
+    }
+
+    /// [`Swarm::apply_partial_sharded`] with optional phase attribution.
+    /// When profiling, the merge-resolve workers additionally clock each
+    /// shard so the profile carries the min/max time over shards that
+    /// had any targets — the imbalance figure for the parallel section.
+    fn apply_partial_sharded_profiled(
+        &mut self,
+        actions: Vec<Option<Action<S>>>,
+        threads: usize,
+        prof: Option<&mut RoundProfile>,
+    ) -> ApplyOutcome {
+        let mut prof = prof;
+        let timing = prof.is_some();
         let n = self.robots.len();
         assert_eq!(actions.len(), n);
         let robots = &self.robots;
-        let targets: Vec<Point> =
-            parallel_map(n, threads, |i| Self::target_of(&robots[i], &actions[i]));
-        let moved = targets.iter().zip(robots).filter(|(t, r)| **t != r.pos).count();
+        let (targets, moved) = timed(&mut prof, Phase::ApplyTargets, || {
+            let targets: Vec<Point> =
+                parallel_map(n, threads, |i| Self::target_of(&robots[i], &actions[i]));
+            let moved = targets.iter().zip(robots).filter(|(t, r)| **t != r.pos).count();
+            (targets, moved)
+        });
 
         // Merge detection, sharded by target tile: each target cell
         // lives in exactly one shard, so per-shard resolution sees every
         // contender for its cells and no others.
-        let target_groups = shard_indices(n, NUM_SHARDS, threads, |i| shard_of(targets[i]));
+        let target_groups = timed(&mut prof, Phase::MergeDetect, || {
+            shard_indices(n, NUM_SHARDS, threads, |i| shard_of(targets[i]))
+        });
         let mut survives = vec![true; n];
         let mut merged = 0usize;
-        let shard_outcomes: Vec<(Vec<u32>, usize)> =
-            parallel_map_coarse(NUM_SHARDS, threads, |s| {
-                let mut owner: crate::fxhash::FxHashMap<Point, u32> =
-                    crate::fxhash::FxHashMap::default();
-                owner.reserve(target_groups[s].len());
-                let mut losers: Vec<u32> = Vec::new();
-                let mut shard_merged = 0usize;
-                for &i in &target_groups[s] {
-                    match owner.entry(targets[i as usize]) {
-                        std::collections::hash_map::Entry::Vacant(e) => {
-                            e.insert(i);
-                        }
-                        std::collections::hash_map::Entry::Occupied(mut e) => {
-                            let j = *e.get();
-                            if self.beats(i as usize, j as usize, &targets) {
-                                losers.push(j);
+        let mut worked_shard_ns: Vec<u64> = Vec::new();
+        timed(&mut prof, Phase::MergeDetect, || {
+            let shard_outcomes: Vec<((Vec<u32>, usize), u64)> =
+                parallel_map_coarse_clocked(NUM_SHARDS, threads, timing, |s| {
+                    let mut owner: crate::fxhash::FxHashMap<Point, u32> =
+                        crate::fxhash::FxHashMap::default();
+                    owner.reserve(target_groups[s].len());
+                    let mut losers: Vec<u32> = Vec::new();
+                    let mut shard_merged = 0usize;
+                    for &i in &target_groups[s] {
+                        match owner.entry(targets[i as usize]) {
+                            std::collections::hash_map::Entry::Vacant(e) => {
                                 e.insert(i);
-                            } else {
-                                losers.push(i);
                             }
-                            shard_merged += 1;
+                            std::collections::hash_map::Entry::Occupied(mut e) => {
+                                let j = *e.get();
+                                if self.beats(i as usize, j as usize, &targets) {
+                                    losers.push(j);
+                                    e.insert(i);
+                                } else {
+                                    losers.push(i);
+                                }
+                                shard_merged += 1;
+                            }
                         }
                     }
+                    (losers, shard_merged)
+                });
+            for (s, ((losers, shard_merged), ns)) in shard_outcomes.into_iter().enumerate() {
+                merged += shard_merged;
+                for i in losers {
+                    survives[i as usize] = false;
                 }
-                (losers, shard_merged)
-            });
-        for (losers, shard_merged) in shard_outcomes {
-            merged += shard_merged;
-            for i in losers {
-                survives[i as usize] = false;
+                if timing && !target_groups[s].is_empty() {
+                    worked_shard_ns.push(ns);
+                }
             }
+        });
+        if let Some(p) = prof.as_deref_mut() {
+            p.shard_min_ns = worked_shard_ns.iter().copied().min().unwrap_or(0);
+            p.shard_max_ns = worked_shard_ns.iter().copied().max().unwrap_or(0);
         }
 
         // Compacted id of each survivor, so the occupancy rebuild can
         // run before (and independently of) the sequential compaction.
-        let mut new_id = vec![0u32; n];
-        let mut alive = 0u32;
-        for i in 0..n {
-            new_id[i] = alive;
-            alive += u32::from(survives[i]);
-        }
+        let (new_id, alive) = timed(&mut prof, Phase::Compact, || {
+            let mut new_id = vec![0u32; n];
+            let mut alive = 0u32;
+            for (id, survive) in new_id.iter_mut().zip(&survives) {
+                *id = alive;
+                alive += u32::from(*survive);
+            }
+            (new_id, alive)
+        });
 
         // Occupancy rebuild in two sharded phases: clear every robot's
         // old cell (grouped by old-position shard), then set every
         // survivor's target (grouped by target shard). Each phase gives
         // workers exclusive access to disjoint shards; within a shard,
         // the cells of a phase are distinct, so order is irrelevant.
-        let old_groups = shard_indices(n, NUM_SHARDS, threads, |i| shard_of(robots[i].pos));
-        let Swarm { robots, index } = self;
-        for_each_shard_mut(index.shards_mut(), threads, |s, shard| {
-            for &i in &old_groups[s] {
-                shard.clear(robots[i as usize].pos);
-            }
-        });
-        let survives_ref = &survives;
-        let (targets_ref, new_id_ref) = (&targets, &new_id);
-        for_each_shard_mut(index.shards_mut(), threads, |s, shard| {
-            for &i in &target_groups[s] {
-                let i = i as usize;
-                if survives_ref[i] {
-                    let prev = shard.set(targets_ref[i], new_id_ref[i]);
-                    debug_assert!(prev.is_none(), "survivor collision at {:?}", targets_ref[i]);
+        timed(&mut prof, Phase::OccupancyRebuild, || {
+            let robots = &self.robots;
+            let old_groups = shard_indices(n, NUM_SHARDS, threads, |i| shard_of(robots[i].pos));
+            let Swarm { robots, index } = &mut *self;
+            for_each_shard_mut(index.shards_mut(), threads, |s, shard| {
+                for &i in &old_groups[s] {
+                    shard.clear(robots[i as usize].pos);
                 }
-            }
+            });
+            let survives_ref = &survives;
+            let (targets_ref, new_id_ref) = (&targets, &new_id);
+            for_each_shard_mut(index.shards_mut(), threads, |s, shard| {
+                for &i in &target_groups[s] {
+                    let i = i as usize;
+                    if survives_ref[i] {
+                        let prev = shard.set(targets_ref[i], new_id_ref[i]);
+                        debug_assert!(prev.is_none(), "survivor collision at {:?}", targets_ref[i]);
+                    }
+                }
+            });
         });
 
         // Index-ordered survivor compaction — identical to the
         // sequential path, so digests agree bit for bit.
-        let mut next: Vec<Robot<S>> = Vec::with_capacity(alive as usize);
-        for (i, (mut robot, action)) in robots.drain(..).zip(actions).enumerate() {
-            if !survives[i] {
-                continue;
+        timed(&mut prof, Phase::Compact, || {
+            let mut next: Vec<Robot<S>> = Vec::with_capacity(alive as usize);
+            for (i, (mut robot, action)) in self.robots.drain(..).zip(actions).enumerate() {
+                if !survives[i] {
+                    continue;
+                }
+                robot.pos = targets[i];
+                if let Some(action) = action {
+                    robot.state = action.state;
+                }
+                next.push(robot);
             }
-            robot.pos = targets[i];
-            if let Some(action) = action {
-                robot.state = action.state;
-            }
-            next.push(robot);
-        }
-        self.robots = next;
+            self.robots = next;
+        });
         ApplyOutcome { merged, moved }
     }
 }

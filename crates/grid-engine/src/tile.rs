@@ -217,6 +217,14 @@ impl TileIndex {
         self.shards.iter().map(|s| s.tiles.len()).sum()
     }
 
+    /// Live tiles per shard (diagnostic): how evenly the occupied tiles
+    /// spread over the [`NUM_SHARDS`] round-apply shards. A skewed
+    /// distribution is the static cause behind a large min/max shard gap
+    /// in the round profiler's parallel-section timings.
+    pub fn shard_tile_counts(&self) -> Vec<usize> {
+        self.shards.iter().map(|s| s.tiles.len()).collect()
+    }
+
     /// Cells currently backed by allocated tiles (diagnostic): the
     /// memory-proportional analogue of the dense grid's
     /// `capacity_cells`, O(occupied tiles) rather than O(bounding box).
@@ -405,6 +413,17 @@ mod tests {
             assert!(win.occupied(p));
         }
         assert!(!win.occupied(Point::new(7, 7)));
+    }
+
+    #[test]
+    fn shard_tile_counts_sum_to_tile_count() {
+        let mut idx = TileIndex::new();
+        for i in 0..200 {
+            idx.set(Point::new(i * 64, (i % 9) * 64), i as u32);
+        }
+        let counts = idx.shard_tile_counts();
+        assert_eq!(counts.len(), NUM_SHARDS);
+        assert_eq!(counts.iter().sum::<usize>(), idx.tile_count());
     }
 
     #[test]
