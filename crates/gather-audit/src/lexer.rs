@@ -1,0 +1,406 @@
+//! A hand-rolled, dependency-free Rust lexer — just enough fidelity for
+//! the audit rules: identifiers, punctuation, numbers, string / raw
+//! string / byte string / char literals, lifetimes, and line / block
+//! comments (doc variants included, block comments nested).
+//!
+//! Design constraints, in priority order:
+//!
+//! 1. **Never panic**, whatever the input — the lexer runs over every
+//!    byte sequence the walker finds (a torn file, a half-written merge
+//!    conflict, generated code). Malformed input degrades to "consume
+//!    something and keep going"; unterminated literals and comments
+//!    extend to end of input. A proptest feeds it arbitrary bytes.
+//! 2. **Hazards inside strings and comments must not leak**: a
+//!    `HashMap` mention in a doc comment or an `Instant::now` in a
+//!    string literal becomes a `Str`/`Comment` token, which the rules
+//!    never read identifiers from.
+//! 3. Positions are preserved (byte offset + 1-based line) so
+//!    diagnostics are `file:line` and `--fix-waivers` can edit source.
+
+/// Lexical class of a token.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (including raw identifiers `r#ident`).
+    Ident,
+    /// Numeric literal (possibly with suffix; `1.5` lexes as
+    /// `Number Punct Number`, which is fine for rule matching).
+    Number,
+    /// String literal: `"…"`, `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`.
+    Str,
+    /// Char or byte-char literal: `'x'`, `'\n'`, `b'x'`.
+    Char,
+    /// Lifetime: `'a` (no closing quote).
+    Lifetime,
+    /// A single punctuation character (`::` is two `Punct` tokens).
+    Punct,
+    /// `// …` (also `/// …` and `//! …`) up to the newline.
+    LineComment,
+    /// `/* … */`, nested; also `/** … */` and `/*! … */`.
+    BlockComment,
+}
+
+/// One lexed token: classification plus its exact source slice and
+/// position.
+#[derive(Clone, Copy, Debug)]
+pub struct Token<'a> {
+    pub kind: TokenKind,
+    pub text: &'a str,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+    /// Byte offset of the token's first character.
+    pub start: usize,
+}
+
+impl Token<'_> {
+    /// Byte offset one past the token's last character.
+    pub fn end(&self) -> usize {
+        self.start + self.text.len()
+    }
+
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+}
+
+pub fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+pub fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    pos: usize,
+    line: u32,
+    out: Vec<Token<'a>>,
+}
+
+impl<'a> Lexer<'a> {
+    fn peek(&self) -> Option<char> {
+        self.src[self.pos..].chars().next()
+    }
+
+    fn peek_at(&self, n: usize) -> Option<char> {
+        self.src[self.pos..].chars().nth(n)
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += c.len_utf8();
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn push(&mut self, kind: TokenKind, start: usize, line: u32) {
+        self.out.push(Token { kind, text: &self.src[start..self.pos], line, start });
+    }
+
+    /// Consume an identifier run starting at the current position.
+    fn ident_run(&mut self) {
+        while self.peek().is_some_and(is_ident_continue) {
+            self.bump();
+        }
+    }
+
+    fn line_comment(&mut self) {
+        while let Some(c) = self.peek() {
+            if c == '\n' {
+                break;
+            }
+            self.bump();
+        }
+    }
+
+    fn block_comment(&mut self) {
+        // Entered with `/*` not yet consumed.
+        self.bump();
+        self.bump();
+        let mut depth = 1u32;
+        while depth > 0 {
+            match (self.peek(), self.peek_at(1)) {
+                (Some('/'), Some('*')) => {
+                    self.bump();
+                    self.bump();
+                    depth += 1;
+                }
+                (Some('*'), Some('/')) => {
+                    self.bump();
+                    self.bump();
+                    depth -= 1;
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => break, // unterminated: extends to EOF
+            }
+        }
+    }
+
+    /// Double-quoted string with escapes; unterminated extends to EOF.
+    fn quoted_string(&mut self) {
+        self.bump(); // opening `"`
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+    }
+
+    /// Raw string starting at the current `#`-or-`"` position (the `r` /
+    /// `br` prefix is already consumed). Returns false if this is not a
+    /// raw string after all (e.g. a raw identifier `r#ident`).
+    fn raw_string(&mut self) -> bool {
+        let save = (self.pos, self.line);
+        let mut hashes = 0usize;
+        while self.peek() == Some('#') {
+            self.bump();
+            hashes += 1;
+        }
+        if self.peek() != Some('"') {
+            // `r#ident` (raw identifier) or stray `r#`: rewind.
+            (self.pos, self.line) = save;
+            return false;
+        }
+        self.bump(); // opening `"`
+        'body: while let Some(c) = self.bump() {
+            if c == '"' {
+                let close = (self.pos, self.line);
+                for _ in 0..hashes {
+                    if self.peek() == Some('#') {
+                        self.bump();
+                    } else {
+                        (self.pos, self.line) = close;
+                        continue 'body;
+                    }
+                }
+                return true; // closed with matching hashes
+            }
+        }
+        true // unterminated: extends to EOF
+    }
+
+    /// `'`-introduced token: a char literal or a lifetime.
+    fn char_or_lifetime(&mut self, start: usize, line: u32) {
+        self.bump(); // opening `'`
+                     // `'ident` not followed by a closing quote is a lifetime.
+        if self.peek().is_some_and(is_ident_start) {
+            let save = (self.pos, self.line);
+            self.ident_run();
+            if self.peek() == Some('\'') {
+                self.bump(); // `'x'` — a char literal after all
+                self.push(TokenKind::Char, start, line);
+            } else {
+                // Leave the position after the identifier run.
+                let _ = save;
+                self.push(TokenKind::Lifetime, start, line);
+            }
+            return;
+        }
+        // Escaped or punctuation char literal: scan to the closing quote,
+        // giving up at a newline (so a stray `'` cannot swallow the file).
+        while let Some(c) = self.peek() {
+            match c {
+                '\\' => {
+                    self.bump();
+                    self.bump();
+                }
+                '\'' => {
+                    self.bump();
+                    break;
+                }
+                '\n' => break,
+                _ => {
+                    self.bump();
+                }
+            }
+        }
+        self.push(TokenKind::Char, start, line);
+    }
+
+    fn run(mut self) -> Vec<Token<'a>> {
+        while let Some(c) = self.peek() {
+            let (start, line) = (self.pos, self.line);
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek_at(1) == Some('/') => {
+                    self.line_comment();
+                    self.push(TokenKind::LineComment, start, line);
+                }
+                '/' if self.peek_at(1) == Some('*') => {
+                    self.block_comment();
+                    self.push(TokenKind::BlockComment, start, line);
+                }
+                '"' => {
+                    self.quoted_string();
+                    self.push(TokenKind::Str, start, line);
+                }
+                '\'' => self.char_or_lifetime(start, line),
+                'r' if matches!(self.peek_at(1), Some('"' | '#')) => {
+                    self.bump(); // `r`
+                    if self.raw_string() {
+                        self.push(TokenKind::Str, start, line);
+                    } else {
+                        // Raw identifier `r#ident`.
+                        if self.peek() == Some('#') {
+                            self.bump();
+                        }
+                        self.ident_run();
+                        self.push(TokenKind::Ident, start, line);
+                    }
+                }
+                'b' if matches!(
+                    (self.peek_at(1), self.peek_at(2)),
+                    (Some('"'), _) | (Some('\''), _) | (Some('r'), Some('"' | '#'))
+                ) =>
+                {
+                    self.bump(); // `b`
+                    match self.peek() {
+                        Some('"') => {
+                            self.quoted_string();
+                            self.push(TokenKind::Str, start, line);
+                        }
+                        Some('\'') => {
+                            // Byte char: same shape as a char literal,
+                            // and `b'` can never be a lifetime.
+                            self.bump();
+                            while let Some(c) = self.peek() {
+                                match c {
+                                    '\\' => {
+                                        self.bump();
+                                        self.bump();
+                                    }
+                                    '\'' => {
+                                        self.bump();
+                                        break;
+                                    }
+                                    '\n' => break,
+                                    _ => {
+                                        self.bump();
+                                    }
+                                }
+                            }
+                            self.push(TokenKind::Char, start, line);
+                        }
+                        _ => {
+                            self.bump(); // `r`
+                            if self.raw_string() {
+                                self.push(TokenKind::Str, start, line);
+                            } else {
+                                self.ident_run();
+                                self.push(TokenKind::Ident, start, line);
+                            }
+                        }
+                    }
+                }
+                c if is_ident_start(c) => {
+                    self.ident_run();
+                    self.push(TokenKind::Ident, start, line);
+                }
+                c if c.is_ascii_digit() => {
+                    while self.peek().is_some_and(is_ident_continue) {
+                        self.bump();
+                    }
+                    self.push(TokenKind::Number, start, line);
+                }
+                _ => {
+                    self.bump();
+                    self.push(TokenKind::Punct, start, line);
+                }
+            }
+        }
+        self.out
+    }
+}
+
+/// Lex `src` into a token stream. Total: every non-whitespace byte of
+/// the input is covered by exactly one token; infallible on any input.
+pub fn lex(src: &str) -> Vec<Token<'_>> {
+    Lexer { src, pos: 0, line: 1, out: Vec::new() }.run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn basic_stream() {
+        let toks = lex("let x = foo.bar(1);");
+        let idents: Vec<&str> =
+            toks.iter().filter(|t| t.kind == TokenKind::Ident).map(|t| t.text).collect();
+        assert_eq!(idents, ["let", "x", "foo", "bar"]);
+    }
+
+    #[test]
+    fn strings_swallow_hazards() {
+        let toks = lex(r#"let s = "Instant::now() HashMap";"#);
+        assert!(toks.iter().all(|t| t.kind != TokenKind::Ident || t.text != "Instant"));
+        assert_eq!(toks.iter().filter(|t| t.kind == TokenKind::Str).count(), 1);
+    }
+
+    #[test]
+    fn raw_strings_and_raw_identifiers() {
+        let toks = lex(r##"let s = r#"quote " inside"#; let r#try = 1;"##);
+        assert_eq!(toks.iter().filter(|t| t.kind == TokenKind::Str).count(), 1);
+        assert!(toks.iter().any(|t| t.kind == TokenKind::Ident && t.text == "r#try"));
+    }
+
+    #[test]
+    fn nested_block_comment_and_doc() {
+        let toks = lex("/* outer /* inner */ still */ fn x() {} /// doc HashMap\n");
+        assert_eq!(toks[0].kind, TokenKind::BlockComment);
+        assert!(toks[0].text.ends_with("still */"));
+        assert!(toks.iter().any(|t| t.kind == TokenKind::Ident && t.text == "fn"));
+        assert!(toks.iter().any(|t| t.kind == TokenKind::LineComment));
+        assert!(!toks.iter().any(|t| t.kind == TokenKind::Ident && t.text == "HashMap"));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str) -> char { 'x' }");
+        assert_eq!(toks.iter().filter(|t| t.kind == TokenKind::Lifetime).count(), 2);
+        assert_eq!(toks.iter().filter(|t| t.kind == TokenKind::Char).count(), 1);
+        let toks = lex(r"let c = '\n'; let q = '\'';");
+        assert_eq!(toks.iter().filter(|t| t.kind == TokenKind::Char).count(), 2);
+    }
+
+    #[test]
+    fn byte_literals() {
+        let toks = lex(r##"let a = b"bytes"; let b = b'x'; let c = br#"raw"#;"##);
+        assert_eq!(toks.iter().filter(|t| t.kind == TokenKind::Str).count(), 2);
+        assert_eq!(toks.iter().filter(|t| t.kind == TokenKind::Char).count(), 1);
+    }
+
+    #[test]
+    fn unterminated_constructs_reach_eof_without_panicking() {
+        for src in ["\"unterminated", "/* unterminated", "r#\"unterminated", "'", "b'"] {
+            let toks = lex(src);
+            assert!(!toks.is_empty(), "{src:?}");
+        }
+        assert_eq!(kinds("\"abc"), [TokenKind::Str]);
+        assert_eq!(kinds("/*/"), [TokenKind::BlockComment]);
+    }
+
+    #[test]
+    fn lines_are_tracked() {
+        let toks = lex("a\nb\n  c /* x\ny */ d");
+        let at = |name: &str| toks.iter().find(|t| t.text == name).map(|t| t.line);
+        assert_eq!(at("a"), Some(1));
+        assert_eq!(at("b"), Some(2));
+        assert_eq!(at("c"), Some(3));
+        assert_eq!(at("d"), Some(4));
+    }
+}

@@ -1,0 +1,115 @@
+//! `gather-audit` — a workspace determinism & safety lint.
+//!
+//! The gathering engine's headline contract is **bit-identical
+//! replay**: a run is a pure function of (scenario, seed, config) —
+//! identical across thread counts, replayable from a `.gtrc` trace
+//! byte-for-byte, and safe to memoise in the campaign result cache.
+//! That contract is enforced dynamically by record/replay tests, but a
+//! dynamic test only catches the hazard it happens to execute. This
+//! crate closes the gap statically: a dependency-free Rust lexer plus
+//! a handful of token-stream rules that flag the constructs which can
+//! silently break the contract — wall-clock reads, hash-order
+//! iteration, ambient-entropy RNGs, unjustified `unsafe`, and unnamed
+//! panics in engine library code.
+//!
+//! Findings are waivable inline (`// audit: allow(<rule>) <reason>`),
+//! and the waiver inventory itself is audited: anonymous, misspelled
+//! and stale waivers fail the run, so suppressions can never rot.
+//!
+//! Run it as `cargo run -p gather-audit -- check` (CI does, in the
+//! lint gate). See the README's *Static analysis* section for the rule
+//! catalogue and waiver policy.
+
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod waiver;
+pub mod walk;
+
+pub use rules::{audit_source, Diagnostic, FileAudit, RULE_NAMES};
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Aggregate result of auditing a whole workspace.
+#[derive(Debug, Default)]
+pub struct WorkspaceAudit {
+    /// Every finding, waived included, in (path, line) order.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Files scanned.
+    pub files: usize,
+    /// Per-file byte spans `--fix-waivers` may delete.
+    pub removable: Vec<(PathBuf, Vec<(usize, usize)>)>,
+}
+
+impl WorkspaceAudit {
+    /// Findings that fail the audit.
+    pub fn active(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics.iter().filter(|d| !d.waived)
+    }
+}
+
+/// Audit every `.rs` file under `root`.
+pub fn audit_workspace(root: &Path) -> io::Result<WorkspaceAudit> {
+    let mut out = WorkspaceAudit::default();
+    for path in walk::rust_files(root)? {
+        let rel = walk::relative(root, &path);
+        let src = fs::read_to_string(&path)?;
+        let audit = rules::audit_source(&rel, &src);
+        out.files += 1;
+        out.diagnostics.extend(audit.diagnostics);
+        if !audit.removable_waivers.is_empty() {
+            out.removable.push((path, audit.removable_waivers));
+        }
+    }
+    Ok(out)
+}
+
+/// Delete the given waiver-comment byte spans from a file. When the
+/// deletion leaves a line holding only whitespace, the whole line goes.
+/// Returns the number of spans removed.
+pub fn remove_waiver_spans(path: &Path, spans: &[(usize, usize)]) -> io::Result<usize> {
+    let src = fs::read_to_string(path)?;
+    let mut spans: Vec<(usize, usize)> = spans.to_vec();
+    spans.sort();
+    spans.dedup();
+    let mut out = String::with_capacity(src.len());
+    let mut cursor = 0usize;
+    for &(start, end) in &spans {
+        if start < cursor || end > src.len() {
+            continue; // overlapping or out-of-range span: leave the text alone
+        }
+        out.push_str(&src[cursor..start]);
+        cursor = end;
+        // If the span sat on a line of its own, drop the line entirely:
+        // trim trailing whitespace we just emitted back to the previous
+        // newline, and swallow the newline that follows the span.
+        let line_start = out.rfind('\n').map_or(0, |i| i + 1);
+        if out[line_start..].chars().all(char::is_whitespace) {
+            let rest = &src[cursor..];
+            if rest.starts_with('\n') {
+                out.truncate(line_start);
+                cursor += 1;
+            } else if rest.starts_with("\r\n") {
+                out.truncate(line_start);
+                cursor += 2;
+            } else {
+                // Trailing content after the comment (unusual): keep the line,
+                // just trim the whitespace that led into the comment.
+                while out.len() > line_start && out.ends_with(' ') {
+                    out.pop();
+                }
+            }
+        } else {
+            // Trailing waiver: also trim the spaces that separated it
+            // from the code.
+            while out.ends_with(' ') {
+                out.pop();
+            }
+        }
+    }
+    out.push_str(&src[cursor..]);
+    fs::write(path, out)?;
+    Ok(spans.len())
+}

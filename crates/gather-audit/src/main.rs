@@ -1,0 +1,105 @@
+//! CLI: `cargo run -p gather-audit -- check [--root PATH] [--json] [--fix-waivers]`.
+//!
+//! Exit codes: 0 — clean (possibly with waived findings), 1 — active
+//! diagnostics remain, 2 — usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use gather_audit::{audit_workspace, remove_waiver_spans, report};
+
+const USAGE: &str = "\
+gather-audit — workspace determinism & safety lint
+
+USAGE:
+    gather-audit check [--root PATH] [--json] [--fix-waivers]
+
+OPTIONS:
+    --root PATH     Workspace root to audit (default: .)
+    --json          Emit the full report as a single JSON document
+    --fix-waivers   Delete stale/unknown/malformed waiver comments, then re-audit
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut root = PathBuf::from(".");
+    let mut json = false;
+    let mut fix_waivers = false;
+    let mut command = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "check" if command.is_none() => command = Some("check"),
+            "--root" => match it.next() {
+                Some(p) => root = PathBuf::from(p),
+                None => {
+                    eprintln!("--root needs a path\n\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--json" => json = true,
+            "--fix-waivers" => fix_waivers = true,
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument `{other}`\n\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if command != Some("check") {
+        eprint!("{USAGE}");
+        return ExitCode::from(2);
+    }
+
+    let mut audit = match audit_workspace(&root) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("gather-audit: cannot audit {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if fix_waivers && !audit.removable.is_empty() {
+        let mut removed = 0usize;
+        for (path, spans) in &audit.removable {
+            match remove_waiver_spans(path, spans) {
+                Ok(n) => removed += n,
+                Err(e) => {
+                    eprintln!("gather-audit: cannot rewrite {}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        eprintln!("gather-audit: removed {removed} dead waiver(s); re-auditing");
+        audit = match audit_workspace(&root) {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!("gather-audit: cannot re-audit {}: {e}", root.display());
+                return ExitCode::from(2);
+            }
+        };
+    }
+
+    if json {
+        println!("{}", report::render_json(&audit.diagnostics));
+    } else {
+        for d in audit.active() {
+            println!("{}", report::render_text(d));
+        }
+    }
+
+    let active = audit.active().count();
+    let waived = audit.diagnostics.len() - active;
+    eprintln!(
+        "gather-audit: {} file(s), {} active finding(s), {} waived",
+        audit.files, active, waived
+    );
+    if active == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

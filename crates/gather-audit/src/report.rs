@@ -1,0 +1,90 @@
+//! Rendering: human-readable `file:line` diagnostics and a hand-rolled
+//! JSON encoding (the crate is dependency-free by design — it must
+//! never drag a registry dependency into the lint gate).
+
+use crate::rules::Diagnostic;
+
+/// `path:line: [rule] message` — clickable in most terminals/editors.
+pub fn render_text(d: &Diagnostic) -> String {
+    if d.waived {
+        let reason = d.waive_reason.as_deref().unwrap_or("");
+        format!("{}:{}: [{}] waived — {}", d.path, d.line, d.rule, reason)
+    } else {
+        format!("{}:{}: [{}] {}", d.path, d.line, d.rule, d.message)
+    }
+}
+
+/// Minimal JSON string escape (quotes, backslash, control chars).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn render_json_one(d: &Diagnostic) -> String {
+    let reason = match &d.waive_reason {
+        Some(r) => format!(",\"reason\":\"{}\"", json_escape(r)),
+        None => String::new(),
+    };
+    format!(
+        "{{\"path\":\"{}\",\"line\":{},\"rule\":\"{}\",\"waived\":{},\"message\":\"{}\"{}}}",
+        json_escape(&d.path),
+        d.line,
+        d.rule,
+        d.waived,
+        json_escape(&d.message),
+        reason
+    )
+}
+
+/// The full machine-readable report: every finding (waived included)
+/// plus a summary object, as one JSON document.
+pub fn render_json(diags: &[Diagnostic]) -> String {
+    let active = diags.iter().filter(|d| !d.waived).count();
+    let waived = diags.len() - active;
+    let body: Vec<String> = diags.iter().map(render_json_one).collect();
+    format!("{{\"diagnostics\":[{}],\"active\":{},\"waived\":{}}}", body.join(","), active, waived)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(waived: bool) -> Diagnostic {
+        Diagnostic {
+            path: "crates/x/src/lib.rs".into(),
+            line: 7,
+            rule: "wall-clock",
+            message: "a \"quoted\" hazard".into(),
+            waived,
+            waive_reason: waived.then(|| "order-free fold".to_string()),
+        }
+    }
+
+    #[test]
+    fn text_is_file_line_rule() {
+        assert_eq!(
+            render_text(&sample(false)),
+            "crates/x/src/lib.rs:7: [wall-clock] a \"quoted\" hazard"
+        );
+        assert!(render_text(&sample(true)).contains("waived — order-free fold"));
+    }
+
+    #[test]
+    fn json_escapes_and_counts() {
+        let doc = render_json(&[sample(false), sample(true)]);
+        assert!(doc.contains("\\\"quoted\\\""));
+        assert!(doc.ends_with("\"active\":1,\"waived\":1}"));
+        assert!(doc.contains("\"reason\":\"order-free fold\""));
+    }
+}

@@ -1,0 +1,138 @@
+//! Inline waivers: `// audit: allow(rule-name) reason…`.
+//!
+//! Policy (enforced by the `waiver-hygiene` rule):
+//!
+//! * a waiver must name a **real rule** and carry a **non-empty
+//!   reason** — anonymous or misspelled waivers never suppress
+//!   anything and are themselves diagnostics;
+//! * a waiver binds to **one line of code**: the line it trails, or —
+//!   when it stands alone on its line — the next line that holds any
+//!   code (stacked waivers above one statement all bind to it);
+//! * a waiver that suppresses nothing is **stale** and fails the
+//!   audit (`--fix-waivers` deletes it), so the waiver inventory can
+//!   never drift from the hazards actually present.
+//!
+//! Only plain `//` comments carry waivers: doc comments (`///`, `//!`)
+//! are rendered documentation, and a waiver inside one is almost
+//! certainly prose quoting the syntax, not a suppression request.
+
+use crate::lexer::{Token, TokenKind};
+
+/// How a waiver comment parsed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WaiverSyntax {
+    /// `audit: allow(<rule>) <reason>` with both parts present.
+    Valid { rule: String, reason: String },
+    /// `audit: allow(<rule>)` with no reason text.
+    MissingReason { rule: String },
+    /// An `audit:` comment that does not parse as `allow(rule) …`.
+    Malformed,
+}
+
+/// One `// audit:` comment found in a file.
+#[derive(Clone, Debug)]
+pub struct Waiver {
+    pub syntax: WaiverSyntax,
+    /// Line of the comment itself.
+    pub line: u32,
+    /// Line of code this waiver suppresses diagnostics on.
+    pub target_line: u32,
+    /// Byte span of the comment token (for `--fix-waivers`).
+    pub start: usize,
+    pub end: usize,
+}
+
+/// Parse the body of a plain `//` comment; `None` when the comment is
+/// not an `audit:` directive at all.
+pub fn parse_comment(text: &str) -> Option<WaiverSyntax> {
+    let body = text.strip_prefix("//")?;
+    // Doc comments don't carry waivers.
+    if body.starts_with('/') || body.starts_with('!') {
+        return None;
+    }
+    let body = body.trim_start();
+    let directive = body.strip_prefix("audit:")?.trim_start();
+    let Some(rest) = directive.strip_prefix("allow(") else {
+        return Some(WaiverSyntax::Malformed);
+    };
+    let Some(close) = rest.find(')') else {
+        return Some(WaiverSyntax::Malformed);
+    };
+    let rule = rest[..close].trim();
+    if rule.is_empty() || rule.contains(char::is_whitespace) {
+        return Some(WaiverSyntax::Malformed);
+    }
+    let reason = rest[close + 1..].trim().trim_start_matches([':', '-']).trim();
+    if reason.is_empty() {
+        Some(WaiverSyntax::MissingReason { rule: rule.to_string() })
+    } else {
+        Some(WaiverSyntax::Valid { rule: rule.to_string(), reason: reason.to_string() })
+    }
+}
+
+/// Extract every waiver in a token stream and resolve its target line.
+pub fn collect(tokens: &[Token<'_>]) -> Vec<Waiver> {
+    let mut out = Vec::new();
+    for (i, tok) in tokens.iter().enumerate() {
+        if tok.kind != TokenKind::LineComment {
+            continue;
+        }
+        let Some(syntax) = parse_comment(tok.text) else { continue };
+        // Trailing comment (code earlier on the same line) waives its
+        // own line; a standalone comment waives the next code line.
+        let trails_code =
+            tokens[..i].iter().rev().take_while(|t| t.line == tok.line).any(|t| !t.is_comment());
+        let target_line = if trails_code {
+            tok.line
+        } else {
+            tokens[i + 1..].iter().find(|t| !t.is_comment()).map_or(tok.line, |t| t.line)
+        };
+        out.push(Waiver { syntax, line: tok.line, target_line, start: tok.start, end: tok.end() });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn parses_the_documented_forms() {
+        assert_eq!(
+            parse_comment("// audit: allow(wall-clock) progress display only"),
+            Some(WaiverSyntax::Valid {
+                rule: "wall-clock".into(),
+                reason: "progress display only".into()
+            })
+        );
+        assert_eq!(
+            parse_comment("//audit: allow(x): colon-style reason"),
+            Some(WaiverSyntax::Valid { rule: "x".into(), reason: "colon-style reason".into() })
+        );
+        assert_eq!(
+            parse_comment("// audit: allow(seeded-rng)"),
+            Some(WaiverSyntax::MissingReason { rule: "seeded-rng".into() })
+        );
+        assert_eq!(parse_comment("// audit: disable everything"), Some(WaiverSyntax::Malformed));
+        assert_eq!(parse_comment("// audit: allow(two words) r"), Some(WaiverSyntax::Malformed));
+        assert_eq!(parse_comment("// a normal comment"), None);
+        assert_eq!(parse_comment("/// audit: allow(x) doc comments do not waive"), None);
+    }
+
+    #[test]
+    fn binds_to_trailing_or_next_code_line() {
+        let src = "\
+let a = 1; // audit: allow(r1) trailing
+// audit: allow(r2) standalone
+// audit: allow(r3) stacked
+let b = 2;
+";
+        let toks = lex(src);
+        let waivers = collect(&toks);
+        assert_eq!(waivers.len(), 3);
+        assert_eq!(waivers[0].target_line, 1);
+        assert_eq!(waivers[1].target_line, 4);
+        assert_eq!(waivers[2].target_line, 4);
+    }
+}

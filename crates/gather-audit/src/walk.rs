@@ -1,0 +1,43 @@
+//! Workspace traversal: find every `.rs` file under the workspace
+//! root, in a deterministic (sorted) order, skipping build products and
+//! VCS internals.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+const SKIP_DIRS: [&str; 4] = ["target", ".git", ".claude", "node_modules"];
+
+/// All `.rs` files under `root`, as workspace-relative `/`-separated
+/// paths, sorted for stable diagnostic order.
+pub fn rust_files(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut found = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in fs::read_dir(&dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if entry.file_type()?.is_dir() {
+                if !SKIP_DIRS.contains(&name.as_ref()) && !name.starts_with('.') {
+                    stack.push(path);
+                }
+            } else if name.ends_with(".rs") {
+                found.push(path);
+            }
+        }
+    }
+    found.sort();
+    Ok(found)
+}
+
+/// Workspace-relative `/`-separated form of `path` for rule scoping
+/// and diagnostics.
+pub fn relative(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect::<Vec<_>>()
+        .join("/")
+}

@@ -1,0 +1,212 @@
+//! Rule fixtures: every rule must (a) fire on a minimal hazard at the
+//! right `file:line`, (b) be silenced by a reasoned inline waiver, and
+//! (c) never fire on the same hazard hidden inside a string literal or
+//! a comment. The hazards here live inside Rust string literals, so
+//! auditing *this* file (as CI does) stays clean — which is itself a
+//! regression test for the lexer's string handling.
+
+use gather_audit::{audit_source, Diagnostic};
+
+const ENGINE_PATH: &str = "crates/grid-engine/src/fixture.rs";
+
+fn active(path: &str, src: &str) -> Vec<Diagnostic> {
+    audit_source(path, src).diagnostics.into_iter().filter(|d| !d.waived).collect()
+}
+
+fn fires(path: &str, src: &str, rule: &str, line: u32) {
+    let hits = active(path, src);
+    assert!(
+        hits.iter().any(|d| d.rule == rule && d.line == line),
+        "expected `{rule}` at {path}:{line}, got {hits:?}"
+    );
+}
+
+fn clean(path: &str, src: &str) {
+    let hits = active(path, src);
+    assert!(hits.is_empty(), "expected no active findings, got {hits:?}");
+}
+
+#[test]
+fn wall_clock_fires_and_waives() {
+    let hazard = "fn f() -> std::time::Instant { std::time::Instant::now() }\n";
+    fires(ENGINE_PATH, hazard, "wall-clock", 1);
+    fires(ENGINE_PATH, "use std::time::SystemTime;\n", "wall-clock", 1);
+    clean(
+        ENGINE_PATH,
+        "// audit: allow(wall-clock) fixture: timing is display-only here\n\
+         fn f() -> std::time::Instant { std::time::Instant::now() }\n",
+    );
+    // The allowlisted profiler file may read clocks freely.
+    clean("crates/grid-engine/src/profile.rs", hazard);
+    // Test and bench layouts are not replayed.
+    clean("crates/grid-engine/tests/perf.rs", hazard);
+    clean("crates/grid-engine/benches/rounds.rs", hazard);
+}
+
+#[test]
+fn unordered_iter_fires_and_waives() {
+    let hazard = "\
+fn f(m: &FxHashMap<u32, u32>) -> Vec<u32> {
+    m.values().copied().collect()
+}
+";
+    fires(ENGINE_PATH, hazard, "unordered-iter", 2);
+    let for_loop = "\
+fn f() {
+    let mut seen = FxHashSet::default();
+    for x in &seen {
+        drop(x);
+    }
+}
+";
+    fires(ENGINE_PATH, for_loop, "unordered-iter", 3);
+    clean(
+        ENGINE_PATH,
+        "fn f(m: &FxHashMap<u32, u32>) -> u32 {
+    // audit: allow(unordered-iter) sum is commutative, order-free
+    m.values().sum()
+}
+",
+    );
+    // Outside the determinism-critical crates the rule is silent.
+    clean("crates/gather-viz/src/fixture.rs", hazard);
+}
+
+#[test]
+fn seeded_rng_fires_and_waives() {
+    fires(ENGINE_PATH, "fn f() { let _r = thread_rng(); }\n", "seeded-rng", 1);
+    fires("src/fixture.rs", "fn f() { let _r = SmallRng::from_entropy(); }\n", "seeded-rng", 1);
+    clean(
+        "src/fixture.rs",
+        "fn f() {
+    // audit: allow(seeded-rng) fixture: seed is logged before use
+    let _r = thread_rng();
+}
+",
+    );
+}
+
+#[test]
+fn safety_comment_fires_and_clears() {
+    let hazard = "\
+fn f(p: *const u32) -> u32 {
+    unsafe { *p }
+}
+";
+    fires(ENGINE_PATH, hazard, "safety-comment", 2);
+    // A SAFETY comment directly above satisfies the rule outright.
+    clean(
+        ENGINE_PATH,
+        "fn f(p: *const u32) -> u32 {
+    // SAFETY: caller contract guarantees p is valid and aligned
+    unsafe { *p }
+}
+",
+    );
+    // Same-line SAFETY also counts.
+    clean(ENGINE_PATH, "fn f(p: *const u32) -> u32 {\n    unsafe { *p } // SAFETY: p valid\n}\n");
+    // A blank line breaks the comment block: the justification must be adjacent.
+    fires(
+        ENGINE_PATH,
+        "fn f(p: *const u32) -> u32 {\n    // SAFETY: p valid\n\n    unsafe { *p }\n}\n",
+        "safety-comment",
+        4,
+    );
+    // And the rule is waivable like the others.
+    clean(
+        ENGINE_PATH,
+        "fn f(p: *const u32) -> u32 {
+    // audit: allow(safety-comment) fixture: justified in module docs
+    unsafe { *p }
+}
+",
+    );
+}
+
+#[test]
+fn panic_surface_fires_and_waives() {
+    fires(ENGINE_PATH, "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n", "panic-surface", 1);
+    fires(ENGINE_PATH, "fn f(x: Option<u32>) -> u32 { x.expect(msg()) }\n", "panic-surface", 1);
+    fires(ENGINE_PATH, "fn f() { panic!() }\n", "panic-surface", 1);
+    fires(ENGINE_PATH, "fn f() -> u32 { todo!(\"later\") }\n", "panic-surface", 1);
+    // Named invariants are the sanctioned form.
+    clean(ENGINE_PATH, "fn f(x: Option<u32>) -> u32 { x.expect(\"invariant: set by new\") }\n");
+    clean(ENGINE_PATH, "fn f() { panic!(\"invariant: unreachable state\") }\n");
+    clean(
+        ENGINE_PATH,
+        "// audit: allow(panic-surface) fixture: prototype-only path\n\
+         fn f(x: Option<u32>) -> u32 { x.unwrap() }\n",
+    );
+    // Other crates and test modules are out of scope.
+    clean("crates/gather-core/src/fixture.rs", "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n");
+    clean(
+        ENGINE_PATH,
+        "#[cfg(test)]\nmod tests {\n    fn f(x: Option<u32>) -> u32 { x.unwrap() }\n}\n",
+    );
+}
+
+#[test]
+fn waiver_hygiene_fires_and_waives() {
+    // Stale: the waiver suppresses nothing.
+    fires(
+        ENGINE_PATH,
+        "// audit: allow(wall-clock) nothing here reads a clock\nfn f() {}\n",
+        "waiver-hygiene",
+        1,
+    );
+    // Unknown rule.
+    fires(ENGINE_PATH, "// audit: allow(wall-clcok) typo\nfn f() {}\n", "waiver-hygiene", 1);
+    // Missing reason: the hazard stays active AND hygiene fires.
+    let anonymous = "// audit: allow(panic-surface)\nfn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+    fires(ENGINE_PATH, anonymous, "waiver-hygiene", 1);
+    fires(ENGINE_PATH, anonymous, "panic-surface", 2);
+    // Malformed directive.
+    fires(ENGINE_PATH, "// audit: disable all the things\nfn f() {}\n", "waiver-hygiene", 1);
+    // A hygiene waiver directly above sanctions a deliberate keeper.
+    clean(
+        ENGINE_PATH,
+        "// audit: allow(waiver-hygiene) fixture kept to document the syntax\n\
+         // audit: allow(wall-clock) nothing here reads a clock\n\
+         fn f() {}\n",
+    );
+}
+
+#[test]
+fn hazards_inside_strings_and_comments_are_invisible() {
+    clean(
+        ENGINE_PATH,
+        "fn f() -> &'static str {
+    // A comment naming Instant::now, thread_rng and x.unwrap() is prose.
+    /* so is SystemTime in a block comment */
+    \"Instant::now() thread_rng() m.values() x.unwrap() unsafe panic!()\"
+}
+",
+    );
+    clean(
+        ENGINE_PATH,
+        "fn f() -> &'static str {\n    r#\"SystemTime::now() and todo!() in a raw string\"#\n}\n",
+    );
+}
+
+#[test]
+fn waived_findings_are_reported_as_waived() {
+    let audit = audit_source(
+        ENGINE_PATH,
+        "// audit: allow(panic-surface) fixture: reason text survives\n\
+         fn f(x: Option<u32>) -> u32 { x.unwrap() }\n",
+    );
+    let waived: Vec<_> = audit.diagnostics.iter().filter(|d| d.waived).collect();
+    assert_eq!(waived.len(), 1);
+    assert_eq!(waived[0].rule, "panic-surface");
+    assert_eq!(waived[0].waive_reason.as_deref(), Some("fixture: reason text survives"));
+    assert!(audit.diagnostics.iter().all(|d| d.waived), "no active findings remain");
+}
+
+#[test]
+fn stale_waivers_are_marked_removable() {
+    let src = "// audit: allow(wall-clock) stale\nfn f() {}\n";
+    let audit = audit_source(ENGINE_PATH, src);
+    assert_eq!(audit.removable_waivers.len(), 1);
+    let (start, end) = audit.removable_waivers[0];
+    assert_eq!(&src[start..end], "// audit: allow(wall-clock) stale");
+}

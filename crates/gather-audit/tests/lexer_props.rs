@@ -1,0 +1,94 @@
+//! Property tests for the audit lexer: it must never panic on any
+//! input (it runs over every file in the workspace, including broken
+//! work-in-progress ones), its tokens must faithfully slice the
+//! source, and hazards quoted inside strings or comments must stay
+//! invisible to every rule.
+
+use gather_audit::lexer::{lex, TokenKind};
+use gather_audit::{audit_source, RULE_NAMES};
+use proptest::prelude::*;
+
+const HAZARDS: [&str; 8] = [
+    "Instant::now()",
+    "SystemTime::now()",
+    "thread_rng()",
+    "SmallRng::from_entropy()",
+    "map.values()",
+    "x.unwrap()",
+    "unsafe { *p }",
+    "todo!()",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 512, ..ProptestConfig::default() })]
+
+    /// Arbitrary (lossy-decoded) byte soup never panics the lexer, and
+    /// every token is an exact, in-order, non-overlapping slice of the
+    /// source.
+    #[test]
+    fn lexer_never_panics_and_tokens_slice_the_source(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let src = String::from_utf8_lossy(&bytes).into_owned();
+        let tokens = lex(&src);
+        let mut cursor = 0usize;
+        for t in &tokens {
+            prop_assert!(t.start >= cursor, "tokens out of order at byte {}", t.start);
+            prop_assert_eq!(&src[t.start..t.end()], t.text);
+            cursor = t.end();
+        }
+        prop_assert!(cursor <= src.len());
+    }
+
+    /// Pathological nesting of quote/comment openers never panics and
+    /// never produces an identifier token spelling a hazard name.
+    #[test]
+    fn quote_soup_never_leaks_hazard_idents(parts in prop::collection::vec(0usize..6usize, 0..48)) {
+        const OPENERS: [&str; 6] = ["\"", "r#\"", "/*", "//", "'", "b\""];
+        let mut src = String::from("Instant thread_rng unwrap ");
+        for i in parts {
+            src.push_str(OPENERS[i]);
+            src.push_str(" Instant::now() ");
+        }
+        let tokens = lex(&src);
+        // The three leading idents are real code; everything after the
+        // first opener is swallowed by a string/comment/char token.
+        let idents = tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident && t.text == "Instant")
+            .count();
+        prop_assert!(idents >= 1, "the leading code ident must survive");
+    }
+
+    /// A hazard embedded in a string literal or comment yields zero
+    /// diagnostics from every rule, in the strictest scope we have
+    /// (grid-engine library code).
+    #[test]
+    fn quoted_hazards_yield_no_diagnostics(which in 0usize..8usize, style in 0usize..3usize) {
+        let hazard = HAZARDS[which];
+        let src = match style {
+            0 => format!("fn f() -> &'static str {{\n    \"{}\"\n}}\n", hazard.replace('"', "\\\"")),
+            1 => format!("fn f() {{\n    // {hazard}\n}}\n"),
+            _ => format!("fn f() {{\n    /* {hazard} */\n}}\n"),
+        };
+        let audit = audit_source("crates/grid-engine/src/fixture.rs", &src);
+        prop_assert!(
+            audit.diagnostics.is_empty(),
+            "quoted hazard {:?} leaked diagnostics: {:?}",
+            hazard,
+            audit.diagnostics
+        );
+    }
+
+    /// The same hazards as bare code DO fire — the mirror property, so
+    /// the test above cannot rot into vacuity.
+    #[test]
+    fn bare_hazards_do_fire(which in 0usize..8usize) {
+        let hazard = HAZARDS[which];
+        let src = format!("fn f() {{\n    let map = FxHashMap::default();\n    {hazard};\n}}\n");
+        let audit = audit_source("crates/grid-engine/src/fixture.rs", &src);
+        prop_assert!(
+            audit.diagnostics.iter().any(|d| RULE_NAMES.contains(&d.rule)),
+            "bare hazard {:?} fired nothing",
+            hazard
+        );
+    }
+}

@@ -93,6 +93,8 @@ fn record_bounded(
         EngineConfig { threads, connectivity: ConnectivityCheck::Never, ..Default::default() },
     );
     engine.set_observer(observer);
+    // audit: allow(wall-clock) smoke throughput display only — the
+    // pass/fail verdict is clock-independent
     let start = Instant::now();
     let mut robot_rounds = 0u64;
     for _ in 0..rounds {

@@ -308,6 +308,9 @@ impl Scenario {
         let budget = self.budget(points.len());
         let totals: Rc<RefCell<grid_engine::ProfileTotals>> = Rc::default();
         let sink = totals.clone();
+        // audit: allow(wall-clock) scenario wall-time fills the opt-in
+        // perf fields of the profiled report; gathered results and
+        // digests never depend on it
         let start = Instant::now();
         let m = gather_bench::run_measured_instrumented(
             self.controller,

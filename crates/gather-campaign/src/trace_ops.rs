@@ -143,6 +143,8 @@ pub fn record_scenario_profiled(sc: &Scenario, dir: &Path, perf: bool) -> TraceJ
         Box::new(move |profile: &grid_engine::RoundProfile| totals.borrow_mut().add(profile))
             as grid_engine::BoxedProfileSink
     });
+    // audit: allow(wall-clock) record-side wall-time is reported
+    // alongside the trace; the trace bytes themselves are clock-free
     let start = std::time::Instant::now();
     let m = run_measured_instrumented(
         sc.controller,

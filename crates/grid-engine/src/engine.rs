@@ -126,6 +126,18 @@ pub struct Engine<C: Controller> {
     profiler: Option<BoxedProfileSink>,
 }
 
+impl<C: Controller> std::fmt::Debug for Engine<C> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("round", &self.round)
+            .field("robots", &self.swarm.len())
+            .field("config", &self.config)
+            .field("observer", &self.observer.is_some())
+            .field("profiler", &self.profiler.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
 impl<C: Controller> Engine<C> {
     pub fn new(swarm: Swarm<C::State>, controller: C, config: EngineConfig) -> Self {
         let metrics = Metrics::new(config.keep_history);
@@ -201,6 +213,8 @@ impl<C: Controller> Engine<C> {
         // attached, `timed` degenerates to a direct call and no clock is
         // read anywhere in the round.
         let profiling = self.profiler.is_some();
+        // audit: allow(wall-clock) only read when a profiler sink is
+        // attached, and phase timings never feed back into round results
         let round_start = profiling.then(std::time::Instant::now);
         let allocs_before = if profiling { profile::allocation_count() } else { None };
         let mut profile_buf =

@@ -8,7 +8,7 @@ use std::collections::{HashMap, HashSet};
 use std::hash::{BuildHasherDefault, Hasher};
 
 /// Fast, non-DoS-resistant hasher for grid coordinates and robot ids.
-#[derive(Default, Clone)]
+#[derive(Default, Clone, Debug)]
 pub struct FxHasher {
     hash: u64,
 }

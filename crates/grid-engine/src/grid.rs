@@ -26,6 +26,16 @@ pub const EMPTY: u32 = u32::MAX;
 /// exists to remove.
 pub const DENSE_CELL_LIMIT: u128 = 1 << 28;
 
+impl std::fmt::Debug for OccupancyGrid {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OccupancyGrid")
+            .field("origin", &self.origin)
+            .field("width", &self.width)
+            .field("height", &self.height)
+            .finish_non_exhaustive()
+    }
+}
+
 #[derive(Clone)]
 pub struct OccupancyGrid {
     origin: Point,

@@ -115,6 +115,8 @@ where
     F: Fn(usize) -> T + Sync,
 {
     parallel_map_coarse(n, threads, move |i| {
+        // audit: allow(wall-clock) worker timing is profiler-gated and
+        // observational only — the mapped values are clock-independent
         let start = clocked.then(std::time::Instant::now);
         let out = f(i);
         (out, start.map_or(0, |t| t.elapsed().as_nanos() as u64))

@@ -239,23 +239,39 @@ mod alloc_counter {
     // SAFETY: delegates every operation to `System`; the counter is a
     // relaxed atomic with no effect on allocation behaviour.
     unsafe impl GlobalAlloc for CountingAllocator {
+        // SAFETY: forwards the caller's layout to `System` unchanged, so
+        // `System`'s contract (valid for `layout`, or null) is ours.
         unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
             ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
-            System.alloc(layout)
+            // SAFETY: our caller's obligations for `layout` are exactly
+            // `System::alloc`'s, and `layout` is forwarded verbatim.
+            unsafe { System.alloc(layout) }
         }
 
+        // SAFETY: forwards the caller's layout to `System` unchanged.
         unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
             ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
-            System.alloc_zeroed(layout)
+            // SAFETY: `layout` is forwarded verbatim under the same
+            // contract our caller already guaranteed.
+            unsafe { System.alloc_zeroed(layout) }
         }
 
+        // SAFETY: the caller guarantees `ptr` came from this allocator
+        // with `layout` — which means from `System`, where it is
+        // forwarded untouched along with `new_size`.
         unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
             ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
-            System.realloc(ptr, layout, new_size)
+            // SAFETY: `ptr` was allocated by `System` (all our paths
+            // delegate there) and `layout`/`new_size` pass through as-is.
+            unsafe { System.realloc(ptr, layout, new_size) }
         }
 
+        // SAFETY: the caller guarantees `ptr`/`layout` describe a live
+        // allocation from this allocator, i.e. from `System`.
         unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-            System.dealloc(ptr, layout)
+            // SAFETY: `ptr` is a live `System` allocation with `layout`,
+            // per our own caller contract.
+            unsafe { System.dealloc(ptr, layout) }
         }
     }
 

@@ -88,6 +88,16 @@ pub struct Swarm<S: RobotState> {
     index: TileIndex,
 }
 
+// Manual so states without Debug still get a printable swarm summary.
+impl<S: RobotState> std::fmt::Debug for Swarm<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Swarm")
+            .field("robots", &self.robots.len())
+            .field("bounds", &self.index.bounds())
+            .finish_non_exhaustive()
+    }
+}
+
 /// The paper's goal predicate, factored so the fast path is testable: a
 /// 2×2 area holds at most four robots (cells are distinct), so any
 /// larger population fails *without touching positions at all* — the

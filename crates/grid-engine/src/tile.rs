@@ -72,6 +72,12 @@ pub fn shard_of(p: Point) -> usize {
 
 /// One dense 64×64 tile plus its live-cell count (so empty tiles can be
 /// dropped, keeping both memory and the tile-key extremes honest).
+impl std::fmt::Debug for Tile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tile").field("occupied", &self.occupied).finish_non_exhaustive()
+    }
+}
+
 #[derive(Clone)]
 pub struct Tile {
     cells: Box<[u32; TILE_CELLS]>,
@@ -116,7 +122,7 @@ impl Tile {
 }
 
 /// One independently-mutable shard of the tile map.
-#[derive(Clone, Default)]
+#[derive(Clone, Default, Debug)]
 pub struct Shard {
     tiles: FxHashMap<TileKey, Tile>,
 }
@@ -165,7 +171,7 @@ impl Shard {
 
 /// The tiled occupancy index. Memory is proportional to *occupied
 /// tiles*, never to the bounding rectangle.
-#[derive(Clone)]
+#[derive(Clone, Debug)]
 pub struct TileIndex {
     shards: Vec<Shard>,
 }
@@ -239,6 +245,8 @@ impl TileIndex {
     pub fn bounds(&self) -> Option<Bounds> {
         let mut keys: Option<(i32, i32, i32, i32)> = None;
         for shard in &self.shards {
+            // audit: allow(unordered-iter) min/max fold over tile keys is
+            // commutative — the result is independent of visit order
             for key in shard.tiles.keys() {
                 keys = Some(match keys {
                     None => (key.x, key.x, key.y, key.y),
@@ -254,6 +262,8 @@ impl TileIndex {
         // other three extremes.
         let (mut x0, mut x1, mut y0, mut y1) = (i32::MAX, i32::MIN, i32::MAX, i32::MIN);
         for shard in &self.shards {
+            // audit: allow(unordered-iter) min/max fold over boundary
+            // tiles — commutative, order cannot leak into the bounds
             for (key, tile) in &shard.tiles {
                 if key.x != kx0 && key.x != kx1 && key.y != ky0 && key.y != ky1 {
                     continue;
@@ -317,6 +327,17 @@ pub struct TileWindow<'a> {
     w: i32,
     h: i32,
     tiles: [Option<&'a Tile>; WINDOW_TILES],
+}
+
+impl std::fmt::Debug for TileWindow<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TileWindow")
+            .field("kx0", &self.kx0)
+            .field("ky0", &self.ky0)
+            .field("w", &self.w)
+            .field("h", &self.h)
+            .finish_non_exhaustive()
+    }
 }
 
 impl TileWindow<'_> {

@@ -33,6 +33,18 @@ pub struct View<'a, S: RobotState> {
     radius: i32,
 }
 
+// Manual so states without Debug still get a printable view summary.
+impl<S: RobotState> std::fmt::Debug for View<'_, S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("View")
+            .field("id", &self.id)
+            .field("center", &self.center)
+            .field("orient", &self.orient)
+            .field("radius", &self.radius)
+            .finish_non_exhaustive()
+    }
+}
+
 impl<'a, S: RobotState> View<'a, S> {
     pub fn new(swarm: &'a Swarm<S>, id: usize, radius: i32) -> Self {
         let robot = &swarm.robots()[id];
