@@ -42,13 +42,17 @@ const DETERMINISM_CRITICAL_CRATES: [&str; 3] = ["grid-engine", "gather-bench", "
 const PANIC_FREE_CRATES: [&str; 1] = ["grid-engine"];
 
 /// Files allowed to read wall clocks: the profiler itself, the campaign
-/// executor/progress layer (job timing and ETA display), and the bench
-/// harness stand-in. Everything else library-side must be replayable
-/// with profiling off.
-const WALL_CLOCK_ALLOWLIST: [&str; 3] = [
+/// executor/progress layer (job timing and ETA display), the campaign
+/// service's clock module (lease expiry and heartbeat pacing need real
+/// elapsed time; the rest of gather-serve takes `now_ms` as an argument
+/// so expiry logic stays pure and nothing time-derived can reach a
+/// content-addressed cache key), and the bench harness stand-in.
+/// Everything else library-side must be replayable with profiling off.
+const WALL_CLOCK_ALLOWLIST: [&str; 4] = [
     "crates/grid-engine/src/profile.rs",
     "crates/gather-campaign/src/executor.rs",
     "crates/gather-campaign/src/progress.rs",
+    "crates/gather-serve/src/clock.rs",
 ];
 const WALL_CLOCK_ALLOWLISTED_CRATES: [&str; 1] = ["criterion"];
 

@@ -41,7 +41,16 @@ fn main() -> ExitCode {
         Command::Render(args) => render_trace(&args),
         Command::Smoke(args) => smoke(&args),
         Command::Summarize { input, perf } => summarize_file(&input, perf),
-        Command::EventsTail { file } => events_tail(&file),
+        Command::EventsTail { file, follow: false } => events_tail(&file),
+        Command::EventsTail { file, follow: true } => events_follow(&file),
+        Command::Serve(args) => gather_campaign::serve(&args),
+        Command::Submit(args) => gather_campaign::submit(&args).map(|_| ()),
+        Command::Work(args) => gather_campaign::work(&args).map(|report| {
+            eprintln!(
+                "worker done: {} lease(s), {} scenario(s) executed, {} panicked",
+                report.leases, report.executed, report.panicked,
+            );
+        }),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
@@ -498,4 +507,45 @@ fn events_tail(file: &Path) -> Result<(), String> {
         return Err("stream has no job_finished — the campaign is still running or died".into());
     }
     Ok(())
+}
+
+/// `events tail --follow`: poll the file for appended lines, narrate
+/// scenario completions, and exit 0 with a summary once `job_finished`
+/// lands. Starting before the file exists is fine.
+fn events_follow(file: &Path) -> Result<(), String> {
+    let mut reader = gather_obs::FollowReader::new(file);
+    let mut events: Vec<gather_obs::Event> = Vec::new();
+    loop {
+        let fresh = reader.poll()?;
+        let mut finished = false;
+        for event in &fresh {
+            match event {
+                gather_obs::Event::JobStarted { job, total } => {
+                    eprintln!("following job '{job}': {total} scenario(s)");
+                }
+                gather_obs::Event::ScenarioFinished { id, status, rounds, .. } => {
+                    eprintln!("  {id} {} rounds={rounds}", status.as_str().to_uppercase());
+                }
+                gather_obs::Event::JobFinished { .. } => finished = true,
+                _ => {}
+            }
+        }
+        events.extend(fresh);
+        if finished {
+            if reader.skipped() > 0 {
+                eprintln!("warning: skipped {} unparseable line(s)", reader.skipped());
+            }
+            let summary = gather_obs::validate(&events)?;
+            println!(
+                "job '{}': {}/{} done, {} panicked, complete in {:.1}s",
+                summary.job,
+                summary.done,
+                summary.total,
+                summary.panicked,
+                summary.secs.unwrap_or(0.0),
+            );
+            return Ok(());
+        }
+        std::thread::sleep(std::time::Duration::from_millis(200));
+    }
 }

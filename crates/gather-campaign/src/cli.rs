@@ -1,6 +1,7 @@
 //! Hand-rolled argument parsing for the `campaign` binary (no external
 //! dependencies, same policy as `gather-bench/src/bin/report.rs`).
 
+use std::collections::BTreeMap;
 use std::path::PathBuf;
 
 use gather_bench::{ControllerKind, SchedulerKind};
@@ -28,7 +29,13 @@ USAGE:
     campaign smoke     [--n N] [--rounds R] [--family F] [--seed S]
                        [--threads-a A] [--threads-b B] [--dir DIR]
     campaign summarize [--in PATH] [--perf]
-    campaign events tail FILE
+    campaign events tail FILE [--follow]
+    campaign serve     --socket PATH [--cache DIR] [--jobs N]
+                       [--lease-ttl-ms T] [--quiet]
+    campaign submit    --socket PATH [--out PATH] [--spec FILE]
+                       [--events FILE] [--quiet] [axis flags]
+    campaign work      --socket PATH [--threads N] [--name ID]
+                       [--lease K] [--poll-ms T]
 
 SUBCOMMANDS:
     run        Execute the sweep from scratch (truncates --out)
@@ -71,7 +78,23 @@ SUBCOMMANDS:
                stream (done/total, panics, ETA or final wall time);
                exits non-zero when the stream is torn or has no
                terminating job_finished — the CI check that a streamed
-               run really completed
+               run really completed. With --follow, polls the file for
+               appended events (the file may not exist yet) and exits
+               cleanly once job_finished arrives
+    serve      Run the resident campaign service on a Unix socket: FIFO
+               job queue, worker pull-leases with expiry re-issue, and a
+               content-addressed result cache keyed by (scenario ID,
+               config digest, engine version) so repeated or overlapping
+               sweeps never recompute a scenario. Workers and submitters
+               speak flat NDJSON (the --events vocabulary plus a small
+               request/response layer) over the same socket
+    submit     Send a sweep spec to a running service and stream its
+               progress until job_done. The server writes --out itself
+               (ID-sorted merged JSONL plus a complete manifest) after
+               folding the results through the shard coverage proof
+    work       Pull-lease scenarios from a running service, execute them
+               (panics isolated, like run), and stream record lines
+               back; exits cleanly when the service drains or disappears
 
 OPTIONS:
     --threads N        Worker threads; 0 = all cores (default 0)
@@ -125,7 +148,21 @@ OPTIONS:
                        fifth ID segment (line/n64/s3/paper/ssync-p50). The
                        greedy baseline is its own sequential scheduler and runs
                        once per cell regardless of this axis
-    --name NAME        Campaign name recorded in logs (default standard)
+    --name NAME        run/submit: campaign name recorded in logs (default
+                       standard). work: worker identity for lease
+                       bookkeeping (default worker-<pid>)
+    --socket PATH      serve/submit/work: Unix socket path of the service
+    --cache DIR        serve: result cache directory (default campaign-cache)
+    --jobs N           serve: exit after finalizing N jobs (default: serve
+                       until killed)
+    --lease-ttl-ms T   serve: lease expiry in milliseconds (default 60000).
+                       An expired lease's scenarios are re-issued to the
+                       next lease request, so a killed worker never
+                       strands a job
+    --lease K          work: scenarios claimed per lease request (default 8)
+    --poll-ms T        work: sleep between empty lease grants (default 200)
+    --follow           events tail: poll for appended events instead of
+                       reading once; exits when job_finished arrives
     -h, --help         Show this help
 ";
 
@@ -142,8 +179,48 @@ pub enum Command {
     Render(RenderArgs),
     Smoke(crate::smoke::SmokeArgs),
     Summarize { input: PathBuf, perf: bool },
-    EventsTail { file: PathBuf },
+    EventsTail { file: PathBuf, follow: bool },
+    Serve(ServeArgs),
+    Submit(SubmitArgs),
+    Work(WorkArgs),
     Help,
+}
+
+/// `campaign serve` flags.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ServeArgs {
+    pub socket: PathBuf,
+    /// Result cache directory.
+    pub cache: PathBuf,
+    /// Exit after finalizing this many jobs (`None` = serve forever).
+    pub jobs: Option<usize>,
+    /// Lease expiry: an unfinished lease older than this is re-issued.
+    pub lease_ttl_ms: u64,
+    pub quiet: bool,
+}
+
+/// `campaign submit` flags.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SubmitArgs {
+    pub socket: PathBuf,
+    pub spec: CampaignSpec,
+    pub out: PathBuf,
+    /// Mirror the streamed progress events to this file, verbatim.
+    pub events: Option<PathBuf>,
+    pub quiet: bool,
+}
+
+/// `campaign work` flags.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WorkArgs {
+    pub socket: PathBuf,
+    pub threads: usize,
+    /// Worker identity, for lease bookkeeping on the server.
+    pub name: String,
+    /// Scenarios claimed per lease request.
+    pub lease: usize,
+    /// Sleep between empty grants while the queue is dry.
+    pub poll_ms: u64,
 }
 
 #[derive(Clone, Debug, PartialEq)]
@@ -382,8 +459,10 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             match it.next().copied() {
                 Some("tail") => {
                     let mut file = None;
+                    let mut follow = false;
                     for &arg in it {
                         match arg {
+                            "--follow" => follow = true,
                             "-h" | "--help" => return Ok(Command::Help),
                             flag if flag.starts_with("--") => {
                                 return Err(format!("unknown events tail flag {flag:?}"));
@@ -397,11 +476,145 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                         }
                     }
                     let file = file.ok_or("events tail needs an event FILE")?;
-                    Ok(Command::EventsTail { file })
+                    Ok(Command::EventsTail { file, follow })
                 }
                 Some("-h" | "--help") | None => Ok(Command::Help),
                 Some(other) => Err(format!("unknown events verb {other:?} (try tail)")),
             }
+        }
+        "serve" => {
+            let mut socket = None;
+            let mut args = ServeArgs {
+                socket: PathBuf::new(),
+                cache: PathBuf::from("campaign-cache"),
+                jobs: None,
+                lease_ttl_ms: 60_000,
+                quiet: false,
+            };
+            let mut it = rest.iter();
+            while let Some(&flag) = it.next() {
+                match flag {
+                    "--socket" => socket = Some(PathBuf::from(value_of(flag, it.next().copied())?)),
+                    "--cache" => args.cache = PathBuf::from(value_of(flag, it.next().copied())?),
+                    "--jobs" => {
+                        let v = value_of(flag, it.next().copied())?;
+                        let jobs: usize = v.parse().map_err(|e| format!("--jobs {v:?}: {e}"))?;
+                        if jobs == 0 {
+                            return Err("--jobs must be >= 1 (omit it to serve forever)".into());
+                        }
+                        args.jobs = Some(jobs);
+                    }
+                    "--lease-ttl-ms" => {
+                        let v = value_of(flag, it.next().copied())?;
+                        args.lease_ttl_ms =
+                            v.parse().map_err(|e| format!("--lease-ttl-ms {v:?}: {e}"))?;
+                        if args.lease_ttl_ms == 0 {
+                            return Err("--lease-ttl-ms must be >= 1".into());
+                        }
+                    }
+                    "--quiet" => args.quiet = true,
+                    "-h" | "--help" => return Ok(Command::Help),
+                    other => return Err(format!("unknown serve flag {other:?}")),
+                }
+            }
+            args.socket = socket.ok_or("serve needs --socket PATH")?;
+            Ok(Command::Serve(args))
+        }
+        "submit" => {
+            let mut socket = None;
+            let mut args = SubmitArgs {
+                socket: PathBuf::new(),
+                spec: CampaignSpec::standard(),
+                out: PathBuf::from("campaign.jsonl"),
+                events: None,
+                quiet: false,
+            };
+            // `--spec` first, so axis flags override spec-file fields —
+            // same contract as run/resume.
+            let mut rest: Vec<&str> = rest.clone();
+            if let Some(i) = rest.iter().position(|&a| a == "--spec") {
+                let path = *rest.get(i + 1).ok_or("--spec needs a value")?;
+                let text =
+                    std::fs::read_to_string(path).map_err(|e| format!("reading {path:?}: {e}"))?;
+                args.spec =
+                    spec_from_flat_json(&text).map_err(|e| format!("spec {path:?}: {e}"))?;
+                rest.drain(i..=i + 1);
+                if rest.contains(&"--spec") {
+                    return Err("--spec given twice".into());
+                }
+            }
+            let mut it = rest.iter();
+            while let Some(&flag) = it.next() {
+                match flag {
+                    "--socket" => socket = Some(PathBuf::from(value_of(flag, it.next().copied())?)),
+                    "--out" => args.out = PathBuf::from(value_of(flag, it.next().copied())?),
+                    "--events" => {
+                        args.events = Some(PathBuf::from(value_of(flag, it.next().copied())?));
+                    }
+                    "--quiet" => args.quiet = true,
+                    "--name" => args.spec.name = value_of(flag, it.next().copied())?.to_string(),
+                    "--families" => {
+                        args.spec.families = parse_families(value_of(flag, it.next().copied())?)?;
+                    }
+                    "--sizes" => {
+                        args.spec.sizes = parse_sizes(value_of(flag, it.next().copied())?)?
+                    }
+                    "--seeds" => {
+                        args.spec.seeds = parse_seeds(value_of(flag, it.next().copied())?)?
+                    }
+                    "--controllers" => {
+                        args.spec.controllers =
+                            parse_controllers(value_of(flag, it.next().copied())?)?;
+                    }
+                    "--schedulers" => {
+                        args.spec.schedulers =
+                            parse_schedulers(value_of(flag, it.next().copied())?)?;
+                    }
+                    "-h" | "--help" => return Ok(Command::Help),
+                    other => return Err(format!("unknown submit flag {other:?}")),
+                }
+            }
+            args.spec.validate()?;
+            args.socket = socket.ok_or("submit needs --socket PATH")?;
+            Ok(Command::Submit(args))
+        }
+        "work" => {
+            let mut socket = None;
+            let mut args = WorkArgs {
+                socket: PathBuf::new(),
+                threads: 0,
+                name: format!("worker-{}", std::process::id()),
+                lease: 8,
+                poll_ms: 200,
+            };
+            let mut it = rest.iter();
+            while let Some(&flag) = it.next() {
+                match flag {
+                    "--socket" => socket = Some(PathBuf::from(value_of(flag, it.next().copied())?)),
+                    "--threads" => {
+                        let v = value_of(flag, it.next().copied())?;
+                        args.threads = v
+                            .parse()
+                            .map_err(|e| format!("--threads {v:?} is not a count: {e}"))?;
+                    }
+                    "--name" => args.name = value_of(flag, it.next().copied())?.to_string(),
+                    "--lease" => {
+                        let v = value_of(flag, it.next().copied())?;
+                        args.lease = v.parse().map_err(|e| format!("--lease {v:?}: {e}"))?;
+                        if args.lease == 0 {
+                            return Err("--lease must be >= 1".into());
+                        }
+                    }
+                    "--poll-ms" => {
+                        let v = value_of(flag, it.next().copied())?;
+                        args.poll_ms = v.parse().map_err(|e| format!("--poll-ms {v:?}: {e}"))?;
+                    }
+                    "-h" | "--help" => return Ok(Command::Help),
+                    other => return Err(format!("unknown work flag {other:?}")),
+                }
+            }
+            args.socket = socket.ok_or("work needs --socket PATH")?;
+            Ok(Command::Work(args))
         }
         other => Err(format!("unknown subcommand {other:?} (try --help)")),
     }
@@ -498,17 +711,58 @@ pub fn spec_from_flat_json(text: &str) -> Result<CampaignSpec, String> {
         let s = value
             .as_str()
             .ok_or_else(|| format!("spec field {key:?} must be a string (flag syntax)"))?;
-        match key.as_str() {
-            "name" => spec.name = s.to_string(),
-            "families" => spec.families = parse_families(s)?,
-            "sizes" => spec.sizes = parse_sizes(s)?,
-            "seeds" => spec.seeds = parse_seeds(s)?,
-            "controllers" => spec.controllers = parse_controllers(s)?,
-            "schedulers" => spec.schedulers = parse_schedulers(s)?,
-            other => return Err(format!("unknown spec field {other:?}")),
-        }
+        apply_spec_field(&mut spec, key, s)?;
     }
     Ok(spec)
+}
+
+/// Build a [`CampaignSpec`] from flat string axes — the `spec_*` fields
+/// of the service protocol. Same field names and value syntax as the
+/// spec file; absent fields keep the standard-sweep defaults. Unlike
+/// the spec-file path (whose fields may still be overridden by flags),
+/// this is the complete spec, so it is validated here.
+pub fn spec_from_fields(fields: &BTreeMap<String, String>) -> Result<CampaignSpec, String> {
+    let mut spec = CampaignSpec::standard();
+    for (key, value) in fields {
+        apply_spec_field(&mut spec, key, value)?;
+    }
+    spec.validate()?;
+    Ok(spec)
+}
+
+/// Flatten a spec back to its string axes, the inverse of
+/// [`spec_from_fields`]: `spec_from_fields(&spec_to_fields(&s)) == s`
+/// for any valid spec. Seeds flatten to an explicit comma list (a
+/// `LO..HI` range round-trips through its expansion).
+pub fn spec_to_fields(spec: &CampaignSpec) -> BTreeMap<String, String> {
+    let join = |parts: Vec<String>| parts.join(",");
+    BTreeMap::from([
+        ("name".to_string(), spec.name.clone()),
+        (
+            "families".to_string(),
+            join(spec.families.iter().map(|f| f.name().to_string()).collect()),
+        ),
+        ("sizes".to_string(), join(spec.sizes.iter().map(usize::to_string).collect())),
+        ("seeds".to_string(), join(spec.seeds.iter().map(u64::to_string).collect())),
+        (
+            "controllers".to_string(),
+            join(spec.controllers.iter().map(|c| c.name().to_string()).collect()),
+        ),
+        ("schedulers".to_string(), join(spec.schedulers.iter().map(|s| s.name()).collect())),
+    ])
+}
+
+fn apply_spec_field(spec: &mut CampaignSpec, key: &str, s: &str) -> Result<(), String> {
+    match key {
+        "name" => spec.name = s.to_string(),
+        "families" => spec.families = parse_families(s)?,
+        "sizes" => spec.sizes = parse_sizes(s)?,
+        "seeds" => spec.seeds = parse_seeds(s)?,
+        "controllers" => spec.controllers = parse_controllers(s)?,
+        "schedulers" => spec.schedulers = parse_schedulers(s)?,
+        other => return Err(format!("unknown spec field {other:?}")),
+    }
+    Ok(())
 }
 
 fn parse_families(s: &str) -> Result<Vec<Family>, String> {
@@ -688,12 +942,20 @@ mod tests {
 
     #[test]
     fn events_tail_parses() {
-        let Command::EventsTail { file } =
+        let Command::EventsTail { file, follow } =
             parse(&strings(&["events", "tail", "ev.ndjson"])).unwrap()
         else {
             panic!()
         };
         assert_eq!(file, PathBuf::from("ev.ndjson"));
+        assert!(!follow);
+
+        let Command::EventsTail { follow, .. } =
+            parse(&strings(&["events", "tail", "ev.ndjson", "--follow"])).unwrap()
+        else {
+            panic!()
+        };
+        assert!(follow);
 
         assert!(matches!(parse(&strings(&["events"])).unwrap(), Command::Help));
         assert!(parse(&strings(&["events", "tail"])).is_err(), "FILE is required");
@@ -976,5 +1238,91 @@ mod tests {
         std::fs::remove_file(&path).unwrap();
 
         assert!(parse(&strings(&["run", "--spec", "/nonexistent/x.json"])).is_err());
+    }
+
+    #[test]
+    fn service_subcommands_parse() {
+        let Command::Serve(serve) = parse(&strings(&[
+            "serve",
+            "--socket",
+            "/tmp/s.sock",
+            "--cache",
+            "c",
+            "--jobs",
+            "2",
+            "--lease-ttl-ms",
+            "500",
+            "--quiet",
+        ]))
+        .unwrap() else {
+            panic!()
+        };
+        assert_eq!(serve.socket, PathBuf::from("/tmp/s.sock"));
+        assert_eq!(serve.cache, PathBuf::from("c"));
+        assert_eq!(serve.jobs, Some(2));
+        assert_eq!(serve.lease_ttl_ms, 500);
+        assert!(serve.quiet);
+
+        assert!(parse(&strings(&["serve"])).is_err(), "--socket is required");
+        assert!(parse(&strings(&["serve", "--socket", "s", "--jobs", "0"])).is_err());
+
+        let Command::Submit(submit) = parse(&strings(&[
+            "submit",
+            "--socket",
+            "/tmp/s.sock",
+            "--families",
+            "line",
+            "--sizes",
+            "16",
+            "--seeds",
+            "1",
+            "--out",
+            "out.jsonl",
+        ]))
+        .unwrap() else {
+            panic!()
+        };
+        assert_eq!(submit.out, PathBuf::from("out.jsonl"));
+        assert_eq!(submit.spec.sizes, vec![16]);
+        assert!(parse(&strings(&["submit", "--families", "line"])).is_err(), "needs --socket");
+
+        let Command::Work(work) = parse(&strings(&[
+            "work",
+            "--socket",
+            "/tmp/s.sock",
+            "--threads",
+            "2",
+            "--name",
+            "w1",
+            "--lease",
+            "4",
+            "--poll-ms",
+            "50",
+        ]))
+        .unwrap() else {
+            panic!()
+        };
+        assert_eq!(work.threads, 2);
+        assert_eq!(work.name, "w1");
+        assert_eq!(work.lease, 4);
+        assert_eq!(work.poll_ms, 50);
+        assert!(parse(&strings(&["work", "--socket", "s", "--lease", "0"])).is_err());
+    }
+
+    #[test]
+    fn spec_fields_round_trip() {
+        let mut spec = CampaignSpec::standard();
+        spec.name = "round-trip".to_string();
+        let fields = spec_to_fields(&spec);
+        assert_eq!(spec_from_fields(&fields).unwrap(), spec);
+
+        let mut fields = fields;
+        fields.insert("sizes".to_string(), "not-a-number".to_string());
+        assert!(spec_from_fields(&fields).is_err());
+        fields.insert("sizes".to_string(), String::new());
+        assert!(spec_from_fields(&fields).is_err(), "empty axis fails validation");
+        fields.remove("sizes");
+        let defaulted = spec_from_fields(&fields).unwrap();
+        assert_eq!(defaulted.sizes, CampaignSpec::standard().sizes, "absent axes keep defaults");
     }
 }

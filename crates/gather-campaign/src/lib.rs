@@ -70,6 +70,7 @@ pub mod executor;
 pub mod merge;
 pub mod progress;
 pub mod record;
+pub mod service;
 pub mod shard;
 pub mod sink;
 pub mod smoke;
@@ -80,6 +81,7 @@ pub use aggregate::{provenance_table, summarize, summarize_perf};
 pub use merge::{merge_shards, MergeReport, ShardContribution};
 pub use progress::{record_status, ProgressReporter};
 pub use record::{PerfSummary, ScenarioRecord};
+pub use service::{serve, submit, work, SubmitReport, WorkReport};
 pub use shard::{fnv1a_64, plan_lines, shard_out_path, ShardManifest, ShardSpec, ShardStrategy};
 pub use sink::{
     load_completed, load_records, manifest_path, read_manifest, write_manifest, JsonlSink,

@@ -282,20 +282,38 @@ impl ShardManifest {
 
 /// Default per-shard result path: `c.jsonl` + shard `2/4` →
 /// `c.shard2of4.jsonl` (suffix appended before the extension so a glob
-/// like `c.shard*.jsonl` collects exactly one campaign's shards).
+/// like `c.shard*.jsonl` collects exactly one campaign's shards). A
+/// stem that already carries a shard tag is stripped first, so feeding
+/// a shard's own output path back in (replanning, resubmitting) yields
+/// `c.shard1of2.jsonl` → `c.shard2of4.jsonl`, never a stacked
+/// `c.shard1of2.shard2of4.jsonl`.
 pub fn shard_out_path(out: &Path, shard: ShardSpec) -> PathBuf {
     let tag = format!("shard{}of{}", shard.index, shard.count);
-    match (out.file_stem(), out.extension()) {
-        (Some(stem), Some(ext)) => out.with_file_name(format!(
-            "{}.{tag}.{}",
-            stem.to_string_lossy(),
-            ext.to_string_lossy()
-        )),
-        _ => out.with_file_name(format!(
-            "{}.{tag}",
-            out.file_name().unwrap_or_default().to_string_lossy()
-        )),
+    // Strip a trailing tag first: an extensionless shard output like
+    // `bare.shard3of8` would otherwise read its old tag as the
+    // extension and keep it.
+    let name = strip_shard_tag(&out.file_name().unwrap_or_default().to_string_lossy());
+    match name.rsplit_once('.') {
+        Some((stem, ext)) => out.with_file_name(format!("{}.{tag}.{ext}", strip_shard_tag(stem))),
+        None => out.with_file_name(format!("{name}.{tag}")),
     }
+}
+
+/// Drop a trailing `.shardIofM` tag from a file stem, if present. Only
+/// a well-formed tag (both coordinates pure digits) is stripped — a
+/// stem like `data.shardXofY` or `offshard3of4` passes through intact.
+fn strip_shard_tag(stem: &str) -> String {
+    if let Some((prefix, tail)) = stem.rsplit_once('.') {
+        if let Some(rest) = tail.strip_prefix("shard") {
+            if let Some((i, m)) = rest.split_once("of") {
+                let digits = |s: &str| !s.is_empty() && s.bytes().all(|b| b.is_ascii_digit());
+                if digits(i) && digits(m) {
+                    return prefix.to_string();
+                }
+            }
+        }
+    }
+    stem.to_string()
 }
 
 /// Quote one word for copy-paste into a POSIX shell: passed through
@@ -461,6 +479,35 @@ mod tests {
             PathBuf::from("/tmp/results/weak.shard2of4.jsonl")
         );
         assert_eq!(shard_out_path(Path::new("bare"), shard), PathBuf::from("bare.shard2of4"));
+    }
+
+    #[test]
+    fn shard_out_paths_do_not_stack_suffixes() {
+        // Regression: resubmitting a path that is already a shard output
+        // used to produce `c.shard1of2.shard2of4.jsonl`.
+        let shard = ShardSpec { index: 2, count: 4 };
+        assert_eq!(
+            shard_out_path(Path::new("c.shard1of2.jsonl"), shard),
+            PathBuf::from("c.shard2of4.jsonl")
+        );
+        assert_eq!(
+            shard_out_path(Path::new("/tmp/r/weak.shard0of4.jsonl"), shard),
+            PathBuf::from("/tmp/r/weak.shard2of4.jsonl")
+        );
+        assert_eq!(
+            shard_out_path(Path::new("bare.shard3of8"), shard),
+            PathBuf::from("bare.shard2of4"),
+            "extensionless shard outputs are re-tagged, not stacked"
+        );
+        // Near-miss tags are data, not shard suffixes: leave them alone.
+        assert_eq!(
+            shard_out_path(Path::new("c.shardXofY.jsonl"), shard),
+            PathBuf::from("c.shardXofY.shard2of4.jsonl")
+        );
+        assert_eq!(
+            shard_out_path(Path::new("offshard3of4.jsonl"), shard),
+            PathBuf::from("offshard3of4.shard2of4.jsonl")
+        );
     }
 
     #[test]

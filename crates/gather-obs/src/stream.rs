@@ -9,7 +9,7 @@
 
 use std::fs::{File, OpenOptions};
 use std::io::{self, Read, Seek, SeekFrom, Write};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 use crate::event::{Event, Status};
 
@@ -102,6 +102,107 @@ pub fn read_events(path: &Path) -> Result<EventStream, String> {
         }
     }
     Ok(EventStream { events, torn, skipped })
+}
+
+/// Incremental reader for a *live* events file: each [`poll`] parses
+/// only the lines appended since the last one, holding back an
+/// unterminated tail until its newline arrives. Built for
+/// `campaign events tail --follow`; does no waiting itself (and reads
+/// no clocks) — the caller decides when to poll again.
+///
+/// Tolerances mirror [`read_events`]: a terminated line that fails to
+/// parse is held until the *next* line decides its fate — skipped if
+/// that line opens a new segment (`job_started`, i.e. the bad line was
+/// a repaired tear), fatal otherwise. A file that shrinks under the
+/// reader (truncated and restarted by a fresh `create`) resets the
+/// reader to the new beginning instead of misparsing from a stale
+/// offset. A file that does not exist yet reads as empty, so a tail can
+/// be started before its writer.
+///
+/// [`poll`]: FollowReader::poll
+#[derive(Debug)]
+pub struct FollowReader {
+    path: PathBuf,
+    offset: u64,
+    partial: Vec<u8>,
+    /// A terminated line that failed to parse, held (with its line
+    /// number and error) until the next line classifies it.
+    pending_bad: Option<(usize, String)>,
+    line_no: usize,
+    skipped: usize,
+}
+
+impl FollowReader {
+    pub fn new(path: impl Into<PathBuf>) -> FollowReader {
+        FollowReader {
+            path: path.into(),
+            offset: 0,
+            partial: Vec::new(),
+            pending_bad: None,
+            line_no: 0,
+            skipped: 0,
+        }
+    }
+
+    /// Unparseable terminated lines skipped so far (repaired tears).
+    pub fn skipped(&self) -> usize {
+        self.skipped
+    }
+
+    /// Read and parse every line completed since the last poll.
+    pub fn poll(&mut self) -> Result<Vec<Event>, String> {
+        let mut file = match File::open(&self.path) {
+            Ok(file) => file,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => return Err(format!("opening {}: {e}", self.path.display())),
+        };
+        let err_ctx = |e: io::Error| format!("reading {}: {e}", self.path.display());
+        let len = file.metadata().map_err(&err_ctx)?.len();
+        if len < self.offset {
+            // The file was truncated and restarted under us: forget
+            // everything and read the new stream from its beginning.
+            self.offset = 0;
+            self.partial.clear();
+            self.pending_bad = None;
+            self.line_no = 0;
+            self.skipped = 0;
+        }
+        file.seek(SeekFrom::Start(self.offset)).map_err(&err_ctx)?;
+        let mut fresh = Vec::new();
+        file.read_to_end(&mut fresh).map_err(&err_ctx)?;
+        self.offset += fresh.len() as u64;
+        self.partial.extend_from_slice(&fresh);
+
+        let mut events = Vec::new();
+        while let Some(nl) = self.partial.iter().position(|&b| b == b'\n') {
+            let line_bytes: Vec<u8> = self.partial.drain(..=nl).collect();
+            self.line_no += 1;
+            let parsed = std::str::from_utf8(&line_bytes[..nl])
+                .map_err(|e| format!("invalid UTF-8: {e}"))
+                .and_then(Event::from_json_line);
+            match parsed {
+                Ok(event) => {
+                    if let Some((bad_line, err)) = self.pending_bad.take() {
+                        if matches!(event, Event::JobStarted { .. }) {
+                            self.skipped += 1;
+                        } else {
+                            return Err(format!("{}:{bad_line}: {err}", self.path.display()));
+                        }
+                    }
+                    events.push(event);
+                }
+                Err(e) => {
+                    if let Some((bad_line, err)) = self.pending_bad.take() {
+                        // Two bad lines in a row: the first cannot be a
+                        // repaired tear, so it is corruption.
+                        return Err(format!("{}:{bad_line}: {err}", self.path.display()));
+                    }
+                    self.pending_bad = Some((self.line_no, e));
+                }
+            }
+        }
+        Ok(events)
+    }
 }
 
 /// Roll-up of a validated stream, for one-line status rendering.
@@ -403,6 +504,86 @@ mod tests {
             Event::Heartbeat { done: 1, total: 5, eta_secs: 1.0 },
         ]);
         assert!(validate(&e).is_ok());
+    }
+
+    #[test]
+    fn follow_reader_parses_only_completed_lines() {
+        let path = tmp("follow.ndjson");
+        let _ = std::fs::remove_file(&path);
+        let mut follow = FollowReader::new(&path);
+        // The file does not exist yet: a tail may start before its writer.
+        assert_eq!(follow.poll().unwrap(), vec![]);
+        let mut w = EventWriter::create(&path).unwrap();
+        w.emit(&Event::JobStarted { job: "j".into(), total: 2 }).unwrap();
+        w.emit(&started("a")).unwrap();
+        assert_eq!(
+            follow.poll().unwrap(),
+            vec![Event::JobStarted { job: "j".into(), total: 2 }, started("a")]
+        );
+        assert_eq!(follow.poll().unwrap(), vec![], "nothing new appended");
+        // An unterminated tail is held back until its newline arrives.
+        let half = finished("a", Status::Gathered).to_json_line();
+        let (left, right) = half.split_at(half.len() / 2);
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(left.as_bytes()).unwrap();
+        f.flush().unwrap();
+        assert_eq!(follow.poll().unwrap(), vec![], "partial line must not parse");
+        f.write_all(right.as_bytes()).unwrap();
+        f.write_all(b"\n").unwrap();
+        drop(f);
+        assert_eq!(follow.poll().unwrap(), vec![finished("a", Status::Gathered)]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn follow_reader_skips_repaired_tears_and_rejects_corruption() {
+        let path = tmp("follow-tear.ndjson");
+        let mut w = EventWriter::create(&path).unwrap();
+        w.emit(&Event::JobStarted { job: "j".into(), total: 1 }).unwrap();
+        drop(w);
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(b"{\"v\":1,\"event\":\"scenario_st\n").unwrap();
+        drop(f);
+        let mut follow = FollowReader::new(&path);
+        // The bad line is held: it may still turn out to be a tear.
+        assert_eq!(follow.poll().unwrap().len(), 1);
+        assert_eq!(follow.skipped(), 0);
+        // A resume segment right after classifies it as a repaired tear.
+        let mut w = EventWriter::append(&path).unwrap();
+        w.emit(&Event::JobStarted { job: "j".into(), total: 1 }).unwrap();
+        w.emit(&started("a")).unwrap();
+        drop(w);
+        assert_eq!(follow.poll().unwrap().len(), 2);
+        assert_eq!(follow.skipped(), 1);
+        // The same bad line mid-stream is corruption and names its line.
+        let mut follow = FollowReader::new(&path);
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(b"{\"v\":1,\"event\":\"scenario_st\n").unwrap();
+        drop(f);
+        let mut w = EventWriter::append(&path).unwrap();
+        w.emit(&finished("a", Status::Gathered)).unwrap();
+        drop(w);
+        let err = follow.poll().unwrap_err();
+        assert!(err.contains(":5:"), "corruption must name its line: {err}");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn follow_reader_resets_when_the_file_is_truncated() {
+        let path = tmp("follow-trunc.ndjson");
+        let mut w = EventWriter::create(&path).unwrap();
+        w.emit(&Event::JobStarted { job: "one".into(), total: 5 }).unwrap();
+        w.emit(&started("a")).unwrap();
+        drop(w);
+        let mut follow = FollowReader::new(&path);
+        assert_eq!(follow.poll().unwrap().len(), 2);
+        // A fresh `create` truncates; the reader must start over rather
+        // than parse from its stale offset.
+        let mut w = EventWriter::create(&path).unwrap();
+        w.emit(&Event::JobStarted { job: "two".into(), total: 1 }).unwrap();
+        drop(w);
+        assert_eq!(follow.poll().unwrap(), vec![Event::JobStarted { job: "two".into(), total: 1 }]);
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

@@ -1,0 +1,47 @@
+//! The service's single wall-clock site.
+//!
+//! Lease expiry and heartbeat pacing need real elapsed time, but the
+//! determinism audit (rightly) refuses ad-hoc clock reads: a clock leak
+//! into anything content-addressed would poison the result cache. So
+//! every milliseconds-read in the service goes through [`ServiceClock`],
+//! this file is the one entry on the audit's wall-clock allowlist for
+//! the crate, and everything downstream (the lease table, the queue)
+//! takes `now_ms` as an argument — making expiry logic pure, and
+//! testable with a hand-rolled timeline instead of real sleeps.
+
+use std::time::Instant;
+
+/// Monotonic milliseconds since the clock was constructed.
+#[derive(Debug)]
+pub struct ServiceClock {
+    origin: Instant,
+}
+
+impl ServiceClock {
+    pub fn new() -> ServiceClock {
+        ServiceClock { origin: Instant::now() }
+    }
+
+    pub fn now_ms(&self) -> u64 {
+        self.origin.elapsed().as_millis() as u64
+    }
+}
+
+impl Default for ServiceClock {
+    fn default() -> ServiceClock {
+        ServiceClock::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_clock_is_monotone_from_zero() {
+        let clock = ServiceClock::new();
+        let a = clock.now_ms();
+        let b = clock.now_ms();
+        assert!(b >= a);
+    }
+}

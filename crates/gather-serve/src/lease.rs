@@ -1,0 +1,156 @@
+//! Pull-lease table.
+//!
+//! Workers *pull* scenario ranges instead of being statically assigned
+//! a `--shard I/M` slice: a lease is a short-lived claim on a set of
+//! expansion indexes of one job. Claims expire — a killed or wedged
+//! worker never strands work, because [`LeaseTable::expire`] hands the
+//! indexes back to the queue for re-issue. The table itself never reads
+//! a clock: every operation takes `now_ms` (milliseconds from the
+//! service's [`ServiceClock`](crate::ServiceClock)), so expiry is a
+//! pure function of its arguments and tests drive time by hand.
+
+use std::collections::BTreeMap;
+
+/// One outstanding claim.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Lease {
+    pub id: u64,
+    pub job: u64,
+    pub worker: String,
+    /// Expansion indexes still owed by this lease. Completed indexes
+    /// are removed one by one; the lease dies when the set empties.
+    pub indexes: Vec<usize>,
+    pub expires_at_ms: u64,
+}
+
+/// All outstanding leases, keyed by lease id.
+#[derive(Debug, Default)]
+pub struct LeaseTable {
+    next_id: u64,
+    leases: BTreeMap<u64, Lease>,
+}
+
+impl LeaseTable {
+    pub fn new() -> LeaseTable {
+        LeaseTable { next_id: 1, leases: BTreeMap::new() }
+    }
+
+    /// Issue a fresh lease on `indexes` of `job`, valid for `ttl_ms`
+    /// from `now_ms`.
+    pub fn issue(
+        &mut self,
+        job: u64,
+        worker: &str,
+        indexes: Vec<usize>,
+        now_ms: u64,
+        ttl_ms: u64,
+    ) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.leases.insert(
+            id,
+            Lease {
+                id,
+                job,
+                worker: worker.to_string(),
+                indexes,
+                expires_at_ms: now_ms.saturating_add(ttl_ms),
+            },
+        );
+        id
+    }
+
+    /// Remove and return every lease whose deadline has passed; the
+    /// caller re-queues their indexes.
+    pub fn expire(&mut self, now_ms: u64) -> Vec<Lease> {
+        let dead: Vec<u64> =
+            self.leases.values().filter(|l| l.expires_at_ms <= now_ms).map(|l| l.id).collect();
+        dead.into_iter().filter_map(|id| self.leases.remove(&id)).collect()
+    }
+
+    /// Remove and return every lease held by `worker` (its connection
+    /// closed); the caller re-queues their indexes immediately instead
+    /// of waiting out the TTL.
+    pub fn release_worker(&mut self, worker: &str) -> Vec<Lease> {
+        let dead: Vec<u64> =
+            self.leases.values().filter(|l| l.worker == worker).map(|l| l.id).collect();
+        dead.into_iter().filter_map(|id| self.leases.remove(&id)).collect()
+    }
+
+    /// Mark one index of a lease complete. Returns the owning job id if
+    /// the lease is still live, or `None` for a stale lease id (already
+    /// expired and re-issued — the result itself may still be usable,
+    /// that is the caller's call). An emptied lease is dropped.
+    pub fn complete(&mut self, lease_id: u64, index: usize) -> Option<u64> {
+        let lease = self.leases.get_mut(&lease_id)?;
+        lease.indexes.retain(|&i| i != index);
+        let job = lease.job;
+        if lease.indexes.is_empty() {
+            self.leases.remove(&lease_id);
+        }
+        Some(job)
+    }
+
+    pub fn outstanding(&self) -> usize {
+        self.leases.len()
+    }
+
+    pub fn get(&self, id: u64) -> Option<&Lease> {
+        self.leases.get(&id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leases_expire_exactly_on_their_deadline() {
+        let mut table = LeaseTable::new();
+        let a = table.issue(1, "w1", vec![0, 1], 1_000, 500);
+        let b = table.issue(1, "w2", vec![2], 1_200, 500);
+        assert_eq!(table.expire(1_499), vec![]);
+        let dead = table.expire(1_500);
+        assert_eq!(dead.len(), 1);
+        assert_eq!(dead[0].id, a);
+        assert_eq!(dead[0].indexes, vec![0, 1]);
+        assert_eq!(table.outstanding(), 1);
+        assert!(table.get(b).is_some());
+        let dead = table.expire(10_000);
+        assert_eq!(dead.len(), 1);
+        assert_eq!(dead[0].id, b);
+        assert_eq!(table.outstanding(), 0);
+    }
+
+    #[test]
+    fn completing_every_index_retires_the_lease() {
+        let mut table = LeaseTable::new();
+        let id = table.issue(7, "w", vec![3, 5], 0, 1_000);
+        assert_eq!(table.complete(id, 5), Some(7));
+        assert_eq!(table.get(id).unwrap().indexes, vec![3]);
+        assert_eq!(table.complete(id, 3), Some(7));
+        assert_eq!(table.get(id), None, "an emptied lease is dropped");
+        assert_eq!(table.complete(id, 3), None, "a dead lease id is stale");
+    }
+
+    #[test]
+    fn a_closed_workers_leases_release_immediately() {
+        let mut table = LeaseTable::new();
+        table.issue(1, "w1", vec![0], 0, 60_000);
+        table.issue(1, "w2", vec![1], 0, 60_000);
+        table.issue(2, "w1", vec![0], 0, 60_000);
+        let released = table.release_worker("w1");
+        assert_eq!(released.len(), 2);
+        assert!(released.iter().all(|l| l.worker == "w1"));
+        assert_eq!(table.outstanding(), 1);
+    }
+
+    #[test]
+    fn stale_completions_do_not_resurrect_leases() {
+        let mut table = LeaseTable::new();
+        let id = table.issue(1, "w", vec![0], 0, 100);
+        assert_eq!(table.expire(100).len(), 1);
+        assert_eq!(table.complete(id, 0), None);
+        assert_eq!(table.outstanding(), 0);
+    }
+}

@@ -1,0 +1,34 @@
+//! # gather-serve
+//!
+//! The mechanism layer of the resident campaign service: everything
+//! `campaign serve` needs that is not campaign policy.
+//!
+//! * [`JobQueue`] — FIFO queue of submitted sweeps with per-scenario
+//!   pending/leased/done bookkeeping.
+//! * [`LeaseTable`] — pull-leases with expiry: workers claim scenario
+//!   index ranges, and a dead worker's claim is re-issued instead of
+//!   stranding the job.
+//! * [`ResultCache`] — content-addressed record store keyed by
+//!   (scenario ID, config digest, engine version); repeated sweeps are
+//!   served from disk instead of recomputed.
+//! * [`Conn`] — line-oriented NDJSON over a Unix socket.
+//! * [`ServiceClock`] — the crate's single wall-clock site; lease and
+//!   queue logic take `now_ms` as data, so expiry stays a pure,
+//!   hand-testable function.
+//!
+//! The protocol vocabulary itself lives in `gather-obs` (`proto`), and
+//! the server/worker/submitter loops that tie these pieces to spec
+//! expansion and scenario execution live in `gather-campaign` — this
+//! crate knows nothing about what a scenario *is*.
+
+pub mod cache;
+pub mod clock;
+pub mod lease;
+pub mod queue;
+pub mod wire;
+
+pub use cache::{CacheKey, ResultCache};
+pub use clock::ServiceClock;
+pub use lease::{Lease, LeaseTable};
+pub use queue::{Job, JobQueue};
+pub use wire::Conn;

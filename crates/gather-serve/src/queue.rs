@@ -1,0 +1,218 @@
+//! FIFO job queue.
+//!
+//! A job is one submitted sweep: its opaque spec fields (the worker
+//! re-expands them deterministically), its output path, and the
+//! per-index bookkeeping of where every scenario stands — pending
+//! (grantable), leased (claimed by a live lease), or done (its record
+//! line is held). Grants drain jobs strictly in submission order:
+//! a later job gets work only when every earlier job has nothing left
+//! to lease.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::PathBuf;
+
+use crate::cache::CacheKey;
+
+/// One submitted sweep and its progress.
+#[derive(Debug)]
+pub struct Job {
+    pub id: u64,
+    pub name: String,
+    /// Flat spec axes exactly as submitted (and as re-sent in grants).
+    pub spec: BTreeMap<String, String>,
+    pub out: PathBuf,
+    /// Canonical scenario IDs in expansion order; index positions are
+    /// the currency of leases and results.
+    pub scenario_ids: Vec<String>,
+    /// Content-cache address of each index, parallel to `scenario_ids`.
+    pub cache_keys: Vec<CacheKey>,
+    /// Indexes not yet done and not currently leased.
+    pub pending: BTreeSet<usize>,
+    /// Indexes claimed by a live lease.
+    pub leased: BTreeSet<usize>,
+    /// Record lines by index (cache hits and worker results alike).
+    pub results: BTreeMap<usize, String>,
+    /// Indexes whose `scenario_started` event has been emitted — a
+    /// re-issued lease must not announce a scenario twice.
+    pub announced: BTreeSet<usize>,
+    pub cached: usize,
+    pub executed: usize,
+    pub panicked: usize,
+    pub submitted_ms: u64,
+}
+
+impl Job {
+    pub fn total(&self) -> usize {
+        self.scenario_ids.len()
+    }
+
+    pub fn is_complete(&self) -> bool {
+        self.results.len() == self.scenario_ids.len()
+    }
+}
+
+/// All jobs the service currently holds, granted FIFO.
+#[derive(Debug, Default)]
+pub struct JobQueue {
+    next_id: u64,
+    jobs: BTreeMap<u64, Job>,
+}
+
+impl JobQueue {
+    pub fn new() -> JobQueue {
+        JobQueue { next_id: 1, jobs: BTreeMap::new() }
+    }
+
+    /// Enqueue a job; every index starts pending (the caller settles
+    /// cache hits by recording their results immediately after).
+    pub fn submit(
+        &mut self,
+        name: String,
+        spec: BTreeMap<String, String>,
+        out: PathBuf,
+        scenario_ids: Vec<String>,
+        cache_keys: Vec<CacheKey>,
+        now_ms: u64,
+    ) -> u64 {
+        assert_eq!(scenario_ids.len(), cache_keys.len());
+        let id = self.next_id;
+        self.next_id += 1;
+        let pending: BTreeSet<usize> = (0..scenario_ids.len()).collect();
+        self.jobs.insert(
+            id,
+            Job {
+                id,
+                name,
+                spec,
+                out,
+                scenario_ids,
+                cache_keys,
+                pending,
+                leased: BTreeSet::new(),
+                results: BTreeMap::new(),
+                announced: BTreeSet::new(),
+                cached: 0,
+                executed: 0,
+                panicked: 0,
+                submitted_ms: now_ms,
+            },
+        );
+        id
+    }
+
+    /// Claim up to `capacity` indexes from the oldest job that has any
+    /// pending. The claimed indexes move to `leased`; the caller issues
+    /// the actual lease.
+    pub fn grant(&mut self, capacity: usize) -> Option<(u64, Vec<usize>)> {
+        if capacity == 0 {
+            return None;
+        }
+        let job = self.jobs.values_mut().find(|j| !j.pending.is_empty())?;
+        let take: Vec<usize> = job.pending.iter().take(capacity).copied().collect();
+        for &index in &take {
+            job.pending.remove(&index);
+            job.leased.insert(index);
+        }
+        Some((job.id, take))
+    }
+
+    /// Hand indexes of an expired or released lease back for re-issue.
+    /// Indexes that raced to completion stay done.
+    pub fn requeue(&mut self, job: u64, indexes: &[usize]) {
+        let Some(job) = self.jobs.get_mut(&job) else { return };
+        for index in indexes {
+            if job.leased.remove(index) && !job.results.contains_key(index) {
+                job.pending.insert(*index);
+            }
+        }
+    }
+
+    /// Record one scenario's result line. Returns `false` (and changes
+    /// nothing) if the index is out of range or already done — a
+    /// duplicate from a stale lease is dropped, first write wins.
+    pub fn record_result(&mut self, job: u64, index: usize, record_line: String) -> bool {
+        let Some(job) = self.jobs.get_mut(&job) else { return false };
+        if index >= job.scenario_ids.len() || job.results.contains_key(&index) {
+            return false;
+        }
+        job.pending.remove(&index);
+        job.leased.remove(&index);
+        job.results.insert(index, record_line);
+        true
+    }
+
+    pub fn get(&self, id: u64) -> Option<&Job> {
+        self.jobs.get(&id)
+    }
+
+    pub fn get_mut(&mut self, id: u64) -> Option<&mut Job> {
+        self.jobs.get_mut(&id)
+    }
+
+    /// Remove a finalized job, returning it.
+    pub fn remove(&mut self, id: u64) -> Option<Job> {
+        self.jobs.remove(&id)
+    }
+
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn submit(queue: &mut JobQueue, name: &str, n: usize) -> u64 {
+        let ids: Vec<String> = (0..n).map(|i| format!("{name}/{i}")).collect();
+        let keys = ids
+            .iter()
+            .map(|id| CacheKey {
+                scenario_id: id.clone(),
+                config_digest: 0,
+                engine_version: "e".into(),
+            })
+            .collect();
+        queue.submit(name.into(), BTreeMap::new(), PathBuf::from("/tmp/x"), ids, keys, 0)
+    }
+
+    #[test]
+    fn grants_drain_jobs_in_submission_order() {
+        let mut queue = JobQueue::new();
+        let first = submit(&mut queue, "first", 3);
+        let second = submit(&mut queue, "second", 2);
+        assert_eq!(queue.grant(2), Some((first, vec![0, 1])));
+        assert_eq!(queue.grant(5), Some((first, vec![2])));
+        assert_eq!(queue.grant(5), Some((second, vec![0, 1])));
+        assert_eq!(queue.grant(5), None, "everything is leased");
+        assert_eq!(queue.grant(0), None);
+    }
+
+    #[test]
+    fn requeue_makes_lost_indexes_grantable_again() {
+        let mut queue = JobQueue::new();
+        let job = submit(&mut queue, "j", 2);
+        assert_eq!(queue.grant(2), Some((job, vec![0, 1])));
+        // Index 1 completed before the lease died; only 0 comes back.
+        assert!(queue.record_result(job, 1, "line".into()));
+        queue.requeue(job, &[0, 1]);
+        assert_eq!(queue.grant(2), Some((job, vec![0])));
+        assert!(queue.record_result(job, 0, "line".into()));
+        assert!(queue.get(job).unwrap().is_complete());
+    }
+
+    #[test]
+    fn duplicate_and_out_of_range_results_are_dropped() {
+        let mut queue = JobQueue::new();
+        let job = submit(&mut queue, "j", 1);
+        assert!(queue.record_result(job, 0, "first".into()));
+        assert!(!queue.record_result(job, 0, "second".into()), "first write wins");
+        assert_eq!(queue.get(job).unwrap().results[&0], "first");
+        assert!(!queue.record_result(job, 9, "oob".into()));
+        assert!(!queue.record_result(job + 1, 0, "no such job".into()));
+    }
+}

@@ -1,0 +1,74 @@
+//! Line-oriented Unix-socket connection.
+//!
+//! Everything the service speaks is flat NDJSON — one frame per line —
+//! so the wire layer is just that: write a line and flush, read a line
+//! or see EOF. Parsing lives with the vocabulary (`gather-obs`), not
+//! here.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+
+/// One NDJSON connection (either end).
+#[derive(Debug)]
+pub struct Conn {
+    reader: BufReader<UnixStream>,
+    writer: UnixStream,
+}
+
+impl Conn {
+    pub fn connect(path: &Path) -> io::Result<Conn> {
+        Conn::from_stream(UnixStream::connect(path)?)
+    }
+
+    pub fn from_stream(stream: UnixStream) -> io::Result<Conn> {
+        let writer = stream.try_clone()?;
+        Ok(Conn { reader: BufReader::new(stream), writer })
+    }
+
+    /// Write one frame line (the newline is added here) and flush.
+    pub fn send_line(&mut self, line: &str) -> io::Result<()> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()
+    }
+
+    /// Read the next frame line, without its terminator. `None` is a
+    /// clean EOF (the peer closed its write side).
+    pub fn recv_line(&mut self) -> io::Result<Option<String>> {
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Ok(None);
+        }
+        while line.ends_with('\n') || line.ends_with('\r') {
+            line.pop();
+        }
+        Ok(Some(line))
+    }
+
+    /// Stop sending: the peer's next `recv_line` sees EOF once buffered
+    /// lines drain, while this end can still read.
+    pub fn shutdown_write(&self) -> io::Result<()> {
+        self.writer.shutdown(std::net::Shutdown::Write)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lines_cross_a_socket_pair_and_eof_is_clean() {
+        let (a, b) = UnixStream::pair().unwrap();
+        let mut a = Conn::from_stream(a).unwrap();
+        let mut b = Conn::from_stream(b).unwrap();
+        a.send_line(r#"{"v":1,"msg":"lease_request"}"#).unwrap();
+        a.send_line("second").unwrap();
+        assert_eq!(b.recv_line().unwrap().as_deref(), Some(r#"{"v":1,"msg":"lease_request"}"#));
+        assert_eq!(b.recv_line().unwrap().as_deref(), Some("second"));
+        b.send_line("reply").unwrap();
+        assert_eq!(a.recv_line().unwrap().as_deref(), Some("reply"));
+        a.shutdown_write().unwrap();
+        assert_eq!(b.recv_line().unwrap(), None, "write shutdown reads as EOF");
+    }
+}

@@ -55,3 +55,8 @@ pub use scheduler::{splitmix64, Activation, Scheduler};
 pub use swarm::{Action, ApplyOutcome, OrientationMode, Robot, RobotState, Swarm};
 pub use tile::{TileIndex, TileKey, TileWindow};
 pub use view::View;
+
+/// Engine build tag, baked into content-addressed result-cache keys so
+/// cached scenario records never survive an engine change they might
+/// disagree with.
+pub const ENGINE_VERSION: &str = concat!("grid-engine/", env!("CARGO_PKG_VERSION"));
