@@ -75,7 +75,8 @@ impl AsyncGreedy {
     }
 
     fn removable_global(&self, pos: Point) -> bool {
-        let remaining: Vec<Point> = self.swarm.positions().filter(|&p| p != pos).collect();
+        let remaining: Vec<Point> =
+            self.swarm.positions().iter().copied().filter(|&p| p != pos).collect();
         grid_engine::connectivity::points_connected(&remaining)
     }
 
@@ -109,7 +110,7 @@ impl AsyncGreedy {
             let before = self.swarm.len();
             // Activate robots one at a time in deterministic order of
             // their current positions (a fair scheduler).
-            let mut order: Vec<Point> = self.swarm.positions().collect();
+            let mut order: Vec<Point> = self.swarm.positions().to_vec();
             order.sort();
             for pos in order {
                 self.activations += 1;

@@ -10,11 +10,20 @@
 //!
 //! Usage:
 //!   bench_engine [--n N] [--rounds R] [--threads T1,T2,..] \
-//!                [--family NAME] [--seed S] [--out PATH] \
-//!                [--gate BASELINE.json] [--tolerance F] [--profile]
+//!                [--family NAME] [--seed S] [--scheduler NAME] \
+//!                [--out PATH] [--gate BASELINE.json] [--tolerance F] \
+//!                [--profile]
 //!
 //! Defaults: --n 1000000 --rounds 3 --threads 0 --family clusters
-//!           --seed 1 --out BENCH_engine.json
+//!           --seed 1 --scheduler fsync --out BENCH_engine.json
+//!
+//! `--scheduler` takes any registry name (`fsync`, `ssync-p50`, `rr4`,
+//! `crash-f10`, …) so the weak-scheduler round path — a k-robot
+//! activation applied through the sparse apply — is benchable and
+//! gateable like the FSYNC path. Throughput is still robot-rounds/s
+//! (live population summed per round): under `rrK` it measures how
+//! cheaply the engine turns a round over relative to the swarm size,
+//! which is exactly the O(active)-vs-O(n) axis.
 //!
 //! `--profile` installs the engine's phase profiler for each measured
 //! thread config: the per-phase breakdown is printed to stderr and
@@ -41,6 +50,7 @@ use std::cell::RefCell;
 use std::rc::Rc;
 use std::time::Instant;
 
+use gather_bench::SchedulerKind;
 use gather_core::GatherController;
 use gather_workloads::Family;
 use grid_engine::{ConnectivityCheck, Engine, EngineConfig, OrientationMode, Phase, ProfileTotals};
@@ -51,6 +61,7 @@ struct Args {
     threads: Vec<usize>,
     family: Family,
     seed: u64,
+    scheduler: SchedulerKind,
     out: String,
     gate: Option<String>,
     tolerance: f64,
@@ -64,6 +75,7 @@ fn parse_args() -> Result<Args, String> {
         threads: vec![0],
         family: Family::Clusters,
         seed: 1,
+        scheduler: SchedulerKind::Fsync,
         out: "BENCH_engine.json".into(),
         gate: None,
         tolerance: 2.5,
@@ -89,6 +101,11 @@ fn parse_args() -> Result<Args, String> {
                     Family::parse(name).ok_or_else(|| format!("unknown family {name:?}"))?;
             }
             "--seed" => args.seed = value()?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--scheduler" => {
+                let name = value()?;
+                args.scheduler = SchedulerKind::parse(name)
+                    .ok_or_else(|| format!("unknown scheduler {name:?}"))?;
+            }
             "--out" => args.out = value()?.to_string(),
             "--gate" => args.gate = Some(value()?.to_string()),
             "--tolerance" => {
@@ -107,11 +124,23 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
-/// Extract `(threads, robot_rounds_per_s)` pairs from a baseline file
-/// previously written by this binary's `--out`. The `results` array
-/// entries are flat objects, so each `{…}` chunk after the `results`
-/// key parses with the workspace's flat-JSON parser.
-fn baseline_throughputs(json: &str) -> Result<Vec<(usize, f64)>, String> {
+/// One baseline results row: the identity keys a gate run matches on
+/// (scheduler, threads, population) plus the throughput it defends.
+/// Rows written before the `scheduler`/`n` columns existed carry
+/// neither key and match as FSYNC at any population.
+#[derive(Clone, Debug, PartialEq)]
+struct BaselineRow {
+    threads: usize,
+    scheduler: String,
+    n: Option<u64>,
+    robot_rounds_per_s: f64,
+}
+
+/// Extract the result rows from a baseline file previously written by
+/// this binary's `--out`. The `results` array entries are flat objects,
+/// so each `{…}` chunk after the `results` key parses with the
+/// workspace's flat-JSON parser.
+fn baseline_rows(json: &str) -> Result<Vec<BaselineRow>, String> {
     let (_, results) = json.split_once("\"results\"").ok_or("baseline has no \"results\" array")?;
     let mut out = Vec::new();
     let mut rest = results;
@@ -130,7 +159,15 @@ fn baseline_throughputs(json: &str) -> Result<Vec<(usize, f64)>, String> {
             .get("robot_rounds_per_s")
             .and_then(|v| v.as_f64())
             .ok_or("baseline entry is missing \"robot_rounds_per_s\"")?;
-        out.push((threads as usize, throughput));
+        let scheduler =
+            map.get("scheduler").and_then(|v| v.as_str()).unwrap_or("fsync").to_string();
+        let n = map.get("n").and_then(|v| v.as_u64());
+        out.push(BaselineRow {
+            threads: threads as usize,
+            scheduler,
+            n,
+            robot_rounds_per_s: throughput,
+        });
         rest = &rest[end + 1..];
     }
     if out.is_empty() {
@@ -139,11 +176,35 @@ fn baseline_throughputs(json: &str) -> Result<Vec<(usize, f64)>, String> {
     Ok(out)
 }
 
+/// The baseline row a measured `(scheduler, threads, n)` config gates
+/// against: same scheduler and thread count; when several populations
+/// qualify, the closest `n` (ties to the smaller) — robot-rounds/s is
+/// roughly n-independent, so the nearest row is the fairest reference.
+/// Rows without an `n` column are wildcards, used only when no sized
+/// row matches.
+fn baseline_reference<'a>(
+    baseline: &'a [BaselineRow],
+    scheduler: &str,
+    threads: usize,
+    n: u64,
+) -> Option<&'a BaselineRow> {
+    let candidates =
+        || baseline.iter().filter(|r| r.threads == threads && r.scheduler == scheduler);
+    candidates()
+        .filter(|r| r.n.is_some())
+        .min_by_key(|r| {
+            let rn = r.n.expect("filtered to sized rows");
+            (rn.abs_diff(n), rn)
+        })
+        .or_else(|| candidates().next())
+}
+
 /// One thread config's accumulated phase breakdown as a flat JSON
 /// object for the output's `profile` array.
-fn profile_json(threads: usize, totals: &ProfileTotals) -> String {
+fn profile_json(threads: usize, scheduler: &str, n: usize, totals: &ProfileTotals) -> String {
     let mut s = format!(
-        "{{\"threads\": {threads}, \"rounds\": {}, \"wall_ns\": {}, \"coverage\": {:.4}",
+        "{{\"threads\": {threads}, \"scheduler\": \"{scheduler}\", \"n\": {n}, \
+         \"rounds\": {}, \"wall_ns\": {}, \"coverage\": {:.4}",
         totals.rounds,
         totals.wall_ns,
         totals.coverage(),
@@ -152,6 +213,7 @@ fn profile_json(threads: usize, totals: &ProfileTotals) -> String {
         s.push_str(&format!(", \"{}_ns\": {}", phase.name(), totals.phase_ns[phase as usize]));
     }
     s.push_str(&format!(", \"shard_gap_ns\": {}", totals.shard_imbalance_ns));
+    s.push_str(&format!(", \"compact_gap_ns\": {}", totals.compact_imbalance_ns));
     if totals.allocs_counted {
         s.push_str(&format!(", \"allocs\": {}", totals.allocs));
     }
@@ -162,24 +224,29 @@ fn profile_json(threads: usize, totals: &ProfileTotals) -> String {
 /// Compare measured throughputs against the baseline; `Err` lists every
 /// thread config that fell below `baseline / tolerance`.
 fn gate_against(
-    baseline: &[(usize, f64)],
+    baseline: &[BaselineRow],
     measured: &[(usize, f64)],
+    scheduler: &str,
+    n: u64,
     tolerance: f64,
 ) -> Result<(), String> {
     let mut regressions = Vec::new();
     for &(threads, throughput) in measured {
-        let Some(&(_, reference)) = baseline.iter().find(|&&(t, _)| t == threads) else {
-            return Err(format!("baseline has no threads={threads} entry to gate against"));
+        let Some(row) = baseline_reference(baseline, scheduler, threads, n) else {
+            return Err(format!(
+                "baseline has no scheduler={scheduler} threads={threads} entry to gate against"
+            ));
         };
+        let reference = row.robot_rounds_per_s;
         let floor = reference / tolerance;
         if throughput < floor {
             regressions.push(format!(
-                "threads={threads}: {throughput:.3e} robot-rounds/s < floor {floor:.3e} \
-                 (baseline {reference:.3e} / {tolerance})"
+                "{scheduler} threads={threads}: {throughput:.3e} robot-rounds/s < floor \
+                 {floor:.3e} (baseline {reference:.3e} / {tolerance})"
             ));
         } else {
             eprintln!(
-                "gate ok: threads={threads} at {throughput:.3e} robot-rounds/s \
+                "gate ok: {scheduler} threads={threads} at {throughput:.3e} robot-rounds/s \
                  (floor {floor:.3e}, baseline {reference:.3e})"
             );
         }
@@ -200,6 +267,7 @@ fn main() {
         }
     };
     let points = gather_workloads::family(args.family, args.n, args.seed);
+    let sched_name = args.scheduler.name();
     let mut results: Vec<String> = Vec::new();
     let mut profiles: Vec<String> = Vec::new();
     let mut measured: Vec<(usize, f64)> = Vec::new();
@@ -210,7 +278,15 @@ fn main() {
             &points,
             OrientationMode::Scrambled(args.seed),
             GatherController::paper(),
-            EngineConfig { threads, connectivity: ConnectivityCheck::Never, ..Default::default() },
+            EngineConfig {
+                threads,
+                // The bench isolates the round loop itself, so keep the
+                // historical no-connectivity-probe configuration on
+                // every scheduler (campaign runs probe; benches don't).
+                connectivity: ConnectivityCheck::Never,
+                scheduler: args.scheduler.to_policy(args.seed, points.len()),
+                ..Default::default()
+            },
         );
         let totals = Rc::new(RefCell::new(ProfileTotals::default()));
         if args.profile {
@@ -242,7 +318,7 @@ fn main() {
         let mut robot_rounds = 0u64;
         for _ in 0..args.rounds {
             robot_rounds += engine.swarm.len() as u64;
-            engine.step().expect("unchecked FSYNC steps cannot fail");
+            engine.step().expect("unchecked steps cannot fail");
         }
         let dt = start.elapsed().as_secs_f64();
         let throughput = robot_rounds as f64 / dt;
@@ -250,20 +326,22 @@ fn main() {
         let digest = engine.swarm.position_digest();
         digests.push(digest);
         eprintln!(
-            "threads={threads}: {} rounds, {robot_rounds} robot-rounds in {dt:.2}s \
+            "{sched_name} threads={threads}: {} rounds, {robot_rounds} robot-rounds in {dt:.2}s \
              -> {throughput:.3e} robot-rounds/s (digest {digest:#018x})",
             args.rounds,
         );
         results.push(format!(
-            "{{\"threads\": {threads}, \"rounds\": {}, \"robot_rounds\": {robot_rounds}, \
+            "{{\"threads\": {threads}, \"scheduler\": \"{sched_name}\", \"n\": {}, \
+             \"rounds\": {}, \"robot_rounds\": {robot_rounds}, \
              \"elapsed_s\": {dt:.4}, \"robot_rounds_per_s\": {throughput:.1}, \
              \"digest\": \"{digest:#018x}\"}}",
+            points.len(),
             args.rounds,
         ));
         if args.profile {
             let totals = totals.borrow();
-            eprint!("threads={threads} phase breakdown:\n{}", totals.render());
-            profiles.push(profile_json(threads, &totals));
+            eprint!("{sched_name} threads={threads} phase breakdown:\n{}", totals.render());
+            profiles.push(profile_json(threads, &sched_name, points.len(), &totals));
         }
     }
     assert!(
@@ -307,9 +385,10 @@ fn main() {
                 std::process::exit(2);
             }
         };
-        let verdict = baseline_throughputs(&baseline)
-            .map_err(|e| format!("{gate}: {e}"))
-            .and_then(|baseline| gate_against(&baseline, &measured, args.tolerance));
+        let verdict =
+            baseline_rows(&baseline).map_err(|e| format!("{gate}: {e}")).and_then(|baseline| {
+                gate_against(&baseline, &measured, &sched_name, points.len() as u64, args.tolerance)
+            });
         if let Err(e) = verdict {
             eprintln!("error: {e}");
             std::process::exit(1);
@@ -332,12 +411,19 @@ mod tests {
 
     #[test]
     fn baseline_parses_the_committed_format() {
-        let pairs = baseline_throughputs(BASELINE).unwrap();
-        assert_eq!(pairs, vec![(1, 250_000.0), (8, 800_000.0)]);
-        assert!(baseline_throughputs("{}").is_err(), "no results array");
-        assert!(baseline_throughputs(r#"{"results": []}"#).is_err(), "empty results");
+        let rows = baseline_rows(BASELINE).unwrap();
+        assert_eq!(rows.len(), 2);
+        // Pre-scheduler rows match as FSYNC at any population.
+        assert_eq!(rows[0].threads, 1);
+        assert_eq!(rows[0].scheduler, "fsync");
+        assert_eq!(rows[0].n, None);
+        assert_eq!(rows[0].robot_rounds_per_s, 250_000.0);
+        assert_eq!(rows[1].threads, 8);
+        assert_eq!(rows[1].robot_rounds_per_s, 800_000.0);
+        assert!(baseline_rows("{}").is_err(), "no results array");
+        assert!(baseline_rows(r#"{"results": []}"#).is_err(), "empty results");
         assert!(
-            baseline_throughputs(r#"{"results": [{"threads": 1}]}"#).is_err(),
+            baseline_rows(r#"{"results": [{"threads": 1}]}"#).is_err(),
             "entry without a throughput"
         );
     }
@@ -355,8 +441,38 @@ mod tests {
             {"threads": 1, "rounds": 3, "robot_rounds_per_s": 250000.0, "digest": "0x1"}
           ]
         }"#;
-        let pairs = baseline_throughputs(with_profile).unwrap();
-        assert_eq!(pairs, vec![(1, 250_000.0)]);
+        let rows = baseline_rows(with_profile).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].robot_rounds_per_s, 250_000.0);
+    }
+
+    #[test]
+    fn baseline_matching_uses_scheduler_and_closest_population() {
+        let multi = r#"{
+          "results": [
+            {"threads": 1, "scheduler": "fsync", "n": 1000000, "robot_rounds_per_s": 250000.0},
+            {"threads": 1, "scheduler": "fsync", "n": 10000000, "robot_rounds_per_s": 300000.0},
+            {"threads": 1, "scheduler": "rr4", "n": 1000000, "robot_rounds_per_s": 2000000.0},
+            {"threads": 8, "scheduler": "fsync", "n": 1000000, "robot_rounds_per_s": 800000.0}
+          ]
+        }"#;
+        let rows = baseline_rows(multi).unwrap();
+        // Same scheduler, closest n wins.
+        let r = baseline_reference(&rows, "fsync", 1, 200_000).unwrap();
+        assert_eq!(r.robot_rounds_per_s, 250_000.0);
+        let r = baseline_reference(&rows, "fsync", 1, 8_000_000).unwrap();
+        assert_eq!(r.robot_rounds_per_s, 300_000.0);
+        // Scheduler is part of the row identity: an rr4 run must gate
+        // against the rr4 row, never the (much slower) FSYNC one.
+        let r = baseline_reference(&rows, "rr4", 1, 1_000_000).unwrap();
+        assert_eq!(r.robot_rounds_per_s, 2_000_000.0);
+        assert!(baseline_reference(&rows, "rr4", 8, 1_000_000).is_none());
+        assert!(baseline_reference(&rows, "ssync-p50", 1, 1_000_000).is_none());
+        // Legacy rows (no scheduler/n columns) are FSYNC wildcards.
+        let legacy = baseline_rows(BASELINE).unwrap();
+        let r = baseline_reference(&legacy, "fsync", 8, 123).unwrap();
+        assert_eq!(r.robot_rounds_per_s, 800_000.0);
+        assert!(baseline_reference(&legacy, "rr4", 8, 123).is_none());
     }
 
     #[test]
@@ -364,9 +480,11 @@ mod tests {
         let mut totals = ProfileTotals { rounds: 3, wall_ns: 1_000, ..Default::default() };
         totals.phase_ns[Phase::Compute as usize] = 600;
         totals.shard_imbalance_ns = 42;
-        let row = profile_json(8, &totals);
+        let row = profile_json(8, "fsync", 1_000_000, &totals);
         let map = gather_analysis::parse_flat_json(&row).expect("profile row parses flat");
         assert_eq!(map.get("threads").and_then(|v| v.as_u64()), Some(8));
+        assert_eq!(map.get("scheduler").and_then(|v| v.as_str()), Some("fsync"));
+        assert_eq!(map.get("n").and_then(|v| v.as_u64()), Some(1_000_000));
         assert_eq!(map.get("compute_ns").and_then(|v| v.as_u64()), Some(600));
         assert_eq!(map.get("shard_gap_ns").and_then(|v| v.as_u64()), Some(42));
         for phase in Phase::ALL {
@@ -377,17 +495,21 @@ mod tests {
 
     #[test]
     fn gate_passes_within_tolerance_and_fails_on_cliffs() {
-        let baseline = baseline_throughputs(BASELINE).unwrap();
+        let baseline = baseline_rows(BASELINE).unwrap();
         // 2x slower than baseline is inside the 2.5x floor.
-        assert!(gate_against(&baseline, &[(1, 125_000.0)], 2.5).is_ok());
+        assert!(gate_against(&baseline, &[(1, 125_000.0)], "fsync", 200_000, 2.5).is_ok());
         // 5x slower is a cliff.
-        let err = gate_against(&baseline, &[(1, 50_000.0)], 2.5).unwrap_err();
+        let err = gate_against(&baseline, &[(1, 50_000.0)], "fsync", 200_000, 2.5).unwrap_err();
         assert!(err.contains("REGRESSION"), "{err}");
         assert!(err.contains("threads=1"), "{err}");
         // One good config does not excuse a regressed one.
-        assert!(gate_against(&baseline, &[(1, 240_000.0), (8, 10_000.0)], 2.5).is_err());
+        let m = [(1, 240_000.0), (8, 10_000.0)];
+        assert!(gate_against(&baseline, &m, "fsync", 200_000, 2.5).is_err());
         // A thread count absent from the baseline cannot be gated.
-        let err = gate_against(&baseline, &[(4, 500_000.0)], 2.5).unwrap_err();
+        let err = gate_against(&baseline, &[(4, 500_000.0)], "fsync", 200_000, 2.5).unwrap_err();
         assert!(err.contains("threads=4"), "{err}");
+        // Neither can a scheduler absent from the baseline.
+        let err = gate_against(&baseline, &[(1, 500_000.0)], "rr4", 200_000, 2.5).unwrap_err();
+        assert!(err.contains("scheduler=rr4"), "{err}");
     }
 }

@@ -153,7 +153,7 @@ fn e3_runs() {
         &["round", "population", "run states", "note"],
     );
     for round in 0..46u64 {
-        let runs: usize = engine.swarm.robots().iter().map(|r| r.state.run_count()).sum();
+        let runs: usize = engine.swarm.states().iter().map(|s| s.run_count()).sum();
         let note = match round {
             0 => "start wave (Fig. 7)",
             1..=21 => "OP-A reshapement (Fig. 8a)",

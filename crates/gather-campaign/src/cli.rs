@@ -28,6 +28,7 @@ USAGE:
     campaign render    TRACE.gtrc [--every K] [--svg PATH] [--cell N]
     campaign smoke     [--n N] [--rounds R] [--family F] [--seed S]
                        [--threads-a A] [--threads-b B] [--dir DIR]
+                       [--scheduler fsync|ssync-pP|rrK|crash-fF]
     campaign summarize [--in PATH] [--perf]
     campaign events tail FILE [--follow]
     campaign serve     --socket PATH [--cache DIR] [--jobs N]
@@ -69,7 +70,10 @@ SUBCOMMANDS:
                thread counts, replay recording A through digest-verified
                playback, and require the two .gtrc files byte-identical;
                exits non-zero on any divergence (defaults: n=100000,
-               rounds=12, family=clusters, threads 1 vs 8)
+               rounds=12, family=clusters, threads 1 vs 8). A partial
+               --scheduler (rr4, ssync-p50, ...) records through the
+               engine's sparse round path while playback re-derives the
+               rounds densely, cross-checking the two apply paths
     summarize  Fold a result file into per-family scaling tables,
                grouped per (controller, scheduler); --perf instead
                renders the engine phase-share table per (family, n,
@@ -419,6 +423,11 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                         let v = value_of(flag, it.next().copied())?;
                         args.threads_b =
                             v.parse().map_err(|e| format!("--threads-b {v:?}: {e}"))?;
+                    }
+                    "--scheduler" => {
+                        let v = value_of(flag, it.next().copied())?;
+                        args.scheduler = gather_bench::SchedulerKind::parse(v)
+                            .ok_or_else(|| format!("unknown scheduler {v:?}"))?;
                     }
                     "--dir" => args.dir = PathBuf::from(value_of(flag, it.next().copied())?),
                     "-h" | "--help" => return Ok(Command::Help),

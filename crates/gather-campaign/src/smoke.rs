@@ -19,6 +19,7 @@ use std::path::{Path, PathBuf};
 use std::rc::Rc;
 use std::time::Instant;
 
+use gather_bench::SchedulerKind;
 use gather_core::GatherController;
 use gather_trace::{Playback, TraceHeader, TraceReader, TraceWriter};
 use gather_workloads::Family;
@@ -39,6 +40,12 @@ pub struct SmokeArgs {
     /// byte-identical.
     pub threads_a: usize,
     pub threads_b: usize,
+    /// Activation policy for the recorded rounds. Partial schedulers
+    /// (`rr4`, `ssync-p50`, ...) drive the engine's sparse round path,
+    /// while playback re-derives every round through the dense
+    /// `Swarm::apply_partial` — so a non-FSYNC smoke cross-checks the
+    /// sparse apply against the dense one on every run.
+    pub scheduler: SchedulerKind,
     /// Where the two `.gtrc` files land.
     pub dir: PathBuf,
 }
@@ -52,6 +59,7 @@ impl Default for SmokeArgs {
             seed: 1,
             threads_a: 1,
             threads_b: 8,
+            scheduler: SchedulerKind::Fsync,
             dir: PathBuf::from("smoke-traces"),
         }
     }
@@ -76,6 +84,7 @@ fn record_bounded(
     threads: usize,
     rounds: u64,
     seed: u64,
+    scheduler: SchedulerKind,
     path: &Path,
 ) -> Result<f64, String> {
     let file = File::create(path).map_err(|e| format!("creating {}: {e}", path.display()))?;
@@ -90,7 +99,12 @@ fn record_bounded(
         points,
         OrientationMode::Scrambled(seed),
         GatherController::paper(),
-        EngineConfig { threads, connectivity: ConnectivityCheck::Never, ..Default::default() },
+        EngineConfig {
+            threads,
+            connectivity: ConnectivityCheck::Never,
+            scheduler: scheduler.to_policy(seed, points.len()),
+            ..Default::default()
+        },
     );
     engine.set_observer(observer);
     // audit: allow(wall-clock) smoke throughput display only — the
@@ -123,23 +137,34 @@ pub fn run_smoke(args: &SmokeArgs) -> Result<SmokeReport, String> {
     fs::create_dir_all(&args.dir).map_err(|e| format!("creating {}: {e}", args.dir.display()))?;
     let header = TraceHeader {
         scenario_id: format!(
-            "smoke:{}/n{}/s{}/r{}",
+            "smoke:{}/n{}/s{}/r{}/{}",
             args.family.name(),
             points.len(),
             args.seed,
-            args.rounds
+            args.rounds,
+            args.scheduler.name(),
         ),
         seed: args.seed,
         config_digest: gather_trace::digest_bytes(
-            format!("smoke|{}|{}|{}|{}", args.family.name(), points.len(), args.seed, args.rounds)
-                .as_bytes(),
+            format!(
+                "smoke|{}|{}|{}|{}|{}",
+                args.family.name(),
+                points.len(),
+                args.seed,
+                args.rounds,
+                args.scheduler.name(),
+            )
+            .as_bytes(),
         ),
         initial: points.clone(),
     };
-    let path_a = args.dir.join(format!("smoke-t{}.gtrc", args.threads_a));
-    let path_b = args.dir.join(format!("smoke-t{}.gtrc", args.threads_b));
-    let tput_a = record_bounded(&points, &header, args.threads_a, args.rounds, args.seed, &path_a)?;
-    let tput_b = record_bounded(&points, &header, args.threads_b, args.rounds, args.seed, &path_b)?;
+    let sched = args.scheduler;
+    let path_a = args.dir.join(format!("smoke-{sched}-t{}.gtrc", args.threads_a));
+    let path_b = args.dir.join(format!("smoke-{sched}-t{}.gtrc", args.threads_b));
+    let tput_a =
+        record_bounded(&points, &header, args.threads_a, args.rounds, args.seed, sched, &path_a)?;
+    let tput_b =
+        record_bounded(&points, &header, args.threads_b, args.rounds, args.seed, sched, &path_b)?;
     eprintln!(
         "recorded {} rounds x {} robots: {:.3e} robot-rounds/s ({} threads), {:.3e} ({} threads)",
         args.rounds,
@@ -219,12 +244,42 @@ mod tests {
             seed: 3,
             threads_a: 1,
             threads_b: 2,
+            scheduler: SchedulerKind::Fsync,
             dir: dir.clone(),
         };
         let report = run_smoke(&args).expect("smoke must pass");
         assert_eq!(report.rounds, 3);
         assert_eq!(report.robots, 1500);
         assert!(report.occupied_tiles >= 2, "clusters should span tiles");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// Partial schedulers record through the sparse apply while playback
+    /// replays densely: a passing smoke is an end-to-end sparse≡dense
+    /// cross-check, per scheduler, with byte-identical traces across
+    /// thread counts.
+    #[test]
+    fn smoke_passes_under_partial_schedulers() {
+        let dir = std::env::temp_dir().join(format!("gather-smoke-sched-{}", std::process::id()));
+        for scheduler in [
+            SchedulerKind::RoundRobin { k: 4 },
+            SchedulerKind::Ssync { p: 50 },
+            SchedulerKind::Crash { f: 10 },
+        ] {
+            let args = SmokeArgs {
+                n: 1500,
+                rounds: 4,
+                family: Family::Clusters,
+                seed: 7,
+                threads_a: 1,
+                threads_b: 4,
+                scheduler,
+                dir: dir.clone(),
+            };
+            let report =
+                run_smoke(&args).unwrap_or_else(|e| panic!("{scheduler} smoke failed: {e}"));
+            assert_eq!(report.rounds, 4, "{scheduler}");
+        }
         let _ = fs::remove_dir_all(&dir);
     }
 }

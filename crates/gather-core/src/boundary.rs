@@ -57,7 +57,8 @@ fn global_next(
 pub fn outer_chain(swarm: &Swarm<GatherState>) -> Vec<Point> {
     let occ = |p: Point| swarm.occupied(p);
     // Bottom-most, then left-most robot: its south side is exterior.
-    let start = swarm.positions().min_by_key(|p| (p.y, p.x)).expect("non-empty swarm");
+    let start =
+        swarm.positions().iter().min_by_key(|p| (p.y, p.x)).copied().expect("non-empty swarm");
     let (mut at, mut travel, mut side) = (start, V2::E, V2::S);
     let start_state = (at, travel, side);
     let mut out = vec![at];
@@ -122,7 +123,8 @@ impl Leg {
 /// Decompose the outer boundary into legs.
 pub fn legs(swarm: &Swarm<GatherState>) -> Vec<Leg> {
     let occ = |p: Point| swarm.occupied(p);
-    let start = swarm.positions().min_by_key(|p| (p.y, p.x)).expect("non-empty swarm");
+    let start =
+        swarm.positions().iter().min_by_key(|p| (p.y, p.x)).copied().expect("non-empty swarm");
     let (mut at, mut travel, mut side) = (start, V2::E, V2::S);
     let start_state = (at, travel, side);
 

@@ -410,8 +410,8 @@ mod tests {
 
     fn give_run(s: &mut Swarm<GatherState>, p: (i32, i32), run: Run) {
         let i = s.robot_at(Point::new(p.0, p.1)).unwrap();
-        let existing: Vec<Run> = s.robots()[i].state.runs().collect();
-        s.robots_mut()[i].state = GatherState::from_runs(existing.into_iter().chain([run]));
+        let existing: Vec<Run> = s.states()[i].runs().collect();
+        s.states_mut()[i] = GatherState::from_runs(existing.into_iter().chain([run]));
     }
 
     fn view_at(s: &Swarm<GatherState>, p: (i32, i32)) -> View<'_, GatherState> {

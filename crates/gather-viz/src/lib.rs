@@ -21,7 +21,7 @@ pub fn ascii<S: RobotState>(swarm: &Swarm<S>, pad: i32) -> String {
 /// Render the paper algorithm's swarm: `o` robot, `R` one run state,
 /// `D` two run states.
 pub fn ascii_runs(swarm: &Swarm<GatherState>, pad: i32) -> String {
-    ascii_with(swarm, pad, |i| match swarm.robots()[i].state.run_count() {
+    ascii_with(swarm, pad, |i| match swarm.states()[i].run_count() {
         0 => 'o',
         1 => 'R',
         _ => 'D',
@@ -55,11 +55,11 @@ pub fn svg(swarm: &Swarm<GatherState>, cell: u32) -> String {
         "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{w}\" height=\"{h}\" \
          viewBox=\"0 0 {w} {h}\">\n<rect width=\"{w}\" height=\"{h}\" fill=\"#ffffff\"/>\n"
     ));
-    for robot in swarm.robots() {
-        let x = (robot.pos.x - b.min.x) as u32 * cell;
+    for (pos, state) in swarm.positions().iter().zip(swarm.states()) {
+        let x = (pos.x - b.min.x) as u32 * cell;
         // SVG's y axis points down; the grid's points up.
-        let y = (b.max.y - robot.pos.y) as u32 * cell;
-        let fill = match robot.state.run_count() {
+        let y = (b.max.y - pos.y) as u32 * cell;
+        let fill = match state.run_count() {
             0 => "#37474f",
             1 => "#e53935",
             _ => "#8e24aa",
@@ -124,7 +124,7 @@ impl Trace {
         let mut playback = Playback::new(initial);
         let frame = |round: u64, pb: &Playback| TraceFrame {
             round,
-            points: pb.swarm().positions().collect(),
+            points: pb.swarm().positions().to_vec(),
         };
         let mut frames = vec![frame(0, &playback)];
         let mut last = 0u64;

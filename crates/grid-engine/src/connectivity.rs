@@ -37,7 +37,7 @@ fn component_count_bounded<S: RobotState>(swarm: &Swarm<S>, limit: usize) -> usi
         visited[start] = true;
         stack.push(start);
         while let Some(i) = stack.pop() {
-            let p = swarm.robots()[i].pos;
+            let p = swarm.positions()[i];
             for q in p.neighbors4() {
                 if let Some(j) = swarm.robot_at(q) {
                     if !visited[j] {

@@ -260,17 +260,13 @@ impl<C: Controller> Engine<C> {
                         world_moves(swarm, active.iter().copied().zip(computed.iter()))
                     });
                 }
-                let actions: Vec<Option<Action<C::State>>> =
-                    timed(&mut prof, Phase::ApplyTargets, || {
-                        let mut actions: Vec<Option<Action<C::State>>> =
-                            (0..n).map(|_| None).collect();
-                        for (i, action) in active.into_iter().zip(computed) {
-                            actions[i] = Some(action);
-                        }
-                        actions
-                    });
-                self.swarm.apply_partial_threads_profiled(
-                    actions,
+                // Sparse apply: O(activated ∪ moved), never the O(n)
+                // scatter into a full Option vector. Bit-identical to
+                // the dense partial apply (the equivalence proptests and
+                // the trace replay oracle both pin this).
+                self.swarm.apply_sparse_threads_profiled(
+                    &active,
+                    computed,
                     self.config.threads,
                     prof.as_deref_mut(),
                 )
@@ -367,7 +363,7 @@ fn world_moves<'a, S: RobotState>(
 ) -> Vec<RobotMove> {
     pairs
         .filter_map(|(i, action)| {
-            let step = swarm.robots()[i].orient.apply(action.step);
+            let step = swarm.orients()[i].apply(action.step);
             (step != V2::ZERO).then_some(RobotMove {
                 robot: i as u32,
                 dx: step.x as i8,
@@ -482,7 +478,7 @@ mod tests {
                 for _ in 0..50 {
                     engine.step().expect("unchecked steps cannot fail");
                 }
-                let positions: Vec<Point> = engine.swarm.positions().collect();
+                let positions: Vec<Point> = engine.swarm.positions().to_vec();
                 (positions, engine.metrics().total_activations, engine.metrics().total_merged)
             };
             let (a, b) = (run(), run());

@@ -52,7 +52,7 @@ pub use profile::{
     allocation_count, BoxedProfileSink, Phase, ProfileTotals, RoundProfile, PHASE_COUNT,
 };
 pub use scheduler::{splitmix64, Activation, Scheduler};
-pub use swarm::{Action, ApplyOutcome, OrientationMode, Robot, RobotState, Swarm};
+pub use swarm::{Action, ApplyOutcome, OrientationMode, RobotState, Swarm};
 pub use tile::{TileIndex, TileKey, TileWindow};
 pub use view::View;
 

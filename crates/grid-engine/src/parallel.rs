@@ -48,11 +48,17 @@ where
     let bounds = chunk_bounds(n, threads);
     let mut out: Vec<Vec<T>> = Vec::with_capacity(bounds.len());
     std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(bounds.len());
-        for &(lo, hi) in &bounds {
+        // Spawn workers for every chunk but the first; the first chunk
+        // runs on the calling thread, so a dispatch never creates more
+        // threads than it has concurrent work for (and a single-chunk
+        // dispatch spawns none at all).
+        let mut handles = Vec::with_capacity(bounds.len().saturating_sub(1));
+        for &(lo, hi) in &bounds[1..] {
             let f = &f;
             handles.push(scope.spawn(move || (lo..hi).map(f).collect::<Vec<T>>()));
         }
+        let (lo, hi) = bounds[0];
+        out.push((lo..hi).map(&f).collect::<Vec<T>>());
         for h in handles {
             out.push(h.join().expect("compute worker panicked"));
         }
@@ -69,7 +75,9 @@ where
 /// thread is requested instead of gating on [`PARALLEL_THRESHOLD`],
 /// because each item is assumed to carry a thread's worth of work.
 /// Results are collected in index order, so the output is independent of
-/// the thread count.
+/// the thread count. Worker count is `min(threads, n) - 1`: chunking is
+/// sized to the items actually dispatched (not the thread budget), and
+/// the first chunk runs on the calling thread.
 pub fn parallel_map_coarse<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
 where
     T: Send,
@@ -82,11 +90,13 @@ where
     let bounds = chunk_bounds(n, threads);
     let mut out: Vec<Vec<T>> = Vec::with_capacity(bounds.len());
     std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(bounds.len());
-        for &(lo, hi) in &bounds {
+        let mut handles = Vec::with_capacity(bounds.len().saturating_sub(1));
+        for &(lo, hi) in &bounds[1..] {
             let f = &f;
             handles.push(scope.spawn(move || (lo..hi).map(f).collect::<Vec<T>>()));
         }
+        let (lo, hi) = bounds[0];
+        out.push((lo..hi).map(&f).collect::<Vec<T>>());
         for h in handles {
             out.push(h.join().expect("shard worker panicked"));
         }
@@ -192,17 +202,93 @@ where
     std::thread::scope(|scope| {
         let mut rest = shards;
         let mut offset = 0usize;
+        let mut first: Option<(usize, &mut [T])> = None;
         for &(lo, hi) in &bounds {
             let (chunk, tail) = rest.split_at_mut(hi - lo);
             rest = tail;
             let base = offset;
             offset += chunk.len();
+            // The first chunk is deferred to the calling thread so the
+            // dispatch spawns one fewer worker than it has chunks.
+            if first.is_none() {
+                first = Some((base, chunk));
+                continue;
+            }
             let f = &f;
             scope.spawn(move || {
                 for (j, shard) in chunk.iter_mut().enumerate() {
                     f(base + j, shard);
                 }
             });
+        }
+        if let Some((base, chunk)) = first {
+            for (j, shard) in chunk.iter_mut().enumerate() {
+                f(base + j, shard);
+            }
+        }
+    });
+}
+
+/// [`for_each_shard_mut`] restricted to `selected` shard indices
+/// (strictly ascending): only the selected shards are visited, and the
+/// chunking is sized to the *selection*, so a sparse round whose robots
+/// touch two shards dispatches two closures instead of sixty-four — the
+/// degenerate case where chunk math sized for the full shard array
+/// spawned workers with nothing to do. Each selected shard is carved
+/// out of the slice exactly once, so workers get exclusive access
+/// without locks, and the visit order per worker is ascending — the
+/// outcome is independent of the thread count for the same reason as
+/// the full variant.
+pub fn for_each_selected_shard_mut<T, F>(shards: &mut [T], selected: &[usize], threads: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut T) + Sync,
+{
+    debug_assert!(
+        selected.windows(2).all(|w| w[0] < w[1]),
+        "shard selection must be strictly ascending"
+    );
+    let threads = resolve_threads(threads);
+    if threads <= 1 || selected.len() <= 1 {
+        for &s in selected {
+            f(s, &mut shards[s]);
+        }
+        return;
+    }
+    // Carve one exclusive reference per selected shard; ascending order
+    // means each split consumes a disjoint prefix of the remainder.
+    let mut refs: Vec<(usize, &mut T)> = Vec::with_capacity(selected.len());
+    let mut rest = shards;
+    let mut base = 0usize;
+    for &s in selected {
+        let (_, tail) = rest.split_at_mut(s - base);
+        let (item, tail) = tail.split_first_mut().expect("selected shard index out of range");
+        refs.push((s, item));
+        rest = tail;
+        base = s + 1;
+    }
+    let bounds = chunk_bounds(refs.len(), threads);
+    std::thread::scope(|scope| {
+        let mut rest = refs.as_mut_slice();
+        let mut first: Option<&mut [(usize, &mut T)]> = None;
+        for &(lo, hi) in &bounds {
+            let (chunk, tail) = rest.split_at_mut(hi - lo);
+            rest = tail;
+            if first.is_none() {
+                first = Some(chunk);
+                continue;
+            }
+            let f = &f;
+            scope.spawn(move || {
+                for (s, shard) in chunk.iter_mut() {
+                    f(*s, &mut **shard);
+                }
+            });
+        }
+        if let Some(chunk) = first {
+            for (s, shard) in chunk.iter_mut() {
+                f(*s, &mut **shard);
+            }
         }
     });
 }
@@ -328,6 +414,85 @@ mod tests {
         }
         let empty: Vec<u8> = parallel_map_coarse(0, 8, |_| 0u8);
         assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn for_each_selected_shard_mut_visits_only_the_selection() {
+        for threads in [1usize, 2, 3, 8, 64] {
+            let mut shards: Vec<(usize, u32)> = (0..13).map(|i| (i, 0)).collect();
+            let selected = [1usize, 4, 5, 11];
+            for_each_selected_shard_mut(&mut shards, &selected, threads, |i, shard| {
+                assert_eq!(shard.0, i, "shard index mismatch");
+                shard.1 += 1;
+            });
+            for (i, &(_, visits)) in shards.iter().enumerate() {
+                let expected = u32::from(selected.contains(&i));
+                assert_eq!(visits, expected, "threads={threads} shard={i}");
+            }
+        }
+        // Empty and full selections are fine too.
+        let mut shards: Vec<(usize, u32)> = (0..5).map(|i| (i, 0)).collect();
+        for_each_selected_shard_mut(&mut shards, &[], 8, |_, _| panic!("empty selection ran"));
+        let all: Vec<usize> = (0..5).collect();
+        for_each_selected_shard_mut(&mut shards, &all, 8, |_, shard| shard.1 += 1);
+        assert!(shards.iter().all(|&(_, v)| v == 1));
+    }
+
+    /// Regression for the degenerate dispatch: a round with fewer work
+    /// items than worker threads must not spawn idle scoped threads.
+    /// The caller runs the first chunk itself, so a k-item coarse map
+    /// uses at most k threads total (caller included), a 1-item map
+    /// spawns nothing, and a sub-threshold fine-grained map never
+    /// leaves the calling thread.
+    #[test]
+    fn small_dispatch_does_not_spawn_idle_workers() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        use std::thread::ThreadId;
+
+        let track = || Mutex::<HashSet<ThreadId>>::default();
+        let caller = std::thread::current().id();
+
+        let ids = track();
+        let out = parallel_map_coarse(2, 8, |i| {
+            ids.lock().expect("tracker poisoned").insert(std::thread::current().id());
+            i * 3
+        });
+        assert_eq!(out, vec![0, 3]);
+        let ids = ids.into_inner().expect("tracker poisoned");
+        assert!(ids.len() <= 2, "{} distinct threads for 2 coarse items", ids.len());
+        assert!(ids.contains(&caller), "caller thread must run the first chunk");
+
+        let ids = track();
+        parallel_map_coarse(1, 8, |_| {
+            ids.lock().expect("tracker poisoned").insert(std::thread::current().id());
+        });
+        assert_eq!(
+            ids.into_inner().expect("tracker poisoned").into_iter().collect::<Vec<_>>(),
+            vec![caller],
+            "a single coarse item must run inline"
+        );
+
+        let ids = track();
+        parallel_map(3, 8, |i| {
+            ids.lock().expect("tracker poisoned").insert(std::thread::current().id());
+            i
+        });
+        assert_eq!(
+            ids.into_inner().expect("tracker poisoned").into_iter().collect::<Vec<_>>(),
+            vec![caller],
+            "a sub-threshold map must run inline"
+        );
+
+        let ids = track();
+        let mut shards: Vec<u32> = vec![0; 64];
+        for_each_selected_shard_mut(&mut shards, &[7, 40], 8, |_, shard| {
+            ids.lock().expect("tracker poisoned").insert(std::thread::current().id());
+            *shard += 1;
+        });
+        let ids = ids.into_inner().expect("tracker poisoned");
+        assert!(ids.len() <= 2, "{} distinct threads for 2 selected shards", ids.len());
+        assert!(ids.contains(&caller), "caller thread must run the first selected chunk");
     }
 
     /// Determinism across thread counts, pinned at a size just above the

@@ -46,10 +46,15 @@ pub enum Phase {
     Observe = 6,
     /// Post-round invariant checks (connectivity, stall detection).
     Invariants = 7,
+    /// Sparse-path active-list maintenance: stamping the round's movers
+    /// and grouping the activation set into per-shard active lists so
+    /// merge detection and the occupancy update touch only affected
+    /// tiles.
+    ActiveList = 8,
 }
 
 /// Number of phase slots in a [`RoundProfile`].
-pub const PHASE_COUNT: usize = 8;
+pub const PHASE_COUNT: usize = 9;
 
 impl Phase {
     /// Every phase, in slot order.
@@ -62,6 +67,7 @@ impl Phase {
         Phase::Compact,
         Phase::Observe,
         Phase::Invariants,
+        Phase::ActiveList,
     ];
 
     /// Stable snake_case name, used as the JSON/report field suffix.
@@ -75,6 +81,7 @@ impl Phase {
             Phase::Compact => "compact",
             Phase::Observe => "observe",
             Phase::Invariants => "invariants",
+            Phase::ActiveList => "active_list",
         }
     }
 }
@@ -94,6 +101,11 @@ pub struct RoundProfile {
     pub shard_min_ns: u64,
     /// Slowest worked shard in the sharded merge-detect section, ns.
     pub shard_max_ns: u64,
+    /// Fastest worked chunk in the parallel prefix-sum compaction, ns
+    /// (0 when the round compacted sequentially or had no merges).
+    pub compact_min_ns: u64,
+    /// Slowest worked chunk in the parallel prefix-sum compaction, ns.
+    pub compact_max_ns: u64,
     /// Allocations during the round (process-global delta); `None`
     /// unless the `count-alloc` feature is enabled.
     pub allocs: Option<u64>,
@@ -144,6 +156,9 @@ pub struct ProfileTotals {
     pub phase_ns: [u64; PHASE_COUNT],
     /// Sum of per-round slowest-shard minus fastest-shard gaps, ns.
     pub shard_imbalance_ns: u64,
+    /// Sum of per-round slowest-chunk minus fastest-chunk gaps in the
+    /// parallel prefix-sum compaction, ns.
+    pub compact_imbalance_ns: u64,
     /// Total allocations over profiled rounds; meaningful only when
     /// `allocs_counted` (the `count-alloc` feature was on).
     pub allocs: u64,
@@ -159,6 +174,7 @@ impl ProfileTotals {
             *sum += ns;
         }
         self.shard_imbalance_ns += p.shard_max_ns.saturating_sub(p.shard_min_ns);
+        self.compact_imbalance_ns += p.compact_max_ns.saturating_sub(p.compact_min_ns);
         if let Some(a) = p.allocs {
             self.allocs += a;
             self.allocs_counted = true;
@@ -210,6 +226,11 @@ impl ProfileTotals {
             "  {:<12} {:>10.3}s\n",
             "shard_gap",
             self.shard_imbalance_ns as f64 / 1e9,
+        ));
+        out.push_str(&format!(
+            "  {:<12} {:>10.3}s\n",
+            "compact_gap",
+            self.compact_imbalance_ns as f64 / 1e9,
         ));
         if self.allocs_counted {
             out.push_str(&format!(
@@ -337,6 +358,8 @@ mod tests {
         p.phase_ns[Phase::MergeDetect as usize] = 30;
         p.shard_min_ns = 5;
         p.shard_max_ns = 9;
+        p.compact_min_ns = 2;
+        p.compact_max_ns = 5;
         totals.add(&p);
         totals.add(&p);
         assert_eq!(totals.rounds, 2);
@@ -345,9 +368,11 @@ mod tests {
         assert!((totals.coverage() - 0.9).abs() < 1e-9);
         assert!((totals.share(Phase::Compute) - 0.6).abs() < 1e-9);
         assert_eq!(totals.shard_imbalance_ns, 8);
+        assert_eq!(totals.compact_imbalance_ns, 6);
         assert!(!totals.allocs_counted);
         let rendered = totals.render();
         assert!(rendered.contains("merge_detect"), "{rendered}");
+        assert!(rendered.contains("compact_gap"), "{rendered}");
     }
 
     #[test]

@@ -2,23 +2,52 @@
 //! tiled occupancy index and the FSYNC *simultaneous move + merge*
 //! semantics of the paper's model.
 //!
+//! # Structure-of-arrays layout
+//!
+//! Robots live in parallel dense arrays (`positions`, `states`,
+//! `orients`, `handles`) rather than a `Vec<Robot>` of structs, so the
+//! compute phase streams each attribute linearly and the round-apply
+//! compacts survivors with flat array moves. Every robot additionally
+//! carries a *stable handle* — its initial index, never reused (merges
+//! only shrink the population). The occupancy index stores handles, and
+//! `slot_of` maps a handle back to the robot's current dense slot
+//! (`u32::MAX` once merged away). Two invariants follow:
+//!
+//! * **Compaction never touches the index.** Removing merge losers
+//!   shifts dense slots, but cells keyed by handle stay valid — only the
+//!   flat `slot_of` entries are rewritten.
+//! * **Occupancy updates are movers-only.** A round clears the old cells
+//!   of robots that moved and sets the target cells of moving survivors;
+//!   stationary robots' cells are never rewritten. A mover can only win
+//!   a cell that was empty or vacated this round (stationary incumbents
+//!   win their cell by the survivor rule), so the two phases never
+//!   collide with a live handle.
+//!
+//! # Parallel and sparse round paths
+//!
 //! The round-apply is thread-scalable: a target cell belongs to exactly
 //! one tile, and a tile to exactly one shard of the
 //! [`TileIndex`](crate::tile::TileIndex), so merge detection and the
-//! occupancy rebuild partition perfectly by shard and run on scoped
-//! worker threads ([`Swarm::apply_partial_threads`]). The per-cell
-//! survivor rule is a *minimum* over an order-free key, so the sharded
-//! path is bit-identical to the sequential one on every thread count —
-//! the property the trace subsystem's replay oracle checks.
+//! occupancy update partition perfectly by shard and run on scoped
+//! worker threads ([`Swarm::apply_partial_threads`]). Partial
+//! activations additionally have a sparse path ([`Swarm::apply_sparse`])
+//! whose cost is O(activated ∪ moved) instead of O(n): merge candidates
+//! are only the robots that actually move (stationary incumbents are
+//! found by probing the index), and per-shard active lists
+//! ([`crate::tile::ShardLists`]) confine the occupancy phases to the
+//! shards an active robot touches. The per-cell survivor rule is a
+//! *minimum* over an order-free key, so the sharded and sparse paths are
+//! bit-identical to the sequential dense one on every thread count — the
+//! property the trace subsystem's replay oracle checks.
 
 use crate::geom::{Bounds, Point, D4, V2};
 use crate::parallel::{
-    for_each_shard_mut, parallel_map, parallel_map_coarse_clocked, shard_indices,
-    PARALLEL_THRESHOLD,
+    chunk_bounds, for_each_selected_shard_mut, for_each_shard_mut, parallel_map,
+    parallel_map_coarse_clocked, resolve_threads, shard_indices, PARALLEL_THRESHOLD,
 };
 use crate::profile::{timed, Phase, RoundProfile};
 use crate::scheduler::splitmix64;
-use crate::tile::{shard_of, TileIndex, NUM_SHARDS};
+use crate::tile::{shard_of, ShardLists, TileIndex, NUM_SHARDS};
 
 /// Per-robot algorithm state carried between rounds.
 ///
@@ -51,14 +80,6 @@ pub enum OrientationMode {
     Scrambled(u64),
 }
 
-#[derive(Clone, Debug)]
-pub struct Robot<S> {
-    pub pos: Point,
-    pub state: S,
-    /// Maps this robot's frame into the world frame.
-    pub orient: D4,
-}
-
 /// A robot's chosen operation for one round: a king-move step (or the
 /// zero vector to stay) plus its next state, both in the robot's frame.
 #[derive(Clone, Debug, Default)]
@@ -82,17 +103,78 @@ pub struct ApplyOutcome {
     pub moved: usize,
 }
 
+/// Reusable per-round working memory. Every buffer retains its capacity
+/// across rounds, so a steady-state round allocates nothing here. The
+/// stamp arrays are indexed by dense slot and valid for exactly one
+/// round: a slot is "marked" iff its stamp equals the current epoch, so
+/// clearing the marks is a single counter increment, not an O(n) sweep.
+#[derive(Clone, Default)]
+struct RoundScratch<S> {
+    /// Current round stamp; bumped once per apply.
+    epoch: u32,
+    /// `mover_stamp[i] == epoch` ⇔ dense slot `i` moves this round
+    /// (maintained by the sparse path for incumbent classification).
+    mover_stamp: Vec<u32>,
+    /// `loser_stamp[i] == epoch` ⇔ dense slot `i` lost its merge this
+    /// round (shared by every apply path; drives compaction).
+    loser_stamp: Vec<u32>,
+    /// Sparse path: target cell per active robot (indexed like `active`).
+    targets: Vec<Point>,
+    /// Sparse path: merge-detect owner map, keyed by target cell.
+    owner: crate::fxhash::FxHashMap<Point, u32>,
+    /// Sparse path: active movers grouped by the shard of their old cell.
+    old_cells: ShardLists,
+    /// Sparse path: surviving movers grouped by their target cell shard.
+    new_cells: ShardLists,
+    /// Touched-shard index buffer for the selected-shard dispatches.
+    touched: Vec<usize>,
+    /// Parallel-compaction gather buffers (double-buffered survivors).
+    pos_buf: Vec<Point>,
+    state_buf: Vec<S>,
+    orient_buf: Vec<D4>,
+    handle_buf: Vec<u32>,
+}
+
+impl<S> RoundScratch<S> {
+    /// Start a new round: size the stamp arrays (dense slots never exceed
+    /// the initial population) and advance the epoch, resetting the
+    /// stamps on the (once per 2³²-round) wraparound so a stale stamp can
+    /// never equal a live epoch.
+    fn next_epoch(&mut self, n0: usize) -> u32 {
+        if self.mover_stamp.len() < n0 {
+            self.mover_stamp.resize(n0, 0);
+            self.loser_stamp.resize(n0, 0);
+        }
+        if self.epoch == u32::MAX {
+            self.mover_stamp.fill(0);
+            self.loser_stamp.fill(0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+        self.epoch
+    }
+}
+
 #[derive(Clone)]
 pub struct Swarm<S: RobotState> {
-    robots: Vec<Robot<S>>,
+    positions: Vec<Point>,
+    states: Vec<S>,
+    orients: Vec<D4>,
+    /// Dense slot → stable handle (the robot's initial index).
+    handles: Vec<u32>,
+    /// Handle → current dense slot; `u32::MAX` once merged away. The
+    /// occupancy index stores handles, so compaction only rewrites this
+    /// flat array and never touches tile cells.
+    slot_of: Vec<u32>,
     index: TileIndex,
+    scratch: RoundScratch<S>,
 }
 
 // Manual so states without Debug still get a printable swarm summary.
 impl<S: RobotState> std::fmt::Debug for Swarm<S> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Swarm")
-            .field("robots", &self.robots.len())
+            .field("robots", &self.positions.len())
             .field("bounds", &self.index.bounds())
             .finish_non_exhaustive()
     }
@@ -107,6 +189,22 @@ pub(crate) fn gathered_check(population: usize, bounds: impl FnOnce() -> Bounds)
     population <= 4 && bounds().fits_2x2()
 }
 
+/// Does robot `i` beat robot `j` for their shared target cell?
+/// Stationary wins over movers, then the lexicographically smaller
+/// previous position — a strict total order per cell (two stationary
+/// robots cannot share a target), so the winner is the same whatever the
+/// comparison order.
+#[inline]
+fn beats(positions: &[Point], targets: &[Point], i: usize, j: usize) -> bool {
+    let i_stay = targets[i] == positions[i];
+    let j_stay = targets[j] == positions[j];
+    match (i_stay, j_stay) {
+        (true, false) => true,
+        (false, true) => false,
+        _ => positions[i] < positions[j],
+    }
+}
+
 impl<S: RobotState> Swarm<S> {
     /// Build a swarm from distinct positions with default state.
     ///
@@ -114,8 +212,10 @@ impl<S: RobotState> Swarm<S> {
     /// Panics if `positions` is empty or contains duplicates.
     pub fn new(positions: &[Point], orientation: OrientationMode) -> Self {
         assert!(!positions.is_empty(), "a swarm has at least one robot");
+        let n = positions.len();
+        assert!(n < u32::MAX as usize, "population must fit the index's u32 handles");
         let mut index = TileIndex::new();
-        let mut robots = Vec::with_capacity(positions.len());
+        let mut orients = Vec::with_capacity(n);
         for (i, &pos) in positions.iter().enumerate() {
             let orient = match orientation {
                 OrientationMode::Aligned => D4::IDENTITY,
@@ -125,33 +225,63 @@ impl<S: RobotState> Swarm<S> {
             };
             let prev = index.set(pos, i as u32);
             assert!(prev.is_none(), "duplicate start position {pos:?}");
-            robots.push(Robot { pos, state: S::default(), orient });
+            orients.push(orient);
         }
-        Swarm { robots, index }
+        Swarm {
+            positions: positions.to_vec(),
+            states: (0..n).map(|_| S::default()).collect(),
+            orients,
+            handles: (0..n as u32).collect(),
+            slot_of: (0..n as u32).collect(),
+            index,
+            scratch: RoundScratch::default(),
+        }
     }
 
     pub fn len(&self) -> usize {
-        self.robots.len()
+        self.positions.len()
     }
 
     pub fn is_empty(&self) -> bool {
-        self.robots.is_empty()
+        self.positions.is_empty()
     }
 
-    pub fn robots(&self) -> &[Robot<S>] {
-        &self.robots
+    /// Current robot positions, in dense (survivor-compacted) order.
+    /// Positions are owned by the occupancy index — they are only
+    /// mutated through [`Swarm::apply`] and friends.
+    pub fn positions(&self) -> &[Point] {
+        &self.positions
     }
 
-    /// Mutable access to robot *states and orientations* (tests and
-    /// setup). Positions are owned by the occupancy index — moving a
-    /// robot through this slice would desynchronise it; rounds go
-    /// through [`Swarm::apply`].
-    pub fn robots_mut(&mut self) -> &mut [Robot<S>] {
-        &mut self.robots
+    /// Per-robot algorithm states, parallel to [`Swarm::positions`].
+    pub fn states(&self) -> &[S] {
+        &self.states
     }
 
-    pub fn positions(&self) -> impl Iterator<Item = Point> + '_ {
-        self.robots.iter().map(|r| r.pos)
+    /// Mutable access to robot states (tests and setup). States are not
+    /// indexed, so mutating them cannot desynchronise the swarm.
+    pub fn states_mut(&mut self) -> &mut [S] {
+        &mut self.states
+    }
+
+    /// Per-robot local frames (robot frame → world frame), parallel to
+    /// [`Swarm::positions`].
+    pub fn orients(&self) -> &[D4] {
+        &self.orients
+    }
+
+    /// Mutable access to robot orientations (tests and setup).
+    pub fn orients_mut(&mut self) -> &mut [D4] {
+        &mut self.orients
+    }
+
+    /// Current dense slot of a stable handle read from the occupancy
+    /// index (tile cells store handles, not dense slots).
+    #[inline]
+    pub(crate) fn slot(&self, handle: u32) -> usize {
+        let slot = self.slot_of[handle as usize];
+        debug_assert_ne!(slot, u32::MAX, "index cell held a merged-away handle");
+        slot as usize
     }
 
     /// Bounding box of the swarm, derived from the occupancy index's
@@ -164,7 +294,9 @@ impl<S: RobotState> Swarm<S> {
     /// The paper's goal predicate: all robots within a 2×2 area. O(1):
     /// see [`gathered_check`].
     pub fn is_gathered(&self) -> bool {
-        gathered_check(self.robots.len(), || Bounds::of(self.positions()).expect("non-empty swarm"))
+        gathered_check(self.positions.len(), || {
+            Bounds::of(self.positions.iter().copied()).expect("non-empty swarm")
+        })
     }
 
     #[inline]
@@ -175,7 +307,7 @@ impl<S: RobotState> Swarm<S> {
     /// Index of the robot at `p`, if any.
     #[inline]
     pub fn robot_at(&self, p: Point) -> Option<usize> {
-        self.index.get(p).map(|id| id as usize)
+        self.index.get(p).map(|h| self.slot(h))
     }
 
     /// The tiled occupancy index (diagnostics: tile/memory accounting,
@@ -191,9 +323,9 @@ impl<S: RobotState> Swarm<S> {
     /// excluded on purpose — they are strategy-internal, and any state
     /// divergence that matters surfaces as a positional one.
     pub fn position_digest(&self) -> u64 {
-        let mut h = 0x9e37_79b9_7f4a_7c15u64 ^ self.robots.len() as u64;
-        for robot in &self.robots {
-            let cell = ((robot.pos.x as u32 as u64) << 32) | robot.pos.y as u32 as u64;
+        let mut h = 0x9e37_79b9_7f4a_7c15u64 ^ self.positions.len() as u64;
+        for &pos in &self.positions {
+            let cell = ((pos.x as u32 as u64) << 32) | pos.y as u32 as u64;
             h = splitmix64(h ^ cell);
         }
         h
@@ -208,7 +340,7 @@ impl<S: RobotState> Swarm<S> {
     /// smallest *previous* position wins. The rule is ID-free and
     /// deterministic, so runs are reproducible.
     pub fn apply(&mut self, actions: Vec<Action<S>>) -> ApplyOutcome {
-        assert_eq!(actions.len(), self.robots.len());
+        assert_eq!(actions.len(), self.positions.len());
         self.apply_partial(actions.into_iter().map(Some).collect())
     }
 
@@ -222,22 +354,23 @@ impl<S: RobotState> Swarm<S> {
     }
 
     /// [`Swarm::apply`] with a worker-thread budget for the round-apply
-    /// itself (merge detection and the occupancy rebuild shard by tile).
+    /// itself (merge detection and the occupancy update shard by tile).
     pub fn apply_threads(&mut self, actions: Vec<Action<S>>, threads: usize) -> ApplyOutcome {
         self.apply_threads_profiled(actions, threads, None)
     }
 
     /// [`Swarm::apply_threads`] that additionally attributes the apply's
-    /// sub-phases (targets, merge detect, rebuild, compaction) to `prof`
-    /// when one is given. Timing observes the phases from outside, so
-    /// the outcome is bit-identical with and without a profile.
+    /// sub-phases (targets, merge detect, occupancy, compaction) to
+    /// `prof` when one is given. Timing observes the phases from
+    /// outside, so the outcome is bit-identical with and without a
+    /// profile.
     pub fn apply_threads_profiled(
         &mut self,
         actions: Vec<Action<S>>,
         threads: usize,
         prof: Option<&mut RoundProfile>,
     ) -> ApplyOutcome {
-        assert_eq!(actions.len(), self.robots.len());
+        assert_eq!(actions.len(), self.positions.len());
         self.apply_partial_threads_profiled(actions.into_iter().map(Some).collect(), threads, prof)
     }
 
@@ -263,127 +396,118 @@ impl<S: RobotState> Swarm<S> {
         threads: usize,
         prof: Option<&mut RoundProfile>,
     ) -> ApplyOutcome {
-        assert_eq!(actions.len(), self.robots.len());
-        let threads = crate::parallel::resolve_threads(threads);
-        if threads <= 1 || self.robots.len() < PARALLEL_THRESHOLD {
+        assert_eq!(actions.len(), self.positions.len());
+        let threads = resolve_threads(threads);
+        if threads <= 1 || self.positions.len() < PARALLEL_THRESHOLD {
             self.apply_partial_seq_profiled(actions, prof)
         } else {
             self.apply_partial_sharded_profiled(actions, threads, prof)
         }
     }
 
-    /// World-frame target cell of robot `i` under `action`.
-    #[inline]
-    fn target_of(robot: &Robot<S>, action: &Option<Action<S>>) -> Point {
-        match action {
-            Some(action) => {
-                debug_assert!(action.step.is_step(), "illegal step {:?}", action.step);
-                robot.pos + robot.orient.apply(action.step)
-            }
-            None => robot.pos,
-        }
-    }
-
-    /// Does `i` beat `j` for their shared target cell? Stationary wins
-    /// over movers, then the lexicographically smaller previous position
-    /// — a strict total order per cell (two stationary robots cannot
-    /// share a target), so the winner is the same whatever the
-    /// comparison order.
-    #[inline]
-    fn beats(&self, i: usize, j: usize, targets: &[Point]) -> bool {
-        let i_stay = targets[i] == self.robots[i].pos;
-        let j_stay = targets[j] == self.robots[j].pos;
-        match (i_stay, j_stay) {
-            (true, false) => true,
-            (false, true) => false,
-            _ => self.robots[i].pos < self.robots[j].pos,
-        }
-    }
-
-    /// The sequential round-apply (exactly the historical semantics).
-    /// Phase attribution is an approximation on this path: the final
-    /// drain both rebuilds occupancy and compacts survivors, and is
-    /// charged to [`Phase::Compact`]; [`Phase::OccupancyRebuild`] gets
-    /// the old-cell clearing pass.
+    /// The sequential dense round-apply (exactly the historical
+    /// semantics). Phases: target computation, merge detection over the
+    /// full population, movers-only occupancy update, in-place survivor
+    /// commit plus array compaction.
     fn apply_partial_seq_profiled(
         &mut self,
         actions: Vec<Option<Action<S>>>,
         prof: Option<&mut RoundProfile>,
     ) -> ApplyOutcome {
         let mut prof = prof;
-        let n = self.robots.len();
-        let (targets, moved) = timed(&mut prof, Phase::ApplyTargets, || {
-            let mut targets: Vec<Point> = Vec::with_capacity(n);
+        let n = self.positions.len();
+        let epoch = self.scratch.next_epoch(self.slot_of.len());
+
+        let mut targets = std::mem::take(&mut self.scratch.targets);
+        let moved = timed(&mut prof, Phase::ApplyTargets, || {
+            targets.clear();
+            targets.reserve(n);
             let mut moved = 0usize;
-            for (robot, action) in self.robots.iter().zip(&actions) {
-                let target = Self::target_of(robot, action);
-                if target != robot.pos {
-                    moved += 1;
-                }
+            for (i, action) in actions.iter().enumerate() {
+                let target = match action {
+                    Some(action) => {
+                        debug_assert!(action.step.is_step(), "illegal step {:?}", action.step);
+                        self.positions[i] + self.orients[i].apply(action.step)
+                    }
+                    None => self.positions[i],
+                };
+                moved += usize::from(target != self.positions[i]);
                 targets.push(target);
             }
-            (targets, moved)
+            moved
         });
 
         // Group robots by target cell to find merges. The common case is
         // "no merge anywhere", so detect duplicates with a map from cell
-        // to first-arriving robot index.
-        let (survives, merged) = timed(&mut prof, Phase::MergeDetect, || {
-            let mut owner: crate::fxhash::FxHashMap<Point, usize> =
-                crate::fxhash::FxHashMap::default();
+        // to the currently-winning robot index.
+        let mut owner = std::mem::take(&mut self.scratch.owner);
+        let (merged, first_loser) = timed(&mut prof, Phase::MergeDetect, || {
+            owner.clear();
             owner.reserve(n);
-            // survivor[i] = does robot i survive this round?
-            let mut survives = vec![true; n];
             let mut merged = 0usize;
+            let mut first_loser = usize::MAX;
             for i in 0..n {
                 match owner.entry(targets[i]) {
                     std::collections::hash_map::Entry::Vacant(e) => {
-                        e.insert(i);
+                        e.insert(i as u32);
                     }
                     std::collections::hash_map::Entry::Occupied(mut e) => {
-                        let j = *e.get();
-                        if self.beats(i, j, &targets) {
-                            survives[j] = false;
-                            e.insert(i);
+                        let j = *e.get() as usize;
+                        let loser = if beats(&self.positions, &targets, i, j) {
+                            e.insert(i as u32);
+                            j
                         } else {
-                            survives[i] = false;
-                        }
+                            i
+                        };
+                        self.scratch.loser_stamp[loser] = epoch;
+                        first_loser = first_loser.min(loser);
                         merged += 1;
                     }
                 }
             }
-            (survives, merged)
+            (merged, first_loser)
+        });
+        self.scratch.owner = owner;
+
+        // Movers-only occupancy update: every mover vacates its old cell
+        // (losers are always movers), then each surviving mover claims
+        // its target. Stationary cells are never rewritten — their
+        // handles stay valid across the round.
+        timed(&mut prof, Phase::OccupancyRebuild, || {
+            for (i, &target) in targets.iter().enumerate() {
+                if target != self.positions[i] {
+                    self.index.clear(self.positions[i]);
+                }
+            }
+            for (i, &target) in targets.iter().enumerate() {
+                if target != self.positions[i] && self.scratch.loser_stamp[i] != epoch {
+                    let prev = self.index.set(target, self.handles[i]);
+                    debug_assert!(prev.is_none(), "survivor collision at {:?}", target);
+                }
+            }
         });
 
-        // Clear old occupancy, then rebuild from survivors.
-        timed(&mut prof, Phase::OccupancyRebuild, || {
-            for robot in &self.robots {
-                self.index.clear(robot.pos);
-            }
-        });
+        // Commit in place (losers are overwritten too — they are about
+        // to be compacted away), then compact the arrays.
         timed(&mut prof, Phase::Compact, || {
-            let mut next: Vec<Robot<S>> = Vec::with_capacity(n - merged);
-            for (i, (mut robot, action)) in self.robots.drain(..).zip(actions).enumerate() {
-                if !survives[i] {
-                    continue;
-                }
-                robot.pos = targets[i];
+            for (i, action) in actions.into_iter().enumerate() {
+                self.positions[i] = targets[i];
                 if let Some(action) = action {
-                    robot.state = action.state;
+                    self.states[i] = action.state;
                 }
-                let id = next.len() as u32;
-                next.push(robot);
-                let prev = self.index.set(targets[i], id);
-                debug_assert!(prev.is_none(), "survivor collision at {:?}", targets[i]);
             }
-            self.robots = next;
         });
+        self.scratch.targets = targets;
+        if merged > 0 {
+            self.compact_tail(first_loser, 1, &mut prof);
+        }
         ApplyOutcome { merged, moved }
     }
 
-    /// The sharded round-apply: merge detection and occupancy rebuild
-    /// partition by the tile shard of the relevant cell and run on
-    /// scoped worker threads; survivor compaction stays index-ordered.
+    /// The sharded dense round-apply: merge detection partitions by the
+    /// tile shard of the target cell and runs on scoped worker threads,
+    /// the occupancy update is movers-only and sharded the same way, and
+    /// survivor compaction is a parallel prefix-sum over array chunks.
     /// Exposed (doc-hidden) so the equivalence proptests can force this
     /// path on swarms below the parallel threshold.
     #[doc(hidden)]
@@ -407,13 +531,20 @@ impl<S: RobotState> Swarm<S> {
     ) -> ApplyOutcome {
         let mut prof = prof;
         let timing = prof.is_some();
-        let n = self.robots.len();
+        let n = self.positions.len();
         assert_eq!(actions.len(), n);
-        let robots = &self.robots;
+        let epoch = self.scratch.next_epoch(self.slot_of.len());
+        let positions = &self.positions;
+        let orients = &self.orients;
         let (targets, moved) = timed(&mut prof, Phase::ApplyTargets, || {
-            let targets: Vec<Point> =
-                parallel_map(n, threads, |i| Self::target_of(&robots[i], &actions[i]));
-            let moved = targets.iter().zip(robots).filter(|(t, r)| **t != r.pos).count();
+            let targets: Vec<Point> = parallel_map(n, threads, |i| match &actions[i] {
+                Some(action) => {
+                    debug_assert!(action.step.is_step(), "illegal step {:?}", action.step);
+                    positions[i] + orients[i].apply(action.step)
+                }
+                None => positions[i],
+            });
+            let moved = targets.iter().zip(positions).filter(|(t, p)| *t != *p).count();
             (targets, moved)
         });
 
@@ -423,8 +554,8 @@ impl<S: RobotState> Swarm<S> {
         let target_groups = timed(&mut prof, Phase::MergeDetect, || {
             shard_indices(n, NUM_SHARDS, threads, |i| shard_of(targets[i]))
         });
-        let mut survives = vec![true; n];
         let mut merged = 0usize;
+        let mut first_loser = usize::MAX;
         let mut worked_shard_ns: Vec<u64> = Vec::new();
         timed(&mut prof, Phase::MergeDetect, || {
             let shard_outcomes: Vec<((Vec<u32>, usize), u64)> =
@@ -441,7 +572,7 @@ impl<S: RobotState> Swarm<S> {
                             }
                             std::collections::hash_map::Entry::Occupied(mut e) => {
                                 let j = *e.get();
-                                if self.beats(i as usize, j as usize, &targets) {
+                                if beats(positions, &targets, i as usize, j as usize) {
                                     losers.push(j);
                                     e.insert(i);
                                 } else {
@@ -456,7 +587,8 @@ impl<S: RobotState> Swarm<S> {
             for (s, ((losers, shard_merged), ns)) in shard_outcomes.into_iter().enumerate() {
                 merged += shard_merged;
                 for i in losers {
-                    survives[i as usize] = false;
+                    self.scratch.loser_stamp[i as usize] = epoch;
+                    first_loser = first_loser.min(i as usize);
                 }
                 if timing && !target_groups[s].is_empty() {
                     worked_shard_ns.push(ns);
@@ -468,62 +600,412 @@ impl<S: RobotState> Swarm<S> {
             p.shard_max_ns = worked_shard_ns.iter().copied().max().unwrap_or(0);
         }
 
-        // Compacted id of each survivor, so the occupancy rebuild can
-        // run before (and independently of) the sequential compaction.
-        let (new_id, alive) = timed(&mut prof, Phase::Compact, || {
-            let mut new_id = vec![0u32; n];
-            let mut alive = 0u32;
-            for (id, survive) in new_id.iter_mut().zip(&survives) {
-                *id = alive;
-                alive += u32::from(*survive);
-            }
-            (new_id, alive)
-        });
-
-        // Occupancy rebuild in two sharded phases: clear every robot's
-        // old cell (grouped by old-position shard), then set every
-        // survivor's target (grouped by target shard). Each phase gives
-        // workers exclusive access to disjoint shards; within a shard,
-        // the cells of a phase are distinct, so order is irrelevant.
+        // Movers-only occupancy update in two sharded phases: clear every
+        // mover's old cell (grouped by old-position shard), then set
+        // every surviving mover's target (grouped by target shard). Each
+        // phase gives workers exclusive access to disjoint shards;
+        // within a shard, the cells of a phase are distinct, so order is
+        // irrelevant.
         timed(&mut prof, Phase::OccupancyRebuild, || {
-            let robots = &self.robots;
-            let old_groups = shard_indices(n, NUM_SHARDS, threads, |i| shard_of(robots[i].pos));
-            let Swarm { robots, index } = &mut *self;
+            let Swarm { positions, handles, index, scratch, .. } = &mut *self;
+            let positions = &*positions;
+            let old_groups = shard_indices(n, NUM_SHARDS, threads, |i| shard_of(positions[i]));
+            let loser_stamp = &scratch.loser_stamp;
             for_each_shard_mut(index.shards_mut(), threads, |s, shard| {
                 for &i in &old_groups[s] {
-                    shard.clear(robots[i as usize].pos);
+                    let i = i as usize;
+                    if targets[i] != positions[i] {
+                        shard.clear(positions[i]);
+                    }
                 }
             });
-            let survives_ref = &survives;
-            let (targets_ref, new_id_ref) = (&targets, &new_id);
             for_each_shard_mut(index.shards_mut(), threads, |s, shard| {
                 for &i in &target_groups[s] {
                     let i = i as usize;
-                    if survives_ref[i] {
-                        let prev = shard.set(targets_ref[i], new_id_ref[i]);
-                        debug_assert!(prev.is_none(), "survivor collision at {:?}", targets_ref[i]);
+                    if targets[i] != positions[i] && loser_stamp[i] != epoch {
+                        let prev = shard.set(targets[i], handles[i]);
+                        debug_assert!(prev.is_none(), "survivor collision at {:?}", targets[i]);
                     }
                 }
             });
         });
 
-        // Index-ordered survivor compaction — identical to the
-        // sequential path, so digests agree bit for bit.
+        // Commit in place, then compact the arrays past the first loser.
         timed(&mut prof, Phase::Compact, || {
-            let mut next: Vec<Robot<S>> = Vec::with_capacity(alive as usize);
-            for (i, (mut robot, action)) in self.robots.drain(..).zip(actions).enumerate() {
-                if !survives[i] {
+            self.positions.copy_from_slice(&targets);
+            for (i, action) in actions.into_iter().enumerate() {
+                if let Some(action) = action {
+                    self.states[i] = action.state;
+                }
+            }
+        });
+        if merged > 0 {
+            self.compact_tail(first_loser, threads, &mut prof);
+        }
+        ApplyOutcome { merged, moved }
+    }
+
+    /// Sparse partial apply: cost O(activated ∪ moved) instead of O(n).
+    ///
+    /// `active` lists the activated robots (sorted, distinct — the
+    /// [`crate::scheduler::Activation::Subset`] contract) and `actions`
+    /// their chosen actions, index-parallel to `active`. Inactive robots
+    /// keep position and state; they participate in merges only as
+    /// stationary incumbents, which this path discovers by probing the
+    /// occupancy index at each mover's target instead of scanning the
+    /// population. Bit-identical to routing the same round through
+    /// [`Swarm::apply_partial`] with a scattered `Option` vector, on
+    /// every thread count — the sparse/dense equivalence proptests pin
+    /// exactly this.
+    pub fn apply_sparse(&mut self, active: &[usize], actions: Vec<Action<S>>) -> ApplyOutcome {
+        self.apply_sparse_threads(active, actions, 1)
+    }
+
+    /// [`Swarm::apply_sparse`] with a worker-thread budget (the sharded
+    /// occupancy phases and the compaction use it; everything else is
+    /// O(active) and runs on the calling thread).
+    pub fn apply_sparse_threads(
+        &mut self,
+        active: &[usize],
+        actions: Vec<Action<S>>,
+        threads: usize,
+    ) -> ApplyOutcome {
+        self.apply_sparse_threads_profiled(active, actions, threads, None)
+    }
+
+    /// [`Swarm::apply_sparse_threads`] with optional phase attribution
+    /// (active-list maintenance is charged to [`Phase::ActiveList`]).
+    pub fn apply_sparse_threads_profiled(
+        &mut self,
+        active: &[usize],
+        actions: Vec<Action<S>>,
+        threads: usize,
+        prof: Option<&mut RoundProfile>,
+    ) -> ApplyOutcome {
+        let mut prof = prof;
+        let k = active.len();
+        assert_eq!(actions.len(), k);
+        let threads = resolve_threads(threads);
+        let epoch = self.scratch.next_epoch(self.slot_of.len());
+        debug_assert!(
+            active.iter().all(|&i| i < self.positions.len()),
+            "active index out of range"
+        );
+        debug_assert!(active.windows(2).all(|w| w[0] < w[1]), "activation set must be sorted");
+
+        // Stamp the round's movers and group them into per-shard active
+        // lists keyed by their *old* cell's shard — the working set of
+        // the occupancy clear phase.
+        let moved = timed(&mut prof, Phase::ActiveList, || {
+            let Swarm { positions, orients, scratch, .. } = &mut *self;
+            scratch.targets.clear();
+            scratch.old_cells.clear();
+            let mut moved = 0usize;
+            for (ki, (&i, action)) in active.iter().zip(&actions).enumerate() {
+                debug_assert!(action.step.is_step(), "illegal step {:?}", action.step);
+                let target = positions[i] + orients[i].apply(action.step);
+                scratch.targets.push(target);
+                if target != positions[i] {
+                    moved += 1;
+                    scratch.mover_stamp[i] = epoch;
+                    scratch.old_cells.push(shard_of(positions[i]), ki as u32);
+                }
+            }
+            moved
+        });
+
+        // O(movers) merge detection. Contenders for a cell are the
+        // movers targeting it plus at most one stationary incumbent
+        // (found by an index probe — the only robot that can "stay" on
+        // the cell is its current occupant). The owner map holds the
+        // running winner per contested cell; the survivor rule is an
+        // order-free minimum, so resolving movers in activation order is
+        // bit-identical to the dense scan.
+        let (merged, first_loser) = timed(&mut prof, Phase::MergeDetect, || {
+            let Swarm { positions, index, slot_of, scratch, .. } = &mut *self;
+            let RoundScratch { owner, targets, mover_stamp, loser_stamp, .. } = scratch;
+            owner.clear();
+            let mut merged = 0usize;
+            let mut first_loser = usize::MAX;
+            for (ki, &i) in active.iter().enumerate() {
+                let target = targets[ki];
+                if target == positions[i] {
                     continue;
                 }
-                robot.pos = targets[i];
-                if let Some(action) = action {
-                    robot.state = action.state;
+                match owner.entry(target) {
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        match index.get(target) {
+                            Some(h) => {
+                                let q = slot_of[h as usize] as usize;
+                                if mover_stamp[q] != epoch {
+                                    // A stationary incumbent wins its own
+                                    // cell against any mover.
+                                    e.insert(q as u32);
+                                    loser_stamp[i] = epoch;
+                                    first_loser = first_loser.min(i);
+                                    merged += 1;
+                                } else {
+                                    // The occupant is vacating this round.
+                                    e.insert(i as u32);
+                                }
+                            }
+                            None => {
+                                e.insert(i as u32);
+                            }
+                        }
+                    }
+                    std::collections::hash_map::Entry::Occupied(mut e) => {
+                        let j = *e.get() as usize;
+                        // `j` stays iff it entered the map as a stationary
+                        // incumbent (movers are stamped, incumbents not).
+                        let j_stays = mover_stamp[j] != epoch;
+                        let loser = if !j_stays && positions[i] < positions[j] {
+                            e.insert(i as u32);
+                            j
+                        } else {
+                            i
+                        };
+                        loser_stamp[loser] = epoch;
+                        first_loser = first_loser.min(loser);
+                        merged += 1;
+                    }
                 }
-                next.push(robot);
             }
-            self.robots = next;
+            (merged, first_loser)
         });
+
+        // Movers-only occupancy update over the touched shards only:
+        // every mover vacates its old cell, each surviving mover claims
+        // its target. A sparse round touches O(active) shards, and the
+        // selected-shard dispatch sizes its chunking to that selection.
+        timed(&mut prof, Phase::OccupancyRebuild, || {
+            let Swarm { positions, handles, index, scratch, .. } = &mut *self;
+            let RoundScratch { old_cells, new_cells, targets, loser_stamp, touched, .. } = scratch;
+            new_cells.clear();
+            for (ki, &i) in active.iter().enumerate() {
+                if targets[ki] != positions[i] && loser_stamp[i] != epoch {
+                    new_cells.push(shard_of(targets[ki]), ki as u32);
+                }
+            }
+            touched.clear();
+            touched.extend(old_cells.touched_shards());
+            for_each_selected_shard_mut(index.shards_mut(), touched, threads, |s, shard| {
+                for &ki in old_cells.list(s) {
+                    shard.clear(positions[active[ki as usize]]);
+                }
+            });
+            touched.clear();
+            touched.extend(new_cells.touched_shards());
+            for_each_selected_shard_mut(index.shards_mut(), touched, threads, |s, shard| {
+                for &ki in new_cells.list(s) {
+                    let ki = ki as usize;
+                    let prev = shard.set(targets[ki], handles[active[ki]]);
+                    debug_assert!(prev.is_none(), "survivor collision at {:?}", targets[ki]);
+                }
+            });
+        });
+
+        // Commit the surviving activated robots in place, then compact
+        // past the first loser (no merges → no array traffic at all
+        // beyond the k in-place writes).
+        timed(&mut prof, Phase::Compact, || {
+            let Swarm { positions, states, scratch, .. } = &mut *self;
+            for ((ki, &i), action) in active.iter().enumerate().zip(actions) {
+                if scratch.loser_stamp[i] == epoch {
+                    continue;
+                }
+                positions[i] = scratch.targets[ki];
+                states[i] = action.state;
+            }
+        });
+        if merged > 0 {
+            self.compact_tail(first_loser, threads, &mut prof);
+        }
         ApplyOutcome { merged, moved }
+    }
+
+    /// Remove this round's merge losers from the dense arrays, starting
+    /// at the first loser slot. Stable (survivor order is preserved), so
+    /// the result is identical on every thread count; only `slot_of`
+    /// entries are rewritten — tile cells key by handle and stay valid.
+    ///
+    /// Sequential below [`PARALLEL_THRESHOLD`] tail lengths; above it, a
+    /// prefix-sum over per-thread chunks: each chunk counts its
+    /// survivors, a serial exclusive prefix assigns output offsets, and
+    /// the chunks gather their survivors into double buffers in
+    /// parallel before a flat copy-back. When profiling, each gather
+    /// chunk is clocked into `compact_min_ns`/`compact_max_ns`.
+    fn compact_tail(&mut self, first: usize, threads: usize, prof: &mut Option<&mut RoundProfile>) {
+        let n = self.positions.len();
+        let epoch = self.scratch.epoch;
+        debug_assert!(first < n, "compact_tail called without a loser");
+        let tail = n - first;
+        if threads <= 1 || tail < PARALLEL_THRESHOLD {
+            timed(prof, Phase::Compact, || {
+                let Swarm { positions, states, orients, handles, slot_of, scratch, .. } =
+                    &mut *self;
+                let loser_stamp = &scratch.loser_stamp;
+                let mut w = first;
+                for r in first..n {
+                    if loser_stamp[r] == epoch {
+                        slot_of[handles[r] as usize] = u32::MAX;
+                        continue;
+                    }
+                    if w != r {
+                        positions.swap(w, r);
+                        states.swap(w, r);
+                        orients.swap(w, r);
+                        handles.swap(w, r);
+                        slot_of[handles[w] as usize] = w as u32;
+                    }
+                    w += 1;
+                }
+                positions.truncate(w);
+                states.truncate(w);
+                orients.truncate(w);
+                handles.truncate(w);
+            });
+            return;
+        }
+        let timing = prof.is_some();
+        let (chunk_min_ns, chunk_max_ns) = timed(prof, Phase::Compact, || {
+            let Swarm { positions, states, orients, handles, slot_of, scratch, .. } = &mut *self;
+            let RoundScratch { loser_stamp, pos_buf, state_buf, orient_buf, handle_buf, .. } =
+                scratch;
+            let loser_stamp = &*loser_stamp;
+            let bounds = chunk_bounds(tail, threads);
+            // Per-chunk survivor counts and their exclusive prefix sum:
+            // chunk c's survivors land at out[offsets[c]..offsets[c+1]].
+            let counts: Vec<usize> = bounds
+                .iter()
+                .map(|&(lo, hi)| (lo..hi).filter(|&i| loser_stamp[first + i] != epoch).count())
+                .collect();
+            let mut offsets: Vec<usize> = Vec::with_capacity(bounds.len() + 1);
+            offsets.push(0);
+            for &c in &counts {
+                offsets.push(offsets.last().expect("non-empty") + c);
+            }
+            let alive_tail = *offsets.last().expect("non-empty");
+            // Retire the losers' handles while the arrays still hold them.
+            for r in first..n {
+                if loser_stamp[r] == epoch {
+                    slot_of[handles[r] as usize] = u32::MAX;
+                }
+            }
+            pos_buf.resize(alive_tail, Point::new(0, 0));
+            orient_buf.resize(alive_tail, D4::IDENTITY);
+            handle_buf.resize(alive_tail, 0);
+            state_buf.clear();
+            state_buf.resize_with(alive_tail, S::default);
+
+            // Parallel gather: chunk c reads tail indices [lo..hi) and
+            // writes its survivors to buffer range [offsets[c]..); the
+            // source and destination chunk slices are disjoint, so the
+            // workers share nothing mutable.
+            struct GatherJob<'a, S> {
+                lo: usize,
+                hi: usize,
+                state_src: &'a mut [S],
+                pos_out: &'a mut [Point],
+                state_out: &'a mut [S],
+                orient_out: &'a mut [D4],
+                handle_out: &'a mut [u32],
+            }
+            let mut jobs: Vec<GatherJob<'_, S>> = Vec::with_capacity(bounds.len());
+            {
+                let mut state_rest = &mut states[first..];
+                let mut pos_rest = pos_buf.as_mut_slice();
+                let mut state_out_rest = state_buf.as_mut_slice();
+                let mut orient_rest = orient_buf.as_mut_slice();
+                let mut handle_rest = handle_buf.as_mut_slice();
+                for (c, &(lo, hi)) in bounds.iter().enumerate() {
+                    let (state_src, tail) = state_rest.split_at_mut(hi - lo);
+                    state_rest = tail;
+                    let (pos_out, tail) = pos_rest.split_at_mut(counts[c]);
+                    pos_rest = tail;
+                    let (state_out, tail) = state_out_rest.split_at_mut(counts[c]);
+                    state_out_rest = tail;
+                    let (orient_out, tail) = orient_rest.split_at_mut(counts[c]);
+                    orient_rest = tail;
+                    let (handle_out, tail) = handle_rest.split_at_mut(counts[c]);
+                    handle_rest = tail;
+                    jobs.push(GatherJob {
+                        lo,
+                        hi,
+                        state_src,
+                        pos_out,
+                        state_out,
+                        orient_out,
+                        handle_out,
+                    });
+                }
+            }
+            let pos_src = &positions[first..];
+            let orient_src = &orients[first..];
+            let handle_src = &handles[first..];
+            let run_job = |job: &mut GatherJob<'_, S>| -> u64 {
+                // audit: allow(wall-clock) gather timing is profiler-gated
+                // and observational only — the compacted arrays are
+                // clock-independent
+                let start = timing.then(std::time::Instant::now);
+                let mut w = 0usize;
+                for r in job.lo..job.hi {
+                    if loser_stamp[first + r] == epoch {
+                        continue;
+                    }
+                    job.pos_out[w] = pos_src[r];
+                    job.orient_out[w] = orient_src[r];
+                    job.handle_out[w] = handle_src[r];
+                    job.state_out[w] = std::mem::take(&mut job.state_src[r - job.lo]);
+                    w += 1;
+                }
+                debug_assert_eq!(w, job.pos_out.len(), "chunk survivor count drifted");
+                start.map_or(0, |t| t.elapsed().as_nanos() as u64)
+            };
+            let mut chunk_ns: Vec<u64> = Vec::with_capacity(jobs.len());
+            std::thread::scope(|scope| {
+                let mut spawned = Vec::with_capacity(jobs.len().saturating_sub(1));
+                let mut jobs_iter = jobs.iter_mut();
+                let head = jobs_iter.next().expect("at least one chunk");
+                for job in jobs_iter {
+                    let run_job = &run_job;
+                    spawned.push(scope.spawn(move || run_job(job)));
+                }
+                chunk_ns.push(run_job(head));
+                for h in spawned {
+                    chunk_ns.push(h.join().expect("compaction worker panicked"));
+                }
+            });
+
+            // Flat copy-back and slot rewrite, then truncate. The slot
+            // rewrite is a sequential pass over the moved tail — cheap
+            // contiguous writes against a scattered parallel alternative.
+            positions[first..first + alive_tail].copy_from_slice(&pos_buf[..alive_tail]);
+            orients[first..first + alive_tail].copy_from_slice(&orient_buf[..alive_tail]);
+            handles[first..first + alive_tail].copy_from_slice(&handle_buf[..alive_tail]);
+            for (i, s) in state_buf.iter_mut().enumerate() {
+                states[first + i] = std::mem::take(s);
+            }
+            for i in first..first + alive_tail {
+                slot_of[handles[i] as usize] = i as u32;
+            }
+            positions.truncate(first + alive_tail);
+            states.truncate(first + alive_tail);
+            orients.truncate(first + alive_tail);
+            handles.truncate(first + alive_tail);
+            if timing {
+                (
+                    chunk_ns.iter().copied().min().unwrap_or(0),
+                    chunk_ns.iter().copied().max().unwrap_or(0),
+                )
+            } else {
+                (0, 0)
+            }
+        });
+        if let Some(p) = prof.as_deref_mut() {
+            p.compact_min_ns = chunk_min_ns;
+            p.compact_max_ns = chunk_max_ns;
+        }
     }
 }
 
@@ -584,8 +1066,8 @@ mod tests {
         s.apply(actions);
         assert_eq!(s.len(), 1);
         // The stationary robot (old index 1) survives and keeps its state.
-        assert_eq!(s.robots()[0].state, Tag(2));
-        assert_eq!(s.robots()[0].pos, Point::new(1, 0));
+        assert_eq!(s.states()[0], Tag(2));
+        assert_eq!(s.positions()[0], Point::new(1, 0));
     }
 
     #[test]
@@ -602,7 +1084,7 @@ mod tests {
         let out = s.apply(actions);
         assert_eq!(out.merged, 2);
         assert_eq!(s.len(), 1);
-        assert_eq!(s.robots()[0].pos, Point::new(1, 0));
+        assert_eq!(s.positions()[0], Point::new(1, 0));
     }
 
     #[test]
@@ -610,9 +1092,9 @@ mod tests {
         // A robot with a rotated frame stepping "east" in its own frame
         // must move along its rotated axis in the world.
         let mut s: Swarm<()> = Swarm::new(&[Point::new(0, 0)], OrientationMode::Aligned);
-        s.robots_mut()[0].orient = D4 { rot: 1, flip: false }; // frame E -> world N
+        s.orients_mut()[0] = D4 { rot: 1, flip: false }; // frame E -> world N
         s.apply(vec![Action { step: V2::E, state: () }]);
-        assert_eq!(s.robots()[0].pos, Point::new(0, 1));
+        assert_eq!(s.positions()[0], Point::new(0, 1));
     }
 
     #[test]
@@ -625,8 +1107,8 @@ mod tests {
             }
         }
         let mut s: Swarm<Tag> = Swarm::new(&line(3), OrientationMode::Aligned);
-        s.robots_mut()[1].state = Tag(7);
-        s.robots_mut()[2].state = Tag(9);
+        s.states_mut()[1] = Tag(7);
+        s.states_mut()[2] = Tag(9);
         // Only robot 0 is activated: it hops east onto inactive robot 1.
         let out = s.apply_partial(vec![Some(Action { step: V2::E, state: Tag(1) }), None, None]);
         assert_eq!(out, ApplyOutcome { merged: 1, moved: 1 });
@@ -634,8 +1116,8 @@ mod tests {
         // The inactive robot is stationary, so it wins the merge and
         // keeps both its position and its state.
         let survivor = s.robot_at(Point::new(1, 0)).unwrap();
-        assert_eq!(s.robots()[survivor].state, Tag(7));
-        assert_eq!(s.robots()[s.robot_at(Point::new(2, 0)).unwrap()].state, Tag(9));
+        assert_eq!(s.states()[survivor], Tag(7));
+        assert_eq!(s.states()[s.robot_at(Point::new(2, 0)).unwrap()], Tag(9));
     }
 
     #[test]
@@ -646,9 +1128,7 @@ mod tests {
         let oa = a.apply(acts(()));
         let ob = b.apply_partial(acts(()).into_iter().map(Some).collect());
         assert_eq!(oa, ob);
-        let pa: Vec<Point> = a.positions().collect();
-        let pb: Vec<Point> = b.positions().collect();
-        assert_eq!(pa, pb);
+        assert_eq!(a.positions(), b.positions());
     }
 
     #[test]
@@ -692,14 +1172,97 @@ mod tests {
             let out_par = par.apply_partial_sharded(acts(), threads);
             assert_eq!(out_par, out_seq, "threads={threads}");
             assert_eq!(par.position_digest(), seq.position_digest(), "threads={threads}");
-            let pp: Vec<Point> = par.positions().collect();
-            let sp: Vec<Point> = seq.positions().collect();
-            assert_eq!(pp, sp, "threads={threads}");
-            // The rebuilt occupancy index agrees with the robot list.
-            for (i, r) in par.robots().iter().enumerate() {
-                assert_eq!(par.robot_at(r.pos), Some(i), "threads={threads}");
+            assert_eq!(par.positions(), seq.positions(), "threads={threads}");
+            // The occupancy index agrees with the compacted arrays.
+            for (i, &p) in par.positions().iter().enumerate() {
+                assert_eq!(par.robot_at(p), Some(i), "threads={threads}");
             }
         }
+    }
+
+    /// The sparse path must match the dense path exactly: same outcome,
+    /// same survivor order, same digest, coherent index — across every
+    /// activation pattern that exercises the incumbent probe (mover onto
+    /// stayer, mover onto vacated cell, mover-vs-mover, chains).
+    #[test]
+    fn sparse_apply_matches_dense_on_partial_rounds() {
+        let pts = [
+            Point::new(0, 0),
+            Point::new(1, 0),
+            Point::new(2, 0),
+            Point::new(3, 0),
+            Point::new(0, 1),
+            Point::new(2, 1),
+        ];
+        // Robots 0 and 2 hop east (0 onto inactive 1 -> loses; 2 onto
+        // 3's cell -> loses to the inactive stayer), 4 hops east onto an
+        // empty cell, 5 stays put while active.
+        let active = [0usize, 2, 4, 5];
+        let acts = || {
+            vec![
+                Action { step: V2::E, state: () },
+                Action { step: V2::E, state: () },
+                Action { step: V2::E, state: () },
+                Action::stay(()),
+            ]
+        };
+        let dense_actions = || {
+            let mut all: Vec<Option<Action<()>>> = (0..pts.len()).map(|_| None).collect();
+            for (&i, a) in active.iter().zip(acts()) {
+                all[i] = Some(a);
+            }
+            all
+        };
+        let mut dense: Swarm<()> = Swarm::new(&pts, OrientationMode::Aligned);
+        let out_dense = dense.apply_partial(dense_actions());
+        assert_eq!(out_dense, ApplyOutcome { merged: 2, moved: 3 });
+        for threads in [1usize, 2, 3, 8] {
+            let mut sparse: Swarm<()> = Swarm::new(&pts, OrientationMode::Aligned);
+            let out = sparse.apply_sparse_threads(&active, acts(), threads);
+            assert_eq!(out, out_dense, "threads={threads}");
+            assert_eq!(sparse.positions(), dense.positions(), "threads={threads}");
+            assert_eq!(sparse.position_digest(), dense.position_digest(), "threads={threads}");
+            for (i, &p) in sparse.positions().iter().enumerate() {
+                assert_eq!(sparse.robot_at(p), Some(i), "threads={threads}");
+            }
+        }
+    }
+
+    /// Repeated sparse rounds keep handles and the index coherent across
+    /// compactions (the stable-handle invariant: tile cells survive
+    /// compaction untouched, only `slot_of` is rewritten).
+    #[test]
+    fn sparse_rounds_keep_index_coherent_across_compactions() {
+        let pts: Vec<Point> = (0..12).map(|x| Point::new(x, 0)).collect();
+        let mut s: Swarm<()> = Swarm::new(&pts, OrientationMode::Aligned);
+        let mut merged_total = 0usize;
+        for round in 0..300u64 {
+            // Activate a deterministic sliding pair; both step east, so
+            // movers regularly land on stationary robots and merge.
+            let n = s.len();
+            if n < 2 {
+                break;
+            }
+            let a = (round as usize) % (n - 1);
+            let active = vec![a, a + 1];
+            let acts = active.iter().map(|_| Action { step: V2::E, state: () }).collect();
+            merged_total += s.apply_sparse(&active, acts).merged;
+            for (i, &p) in s.positions().iter().enumerate() {
+                assert_eq!(s.robot_at(p), Some(i), "round {round}");
+            }
+            assert!(s.index().tile_count() > 0);
+        }
+        assert!(merged_total > 0, "the march must trigger compactions");
+        assert!(s.len() < pts.len());
+    }
+
+    #[test]
+    fn sparse_empty_activation_is_identity() {
+        let mut s: Swarm<()> = Swarm::new(&line(4), OrientationMode::Aligned);
+        let before = s.position_digest();
+        let out = s.apply_sparse(&[], Vec::new());
+        assert_eq!(out, ApplyOutcome::default());
+        assert_eq!(s.position_digest(), before);
     }
 
     #[test]
@@ -723,5 +1286,38 @@ mod tests {
         let b2 = Bounds { min: Point::new(0, 0), max: Point::new(1, 1) };
         assert!(gathered_check(4, || b2));
         assert!(!gathered_check(3, || Bounds { min: Point::new(0, 0), max: Point::new(2, 0) }));
+    }
+
+    /// The parallel prefix-sum compaction must agree with the serial
+    /// swap-shift on every thread count, including survivor order and
+    /// `slot_of` coherence, on a tail long enough to actually chunk.
+    #[test]
+    fn parallel_compaction_is_bit_identical_to_serial() {
+        let n = 3000i32;
+        let pts: Vec<Point> = (0..n).map(|x| Point::new(x, 0)).collect();
+        let acts = || -> Vec<Option<Action<()>>> {
+            (0..n)
+                .map(|i| {
+                    if i % 3 == 1 {
+                        Some(Action { step: V2::W, state: () })
+                    } else {
+                        Some(Action::stay(()))
+                    }
+                })
+                .collect()
+        };
+        let mut seq: Swarm<()> = Swarm::new(&pts, OrientationMode::Aligned);
+        let out_seq = seq.apply_partial_threads(acts(), 1);
+        assert!(out_seq.merged > 0);
+        for threads in [2usize, 3, 8] {
+            let mut par: Swarm<()> = Swarm::new(&pts, OrientationMode::Aligned);
+            let out = par.apply_partial_sharded(acts(), threads);
+            assert_eq!(out, out_seq, "threads={threads}");
+            assert_eq!(par.positions(), seq.positions(), "threads={threads}");
+            assert_eq!(par.position_digest(), seq.position_digest(), "threads={threads}");
+            for (i, &p) in par.positions().iter().enumerate() {
+                assert_eq!(par.robot_at(p), Some(i), "threads={threads}");
+            }
+        }
     }
 }

@@ -313,6 +313,82 @@ impl TileIndex {
     }
 }
 
+/// Per-shard active lists: the sparse round path's working sets, grouped
+/// by the shard that owns each robot's cell so shard-scoped phases
+/// (merge detection, occupancy updates) touch only the shards an active
+/// robot actually lives in.
+///
+/// Allocation-flat by design: [`ShardLists::clear`] empties only the
+/// lists touched since the last clear (tracked in a 64-bit mask — one
+/// bit per shard, which is why [`NUM_SHARDS`] must stay ≤ 64) and every
+/// list retains its capacity, so steady-state rounds do no heap work
+/// here. Iteration over touched shards is in ascending shard order and
+/// each list preserves push order, so any fold over a `ShardLists` is
+/// deterministic.
+#[derive(Clone, Debug)]
+pub struct ShardLists {
+    lists: Vec<Vec<u32>>,
+    touched: u64,
+}
+
+const _: () = assert!(NUM_SHARDS <= 64, "ShardLists tracks touched shards in a u64 mask");
+
+impl Default for ShardLists {
+    fn default() -> Self {
+        ShardLists::new()
+    }
+}
+
+impl ShardLists {
+    pub fn new() -> ShardLists {
+        ShardLists { lists: (0..NUM_SHARDS).map(|_| Vec::new()).collect(), touched: 0 }
+    }
+
+    /// Empty every touched list, retaining capacity. O(touched shards).
+    pub fn clear(&mut self) {
+        let mut mask = self.touched;
+        while mask != 0 {
+            let shard = mask.trailing_zeros() as usize;
+            self.lists[shard].clear();
+            mask &= mask - 1;
+        }
+        self.touched = 0;
+    }
+
+    #[inline]
+    pub fn push(&mut self, shard: usize, v: u32) {
+        self.lists[shard].push(v);
+        self.touched |= 1 << shard;
+    }
+
+    #[inline]
+    pub fn list(&self, shard: usize) -> &[u32] {
+        &self.lists[shard]
+    }
+
+    /// Indices of the shards touched since the last clear, ascending.
+    pub fn touched_shards(&self) -> impl Iterator<Item = usize> + '_ {
+        let mut mask = self.touched;
+        std::iter::from_fn(move || {
+            if mask == 0 {
+                return None;
+            }
+            let shard = mask.trailing_zeros() as usize;
+            mask &= mask - 1;
+            Some(shard)
+        })
+    }
+
+    /// Total entries across all touched lists.
+    pub fn len(&self) -> usize {
+        self.touched_shards().map(|s| self.lists[s].len()).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.touched == 0
+    }
+}
+
 const WINDOW_EDGE: usize = 3;
 const WINDOW_TILES: usize = WINDOW_EDGE * WINDOW_EDGE;
 
@@ -445,6 +521,28 @@ mod tests {
         let counts = idx.shard_tile_counts();
         assert_eq!(counts.len(), NUM_SHARDS);
         assert_eq!(counts.iter().sum::<usize>(), idx.tile_count());
+    }
+
+    #[test]
+    fn shard_lists_group_clear_and_iterate_in_order() {
+        let mut lists = ShardLists::new();
+        assert!(lists.is_empty());
+        assert_eq!(lists.touched_shards().count(), 0);
+        lists.push(5, 10);
+        lists.push(0, 11);
+        lists.push(5, 12);
+        lists.push(63, 13);
+        assert!(!lists.is_empty());
+        assert_eq!(lists.len(), 4);
+        assert_eq!(lists.touched_shards().collect::<Vec<_>>(), vec![0, 5, 63]);
+        assert_eq!(lists.list(5), &[10, 12], "push order is preserved per shard");
+        assert_eq!(lists.list(0), &[11]);
+        assert_eq!(lists.list(7), &[] as &[u32], "untouched shards read empty");
+        let cap_before = lists.lists[5].capacity();
+        lists.clear();
+        assert!(lists.is_empty());
+        assert_eq!(lists.list(5), &[] as &[u32]);
+        assert!(lists.lists[5].capacity() >= cap_before, "clear retains capacity");
     }
 
     #[test]

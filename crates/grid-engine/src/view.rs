@@ -47,14 +47,15 @@ impl<S: RobotState> std::fmt::Debug for View<'_, S> {
 
 impl<'a, S: RobotState> View<'a, S> {
     pub fn new(swarm: &'a Swarm<S>, id: usize, radius: i32) -> Self {
-        let robot = &swarm.robots()[id];
+        let center = swarm.positions()[id];
+        let orient = swarm.orients()[id];
         View {
             swarm,
-            win: swarm.index().window(robot.pos, radius),
+            win: swarm.index().window(center, radius),
             id,
-            center: robot.pos,
-            orient: robot.orient,
-            inv: robot.orient.inverse(),
+            center,
+            orient,
+            inv: orient.inverse(),
             radius,
         }
     }
@@ -89,18 +90,18 @@ impl<'a, S: RobotState> View<'a, S> {
 
     /// The observing robot's own state (already in its frame).
     pub fn self_state(&self) -> &S {
-        &self.swarm.robots()[self.id].state
+        &self.swarm.states()[self.id]
     }
 
     /// The state of the robot at offset `v`, re-expressed in the
     /// observing robot's frame. `None` if the cell is empty.
     pub fn state(&self, v: V2) -> Option<S> {
         let p = self.world(v);
-        let j = self.win.get(p)? as usize;
-        let other = &self.swarm.robots()[j];
+        // Tile cells store stable handles; translate to the dense slot.
+        let j = self.swarm.slot(self.win.get(p)?);
         // other frame -> world -> my frame.
-        let m = other.orient.then(self.inv);
-        Some(other.state.transform(m))
+        let m = self.swarm.orients()[j].then(self.inv);
+        Some(self.swarm.states()[j].transform(m))
     }
 
     /// Offsets (robot frame) of all robots within L1 distance `r` of the
@@ -145,7 +146,7 @@ mod tests {
         let mut s: Swarm<()> =
             Swarm::new(&[Point::new(0, 0), Point::new(0, 1)], OrientationMode::Aligned);
         // Robot 0's frame: east points to world north.
-        s.robots_mut()[0].orient = D4 { rot: 1, flip: false };
+        s.orients_mut()[0] = D4 { rot: 1, flip: false };
         let v = View::new(&s, 0, 5);
         // World (0,1) should appear at... world = center + orient.apply(v)
         // => v = inv.apply(world - center). orient rot1: E->N, so inv maps
@@ -166,9 +167,9 @@ mod tests {
         let mut s: Swarm<Arrow> =
             Swarm::new(&[Point::new(0, 0), Point::new(1, 0)], OrientationMode::Aligned);
         // Robot 1 stores "east" in a frame rotated so its east is world north.
-        s.robots_mut()[1].orient = D4 { rot: 1, flip: false };
-        s.robots_mut()[1].state = Arrow(V2::E); // world north
-                                                // Robot 0 is world-aligned, so it must see the arrow as north.
+        s.orients_mut()[1] = D4 { rot: 1, flip: false };
+        s.states_mut()[1] = Arrow(V2::E); // world north
+                                          // Robot 0 is world-aligned, so it must see the arrow as north.
         let v = View::new(&s, 0, 5);
         assert_eq!(v.state(V2::E), Some(Arrow(V2::N)));
         assert_eq!(v.state(V2::W), None);

@@ -37,9 +37,9 @@ proptest! {
         // Index coherence: every robot is where the grid says it is,
         // and positions are unique.
         let mut seen = BTreeSet::new();
-        for (i, r) in swarm.robots().iter().enumerate() {
-            prop_assert_eq!(swarm.robot_at(r.pos), Some(i));
-            prop_assert!(seen.insert(r.pos), "duplicate survivor cell");
+        for (i, &p) in swarm.positions().iter().enumerate() {
+            prop_assert_eq!(swarm.robot_at(p), Some(i));
+            prop_assert!(seen.insert(p), "duplicate survivor cell");
         }
     }
 
@@ -50,8 +50,8 @@ proptest! {
         let swarm: Swarm<()> = Swarm::new(&pts, OrientationMode::Scrambled(seed));
         for i in 0..swarm.len().min(8) {
             let view = View::new(&swarm, i, 6);
-            let me = swarm.robots()[i].pos;
-            let o = swarm.robots()[i].orient;
+            let me = swarm.positions()[i];
+            let o = swarm.orients()[i];
             for dx in -3i32..=3 {
                 for dy in -3i32..=3 {
                     let v = V2::new(dx, dy);
@@ -121,7 +121,7 @@ proptest! {
         };
         let mut reference: Swarm<()> = Swarm::new(&pts, OrientationMode::Scrambled(seed));
         let ref_out = reference.apply_partial(actions(()));
-        let ref_positions: Vec<Point> = reference.positions().collect();
+        let ref_positions: Vec<Point> = reference.positions().to_vec();
         for threads in [1usize, 2, 3, 8] {
             let mut sharded: Swarm<()> = Swarm::new(&pts, OrientationMode::Scrambled(seed));
             let out = sharded.apply_partial_sharded(actions(()), threads);
@@ -131,10 +131,66 @@ proptest! {
                 reference.position_digest(),
                 "digest, threads={}", threads
             );
-            let positions: Vec<Point> = sharded.positions().collect();
+            let positions: Vec<Point> = sharded.positions().to_vec();
             prop_assert_eq!(&positions, &ref_positions, "positions, threads={}", threads);
-            for (i, r) in sharded.robots().iter().enumerate() {
-                prop_assert_eq!(sharded.robot_at(r.pos), Some(i), "index, threads={}", threads);
+            for (i, &p) in sharded.positions().iter().enumerate() {
+                prop_assert_eq!(sharded.robot_at(p), Some(i), "index, threads={}", threads);
+            }
+        }
+    }
+
+    /// The sparse O(active) apply is bit-identical to the dense partial
+    /// apply — same outcome, survivor order, digest and index — for
+    /// every thread count, over several consecutive rounds so
+    /// compactions and handle retirement interleave with the sparse
+    /// incumbent probes.
+    #[test]
+    fn sparse_apply_is_bit_identical_to_dense(
+        (pts, seed) in (arb_positions(), any::<u64>())
+    ) {
+        let round_plan = |round: u64, n: usize| -> Vec<(usize, V2)> {
+            (0..n)
+                .filter_map(|i| {
+                    let h = splitmix64(seed ^ round.wrapping_mul(31) ^ (i as u64).wrapping_mul(0x9e37_79b9));
+                    // ~half the robots activated, random king steps
+                    // (zero steps included: active stayers are the
+                    // incumbent-classification edge case).
+                    (h & 1 == 0).then(|| {
+                        let dx = ((h >> 1) % 3) as i32 - 1;
+                        let dy = ((h >> 3) % 3) as i32 - 1;
+                        (i, V2::new(dx, dy))
+                    })
+                })
+                .collect()
+        };
+        let mut dense: Swarm<()> = Swarm::new(&pts, OrientationMode::Scrambled(seed));
+        let mut dense_rounds: Vec<(ApplyOutcome, u64)> = Vec::new();
+        for round in 0..4u64 {
+            let plan = round_plan(round, dense.len());
+            let mut all: Vec<Option<Action<()>>> = (0..dense.len()).map(|_| None).collect();
+            for &(i, step) in &plan {
+                all[i] = Some(Action { step, state: () });
+            }
+            let out = dense.apply_partial(all);
+            dense_rounds.push((out, dense.position_digest()));
+        }
+        for threads in [1usize, 2, 3, 8] {
+            let mut sparse: Swarm<()> = Swarm::new(&pts, OrientationMode::Scrambled(seed));
+            for round in 0..4u64 {
+                let plan = round_plan(round, sparse.len());
+                let active: Vec<usize> = plan.iter().map(|&(i, _)| i).collect();
+                let actions: Vec<Action<()>> =
+                    plan.iter().map(|&(_, step)| Action { step, state: () }).collect();
+                let out = sparse.apply_sparse_threads(&active, actions, threads);
+                prop_assert_eq!(
+                    (out, sparse.position_digest()),
+                    dense_rounds[round as usize],
+                    "round {}, threads={}", round, threads
+                );
+            }
+            prop_assert_eq!(sparse.positions(), dense.positions(), "threads={}", threads);
+            for (i, &p) in sparse.positions().iter().enumerate() {
+                prop_assert_eq!(sparse.robot_at(p), Some(i), "index, threads={}", threads);
             }
         }
     }
@@ -143,12 +199,12 @@ proptest! {
     #[test]
     fn stay_round_is_identity(pts in arb_positions()) {
         let mut swarm: Swarm<()> = Swarm::new(&pts, OrientationMode::Aligned);
-        let before: Vec<Point> = swarm.positions().collect();
+        let before: Vec<Point> = swarm.positions().to_vec();
         let n = swarm.len();
         let out = swarm.apply((0..n).map(|_| Action::stay(())).collect());
         prop_assert_eq!(out.merged, 0);
         prop_assert_eq!(out.moved, 0);
-        let after: Vec<Point> = swarm.positions().collect();
+        let after: Vec<Point> = swarm.positions().to_vec();
         prop_assert_eq!(before, after);
     }
 }
@@ -183,7 +239,7 @@ fn large_swarm_apply_threads_is_bit_identical() {
             merged += out.merged;
             digests.push(swarm.position_digest());
         }
-        (digests, merged, swarm.positions().collect::<Vec<Point>>())
+        (digests, merged, swarm.positions().to_vec())
     };
     let reference = run(1);
     assert!(reference.1 > 0, "rounds must actually merge robots");

@@ -57,7 +57,7 @@ fn deterministic_replay_and_thread_independence() {
             }
             e.step().expect("steps");
         }
-        let mut ps: Vec<_> = e.swarm.positions().collect();
+        let mut ps: Vec<_> = e.swarm.positions().to_vec();
         ps.sort();
         (e.round(), ps)
     };
@@ -83,8 +83,8 @@ fn equivariance_under_global_symmetry() {
         let mut swarm: Swarm<grid_gathering::core::GatherState> =
             Swarm::new(points, OrientationMode::Scrambled(9));
         if let Some(g) = post {
-            for r in swarm.robots_mut() {
-                r.orient = r.orient.then(g);
+            for orient in swarm.orients_mut() {
+                *orient = orient.then(g);
             }
         }
         Engine::new(swarm, GatherController::paper(), EngineConfig::default())
@@ -97,8 +97,8 @@ fn equivariance_under_global_symmetry() {
     let mut transformed = mk(&tpts, Some(g));
 
     for round in 0..60 {
-        let mut a: Vec<Point> = plain.swarm.positions().map(gp).collect();
-        let mut b: Vec<Point> = transformed.swarm.positions().collect();
+        let mut a: Vec<Point> = plain.swarm.positions().iter().map(|&p| gp(p)).collect();
+        let mut b: Vec<Point> = transformed.swarm.positions().to_vec();
         a.sort();
         b.sort();
         assert_eq!(a, b, "diverged at round {round}");
@@ -154,7 +154,7 @@ fn robots_never_leave_inflated_bounding_box() {
             break;
         }
         e.step().expect("steps");
-        for p in e.swarm.positions() {
+        for &p in e.swarm.positions() {
             assert!(start_bounds.contains(p), "{p:?} escaped");
         }
     }

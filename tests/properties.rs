@@ -56,7 +56,7 @@ proptest! {
                 if e.swarm.is_gathered() { break; }
                 e.step().unwrap();
             }
-            let mut v: Vec<_> = e.swarm.positions().collect();
+            let mut v: Vec<_> = e.swarm.positions().to_vec();
             v.sort();
             v
         };
@@ -76,7 +76,7 @@ proptest! {
         // Advance a few rounds, then compare movement against state.
         for _ in 0..8 {
             if e.swarm.is_gathered() { break; }
-            let holders: usize = e.swarm.robots().iter().filter(|r| r.state.has_runs()).count();
+            let holders: usize = e.swarm.states().iter().filter(|s| s.has_runs()).count();
             let stats = e.step().unwrap();
             // Movers are merge-run members (bounded by merges * k_max,
             // loosely) plus at most the runner holders.
