@@ -101,11 +101,7 @@ fn parse_args() -> Result<Args, String> {
                     Family::parse(name).ok_or_else(|| format!("unknown family {name:?}"))?;
             }
             "--seed" => args.seed = value()?.parse().map_err(|e| format!("--seed: {e}"))?,
-            "--scheduler" => {
-                let name = value()?;
-                args.scheduler = SchedulerKind::parse(name)
-                    .ok_or_else(|| format!("unknown scheduler {name:?}"))?;
-            }
+            "--scheduler" => args.scheduler = value()?.parse()?,
             "--out" => args.out = value()?.to_string(),
             "--gate" => args.gate = Some(value()?.to_string()),
             "--tolerance" => {

@@ -85,56 +85,43 @@ pub enum SchedulerKind {
     /// Crash-stop faults over FSYNC: up to `f` seeded victims stop
     /// being activated forever once their seeded crash round arrives.
     Crash { f: u32 },
+    /// Full ASYNC: every look draws a seeded delay in `0..=s` rounds
+    /// before its move commits, so robots compute on views up to `s`
+    /// rounds stale. `s >= 1` (`s = 0` is fsync).
+    Async { s: u32 },
 }
 
 impl SchedulerKind {
     /// Stable name, also the scenario-ID segment: `fsync`, `ssync-p50`,
-    /// `rr4`, `crash-f3`.
+    /// `rr4`, `crash-f3`, `async-s4`. [`std::str::FromStr`] is the one
+    /// inverse — every surface that names a scheduler (CLI flags, spec
+    /// files, service wire fields, smoke `--scheduler`, trace-header
+    /// scenario IDs) round-trips through this pair.
     pub fn name(self) -> String {
         match self {
             SchedulerKind::Fsync => "fsync".into(),
             SchedulerKind::Ssync { p } => format!("ssync-p{p}"),
             SchedulerKind::RoundRobin { k } => format!("rr{k}"),
             SchedulerKind::Crash { f } => format!("crash-f{f}"),
+            SchedulerKind::Async { s } => format!("async-s{s}"),
         }
-    }
-
-    /// Parse a scheduler name as produced by [`SchedulerKind::name`].
-    /// Rejects out-of-range parameters (`p` outside `1..=100`, `k = 0`,
-    /// `f = 0`).
-    pub fn parse(s: &str) -> Option<SchedulerKind> {
-        if s == "fsync" {
-            return Some(SchedulerKind::Fsync);
-        }
-        if let Some(p) = s.strip_prefix("ssync-p") {
-            let p: u8 = p.parse().ok()?;
-            return (1..=100).contains(&p).then_some(SchedulerKind::Ssync { p });
-        }
-        if let Some(f) = s.strip_prefix("crash-f") {
-            let f: u32 = f.parse().ok()?;
-            return (f >= 1).then_some(SchedulerKind::Crash { f });
-        }
-        if let Some(k) = s.strip_prefix("rr") {
-            let k: u32 = k.parse().ok()?;
-            return (k >= 1).then_some(SchedulerKind::RoundRobin { k });
-        }
-        None
     }
 
     /// The engine policy, with the per-run seed mixed in for the seeded
-    /// kinds (SSYNC draws, crash victims) and the initial population
-    /// pinned for crash faults — victim draws must not re-roll as
-    /// merges shrink the live count.
+    /// kinds (SSYNC draws, crash victims, ASYNC delays) and the initial
+    /// population pinned for crash faults — victim draws must not
+    /// re-roll as merges shrink the live count.
     pub fn to_policy(self, seed: u64, n0: usize) -> Scheduler {
         match self {
             SchedulerKind::Fsync => Scheduler::Fsync,
             SchedulerKind::Ssync { p } => Scheduler::Ssync { seed, p },
             SchedulerKind::RoundRobin { k } => Scheduler::RoundRobin { k },
             SchedulerKind::Crash { f } => Scheduler::Crash { seed, f, n0: n0 as u32 },
+            SchedulerKind::Async { s } => Scheduler::Async { seed, staleness: s },
         }
     }
 
-    /// Are the kind's parameters in range (`parse` only produces valid
+    /// Are the kind's parameters in range (parsing only produces valid
     /// kinds; hand-built specs go through this in `validate`)?
     pub fn validate(self) -> Result<(), String> {
         match self {
@@ -145,8 +132,42 @@ impl SchedulerKind {
             SchedulerKind::RoundRobin { .. } => Err("round-robin k must be >= 1".into()),
             SchedulerKind::Crash { f } if f >= 1 => Ok(()),
             SchedulerKind::Crash { .. } => Err("crash f must be >= 1 (f = 0 is fsync)".into()),
+            SchedulerKind::Async { s } if s >= 1 => Ok(()),
+            SchedulerKind::Async { .. } => Err("async s must be >= 1 (s = 0 is fsync)".into()),
         }
     }
+}
+
+impl std::str::FromStr for SchedulerKind {
+    type Err = String;
+
+    /// Parse a scheduler name as produced by [`SchedulerKind::name`] —
+    /// the single scheduler parser in the workspace. Rejects
+    /// out-of-range parameters (`p` outside `1..=100`, `k = 0`,
+    /// `f = 0`, `s = 0`) with the reason.
+    fn from_str(s: &str) -> Result<SchedulerKind, String> {
+        let kind = if s == "fsync" {
+            SchedulerKind::Fsync
+        } else if let Some(p) = s.strip_prefix("ssync-p") {
+            SchedulerKind::Ssync { p: parse_param(s, p)? }
+        } else if let Some(f) = s.strip_prefix("crash-f") {
+            SchedulerKind::Crash { f: parse_param(s, f)? }
+        } else if let Some(k) = s.strip_prefix("rr") {
+            SchedulerKind::RoundRobin { k: parse_param(s, k)? }
+        } else if let Some(d) = s.strip_prefix("async-s") {
+            SchedulerKind::Async { s: parse_param(s, d)? }
+        } else {
+            return Err(format!(
+                "unknown scheduler {s:?} (expected fsync, ssync-pP, rrK, crash-fF or async-sK)"
+            ));
+        };
+        kind.validate().map_err(|why| format!("scheduler {s:?}: {why}"))?;
+        Ok(kind)
+    }
+}
+
+fn parse_param<T: std::str::FromStr>(name: &str, digits: &str) -> Result<T, String> {
+    digits.parse().map_err(|_| format!("scheduler {name:?} has a malformed parameter"))
 }
 
 impl std::fmt::Display for SchedulerKind {
@@ -170,80 +191,135 @@ fn engine_config(threads: usize, scheduler: Scheduler) -> EngineConfig {
     EngineConfig { threads, connectivity, keep_history: false, stall_limit: 200_000, scheduler }
 }
 
-/// The shared job-execution path: run `kind` on `points` under the
-/// given activation policy until gathered or the budget dies, with
-/// `engine_threads` compute workers inside the engine (0 = available
-/// parallelism; campaign jobs pass 1 because they parallelise across
-/// scenarios instead). Results are independent of the thread count —
-/// the engine's compute step is a deterministic parallel map and the
-/// activation set is a pure function of `(scheduler, seed, round)`.
+/// Builder for a measured run — the one job-execution entry point the
+/// campaign executor, the trace recorder, the smoke harness, and the
+/// benches all go through (it replaced the old three-deep
+/// `run_measured` / `run_measured_observed` / `run_measured_instrumented`
+/// delegation chain).
 ///
-/// The greedy baseline is its own sequential fair scheduler (that is
-/// the point of the strawman), so `scheduler` does not apply to it; a
-/// greedy run reports the same result under every policy.
-pub fn run_measured(
-    kind: ControllerKind,
+/// Mandatory inputs are the constructor's; everything else defaults:
+/// FSYNC scheduling, seed 0, [`budget_for`] the population, one engine
+/// worker thread (campaign jobs parallelise across scenarios, not
+/// within them; pass `threads(0)` for available parallelism). Results
+/// are independent of the thread count — the engine's compute step is
+/// a deterministic parallel map and the activation set is a pure
+/// function of `(scheduler, seed, round)`.
+///
+/// ```no_run
+/// # use gather_bench::{ControllerKind, RunSpec, SchedulerKind};
+/// let pts = gather_workloads::line(64);
+/// let m = RunSpec::new(ControllerKind::Paper, &pts)
+///     .scheduler(SchedulerKind::Async { s: 4 })
+///     .seed(11)
+///     .run();
+/// ```
+///
+/// The optional `observer` receives one [`grid_engine::RoundRecord`]
+/// per engine round (the recording hook the trace subsystem uses); the
+/// optional `profiler` receives per-round phase timings (`campaign run
+/// --perf`). Neither perturbs the measured result. The greedy baseline
+/// is its own sequential fair scheduler (that is the point of the
+/// strawman), so `scheduler` does not apply to it and its runs invoke
+/// the observer and profiler zero times — campaigns skip tracing it.
+pub struct RunSpec<'a> {
+    controller: ControllerKind,
+    points: &'a [Point],
     scheduler: SchedulerKind,
-    points: &[Point],
     seed: u64,
-    budget: u64,
-    engine_threads: usize,
-) -> Measurement {
-    run_measured_observed(kind, scheduler, points, seed, budget, engine_threads, None)
-}
-
-/// [`run_measured`] with an optional per-round observer attached to the
-/// engine — the recording hook the trace subsystem uses. The observer
-/// receives one [`grid_engine::RoundRecord`] per engine round; the
-/// record stream is a pure function of the scenario, independent of
-/// `engine_threads`. The greedy baseline has no engine rounds (it is
-/// its own sequential scheduler), so its runs invoke the observer zero
-/// times — campaigns skip tracing it.
-pub fn run_measured_observed(
-    kind: ControllerKind,
-    scheduler: SchedulerKind,
-    points: &[Point],
-    seed: u64,
-    budget: u64,
-    engine_threads: usize,
-    observer: Option<BoxedRoundObserver>,
-) -> Measurement {
-    run_measured_instrumented(kind, scheduler, points, seed, budget, engine_threads, observer, None)
-}
-
-/// [`run_measured_observed`] with an optional per-round profile sink
-/// attached to the engine as well — the hook `campaign run --perf`
-/// uses. The profiler only *times* phases; measured results stay
-/// bit-identical with profiling on or off (the engine guarantees no
-/// behavioural difference, only clock reads). The greedy baseline has
-/// no engine rounds, so its runs invoke the profiler zero times.
-#[allow(clippy::too_many_arguments)]
-pub fn run_measured_instrumented(
-    kind: ControllerKind,
-    scheduler: SchedulerKind,
-    points: &[Point],
-    seed: u64,
-    budget: u64,
-    engine_threads: usize,
+    budget: Option<u64>,
+    threads: usize,
     observer: Option<BoxedRoundObserver>,
     profiler: Option<BoxedProfileSink>,
-) -> Measurement {
-    let policy = scheduler.to_policy(seed, points.len());
-    match kind {
-        ControllerKind::Paper => run_paper_configured(
+}
+
+impl<'a> RunSpec<'a> {
+    /// A run of `controller` on `points` with every option defaulted.
+    pub fn new(controller: ControllerKind, points: &'a [Point]) -> Self {
+        RunSpec {
+            controller,
             points,
-            seed,
-            GatherConfig::paper(),
-            budget,
-            engine_threads,
-            policy,
-            observer,
-            profiler,
-        ),
-        ControllerKind::Center => {
-            run_center_configured(points, seed, budget, engine_threads, policy, observer, profiler)
+            scheduler: SchedulerKind::Fsync,
+            seed: 0,
+            budget: None,
+            threads: 1,
+            observer: None,
+            profiler: None,
         }
-        ControllerKind::Greedy => run_greedy(points, budget),
+    }
+
+    /// Activation policy (default FSYNC).
+    pub fn scheduler(mut self, scheduler: SchedulerKind) -> Self {
+        self.scheduler = scheduler;
+        self
+    }
+
+    /// Orientation-scrambling and scheduler seed (default 0).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Round budget (default [`budget_for`] the population).
+    pub fn budget(mut self, budget: u64) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// Engine worker threads (default 1; 0 = available parallelism).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Attach a per-round record observer.
+    pub fn observer(mut self, observer: BoxedRoundObserver) -> Self {
+        self.observer = Some(observer);
+        self
+    }
+
+    /// Attach a per-round profile sink.
+    pub fn profiler(mut self, profiler: BoxedProfileSink) -> Self {
+        self.profiler = Some(profiler);
+        self
+    }
+
+    /// Execute the run until gathered or the budget dies.
+    pub fn run(self) -> Measurement {
+        let RunSpec { controller, points, scheduler, seed, budget, threads, observer, profiler } =
+            self;
+        let budget = budget.unwrap_or_else(|| budget_for(points.len()));
+        let policy = scheduler.to_policy(seed, points.len());
+        match controller {
+            ControllerKind::Paper => run_paper_configured(
+                points,
+                seed,
+                GatherConfig::paper(),
+                budget,
+                threads,
+                policy,
+                observer,
+                profiler,
+            ),
+            ControllerKind::Center => {
+                run_center_configured(points, seed, budget, threads, policy, observer, profiler)
+            }
+            ControllerKind::Greedy => run_greedy(points, budget),
+        }
+    }
+}
+
+impl std::fmt::Debug for RunSpec<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RunSpec")
+            .field("controller", &self.controller)
+            .field("scheduler", &self.scheduler)
+            .field("n", &self.points.len())
+            .field("seed", &self.seed)
+            .field("budget", &self.budget)
+            .field("threads", &self.threads)
+            .field("observer", &self.observer.is_some())
+            .field("profiler", &self.profiler.is_some())
+            .finish()
     }
 }
 
@@ -417,8 +493,10 @@ mod tests {
             SchedulerKind::RoundRobin { k: 4 },
             SchedulerKind::Crash { f: 1 },
             SchedulerKind::Crash { f: 12 },
+            SchedulerKind::Async { s: 1 },
+            SchedulerKind::Async { s: 4 },
         ] {
-            assert_eq!(SchedulerKind::parse(&kind.name()), Some(kind), "{kind}");
+            assert_eq!(kind.name().parse(), Ok(kind), "{kind}");
             assert!(kind.validate().is_ok());
         }
         for bad in [
@@ -434,12 +512,17 @@ mod tests {
             "crash-f",
             "crash-f-1",
             "crash",
+            "async-s0",
+            "async-s",
+            "async-s-1",
+            "async",
         ] {
-            assert_eq!(SchedulerKind::parse(bad), None, "{bad:?} must not parse");
+            assert!(bad.parse::<SchedulerKind>().is_err(), "{bad:?} must not parse");
         }
         assert!(SchedulerKind::Ssync { p: 0 }.validate().is_err());
         assert!(SchedulerKind::RoundRobin { k: 0 }.validate().is_err());
         assert!(SchedulerKind::Crash { f: 0 }.validate().is_err());
+        assert!(SchedulerKind::Async { s: 0 }.validate().is_err());
     }
 
     #[test]
@@ -456,8 +539,10 @@ mod tests {
         let pts = gather_workloads::line(32);
         let sched = SchedulerKind::Crash { f: 3 };
         let budget = budget_for(pts.len());
-        let a = run_measured(ControllerKind::Paper, sched, &pts, 11, budget, 1);
-        let b = run_measured(ControllerKind::Paper, sched, &pts, 11, budget, 1);
+        let run = || {
+            RunSpec::new(ControllerKind::Paper, &pts).scheduler(sched).seed(11).budget(budget).run()
+        };
+        let (a, b) = (run(), run());
         assert_eq!(a.rounds, b.rounds);
         assert_eq!(a.activations, b.activations);
         assert_eq!(a.gathered, b.gathered);
@@ -472,15 +557,12 @@ mod tests {
         let saw_crashed_round = (0..10u64).any(|seed| {
             let rounds: Rc<RefCell<Vec<grid_engine::RoundRecord>>> = Rc::default();
             let sink = rounds.clone();
-            run_measured_observed(
-                ControllerKind::Paper,
-                sched,
-                &pts,
-                seed,
-                budget,
-                1,
-                Some(Box::new(move |rec| sink.borrow_mut().push(rec.clone()))),
-            );
+            RunSpec::new(ControllerKind::Paper, &pts)
+                .scheduler(sched)
+                .seed(seed)
+                .budget(budget)
+                .observer(Box::new(move |rec| sink.borrow_mut().push(rec.clone())))
+                .run();
             let mut population = pts.len();
             let recs = rounds.borrow();
             let crashed = recs.iter().any(|rec| {
@@ -499,18 +581,14 @@ mod tests {
         use std::rc::Rc;
 
         let pts = gather_workloads::line(24);
-        let plain = run_measured(ControllerKind::Paper, SchedulerKind::Fsync, &pts, 2, 1000, 1);
+        let plain = RunSpec::new(ControllerKind::Paper, &pts).seed(2).budget(1000).run();
         let rounds: Rc<RefCell<Vec<grid_engine::RoundRecord>>> = Rc::default();
         let sink = rounds.clone();
-        let observed = run_measured_observed(
-            ControllerKind::Paper,
-            SchedulerKind::Fsync,
-            &pts,
-            2,
-            1000,
-            1,
-            Some(Box::new(move |rec| sink.borrow_mut().push(rec.clone()))),
-        );
+        let observed = RunSpec::new(ControllerKind::Paper, &pts)
+            .seed(2)
+            .budget(1000)
+            .observer(Box::new(move |rec| sink.borrow_mut().push(rec.clone())))
+            .run();
         assert_eq!(observed.rounds, plain.rounds, "observing changed the run");
         assert_eq!(observed.merges, plain.merges);
         let rounds = rounds.borrow();
@@ -521,15 +599,11 @@ mod tests {
         // The greedy strawman has no engine rounds: observer untouched.
         let greedy_rounds: Rc<RefCell<Vec<grid_engine::RoundRecord>>> = Rc::default();
         let sink = greedy_rounds.clone();
-        run_measured_observed(
-            ControllerKind::Greedy,
-            SchedulerKind::Fsync,
-            &pts,
-            2,
-            1000,
-            1,
-            Some(Box::new(move |rec| sink.borrow_mut().push(rec.clone()))),
-        );
+        RunSpec::new(ControllerKind::Greedy, &pts)
+            .seed(2)
+            .budget(1000)
+            .observer(Box::new(move |rec| sink.borrow_mut().push(rec.clone())))
+            .run();
         assert!(greedy_rounds.borrow().is_empty());
     }
 
@@ -537,12 +611,12 @@ mod tests {
     fn run_measured_matches_dedicated_runners() {
         let pts = gather_workloads::line(48);
         let direct = run_paper(&pts, 9, GatherConfig::paper(), 5_000);
-        let shared = run_measured(ControllerKind::Paper, SchedulerKind::Fsync, &pts, 9, 5_000, 1);
+        let shared = RunSpec::new(ControllerKind::Paper, &pts).seed(9).budget(5_000).run();
         assert_eq!(direct.rounds, shared.rounds);
         assert_eq!(direct.merges, shared.merges);
         assert_eq!(direct.activations, shared.activations);
         for kind in ControllerKind::ALL {
-            let m = run_measured(kind, SchedulerKind::Fsync, &pts, 9, 25_000, 1);
+            let m = RunSpec::new(kind, &pts).seed(9).budget(25_000).run();
             assert_eq!(m.n, 48, "{kind}");
             assert!(m.gathered, "{kind} did not gather a short line");
             assert!(m.connected, "{kind} final swarm must be connected");
@@ -556,7 +630,7 @@ mod tests {
         // counters and measure connectivity on the actual final swarm.
         let pts = gather_workloads::line(32);
         for kind in [ControllerKind::Paper, ControllerKind::Center] {
-            let m = run_measured(kind, SchedulerKind::Fsync, &pts, 3, 1, 1);
+            let m = RunSpec::new(kind, &pts).seed(3).budget(1).run();
             assert!(!m.gathered, "{kind}");
             assert_eq!(m.rounds, 1, "{kind}");
             assert!(m.connected, "{kind}: neither controller disconnects a line in one round");
@@ -590,8 +664,8 @@ mod tests {
                 // Partial activation stretches rounds by ~n/k (resp.
                 // 100/p), so scale the FSYNC budget accordingly.
                 let budget = budget_for(pts.len()) * pts.len() as u64;
-                let a = run_measured(*ctrl, sched, pts, 5, budget, 1);
-                let b = run_measured(*ctrl, sched, pts, 5, budget, 1);
+                let run = || RunSpec::new(*ctrl, pts).scheduler(sched).seed(5).budget(budget).run();
+                let (a, b) = (run(), run());
                 assert_eq!(a.rounds, b.rounds, "{ctrl}/{sched} not reproducible");
                 assert_eq!(a.merges, b.merges, "{ctrl}/{sched} not reproducible");
                 assert_eq!(a.activations, b.activations, "{ctrl}/{sched} not reproducible");
@@ -606,12 +680,33 @@ mod tests {
         let pts = gather_workloads::line(48);
         let sched = SchedulerKind::Ssync { p: 50 };
         let budget = budget_for(pts.len()) * pts.len() as u64;
-        let a = run_measured(ControllerKind::Paper, sched, &pts, 5, budget, 1);
-        let c = run_measured(ControllerKind::Paper, sched, &pts, 6, budget, 1);
+        let a =
+            RunSpec::new(ControllerKind::Paper, &pts).scheduler(sched).seed(5).budget(budget).run();
+        let c =
+            RunSpec::new(ControllerKind::Paper, &pts).scheduler(sched).seed(6).budget(budget).run();
         assert!(
             a.rounds != c.rounds || a.activations != c.activations,
             "independent seeds should not collide on both rounds and activations"
         );
+    }
+
+    #[test]
+    fn async_runs_are_reproducible_and_stretch_rounds() {
+        let pts = gather_workloads::line(24);
+        let sched = SchedulerKind::Async { s: 3 };
+        let budget = budget_for(pts.len()) * 4;
+        let run = || {
+            RunSpec::new(ControllerKind::Paper, &pts).scheduler(sched).seed(7).budget(budget).run()
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.rounds, b.rounds, "async run not reproducible");
+        assert_eq!(a.merges, b.merges, "async run not reproducible");
+        assert_eq!(a.activations, b.activations, "async run not reproducible");
+        assert_eq!(a.gathered, b.gathered, "async run not reproducible");
+        // In-flight robots skip their look, so ASYNC does strictly less
+        // look work per round than FSYNC would.
+        assert!(a.rounds > 0);
+        assert!(a.activations < a.rounds * pts.len() as u64, "async never left a robot in flight");
     }
 
     #[test]
@@ -622,14 +717,11 @@ mod tests {
         // harness must record that truthfully (this exact path used to
         // report `connected: true`).
         let pts = gather_workloads::square(4);
-        let m = run_measured(
-            ControllerKind::Paper,
-            SchedulerKind::Ssync { p: 50 },
-            &pts,
-            1,
-            budget_for(pts.len()) * pts.len() as u64,
-            1,
-        );
+        let m = RunSpec::new(ControllerKind::Paper, &pts)
+            .scheduler(SchedulerKind::Ssync { p: 50 })
+            .seed(1)
+            .budget(budget_for(pts.len()) * pts.len() as u64)
+            .run();
         assert!(!m.gathered && !m.connected, "expected a truthful disconnection record");
         assert!(m.rounds > 0 && m.activations > 0);
     }

@@ -1,0 +1,46 @@
+//! The scheduler registry's parse ∘ display identity — the contract
+//! every name-carrying surface (CLI flags, spec files, service wire
+//! fields, smoke `--scheduler`, trace-header scenario IDs) relies on
+//! now that [`SchedulerKind`]'s `FromStr` is the workspace's single
+//! scheduler parser.
+
+use gather_bench::SchedulerKind;
+use proptest::prelude::*;
+
+/// Scheduler-name alphabet, weighted toward near-miss spellings.
+const ALPHABET: [char; 16] =
+    ['f', 's', 'y', 'n', 'c', 'r', 'a', 'h', 'p', '-', '0', '1', '2', '4', '5', '9'];
+
+fn kind_strategy() -> impl Strategy<Value = SchedulerKind> {
+    (0u8..5, 1u32..10_000).prop_map(|(variant, param)| match variant {
+        0 => SchedulerKind::Fsync,
+        1 => SchedulerKind::Ssync { p: (param % 100) as u8 + 1 },
+        2 => SchedulerKind::RoundRobin { k: param },
+        3 => SchedulerKind::Crash { f: param },
+        _ => SchedulerKind::Async { s: param },
+    })
+}
+
+proptest! {
+    /// parse(display(kind)) is the identity on every valid kind.
+    #[test]
+    fn parse_display_is_identity(kind in kind_strategy()) {
+        prop_assert!(kind.validate().is_ok());
+        prop_assert_eq!(kind.to_string().parse::<SchedulerKind>(), Ok(kind));
+        prop_assert_eq!(kind.name().parse::<SchedulerKind>(), Ok(kind));
+    }
+
+    /// display(parse(s)) returns `s` itself whenever `s` parses at all
+    /// — names are canonical, so IDs never drift through a round-trip.
+    #[test]
+    fn display_parse_is_identity_on_parsable_strings(
+        chars in prop::collection::vec(0usize..ALPHABET.len(), 0..12)
+    ) {
+        let s: String = chars.into_iter().map(|i| ALPHABET[i]).collect();
+        if let Ok(kind) = s.parse::<SchedulerKind>() {
+            // Leading zeros are the one way a non-canonical spelling
+            // could parse; the identity below proves they don't.
+            prop_assert_eq!(kind.name(), s);
+        }
+    }
+}

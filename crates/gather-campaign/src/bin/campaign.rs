@@ -34,7 +34,7 @@ fn main() -> ExitCode {
         Command::Run(run) => execute(run, false),
         Command::Resume(run) => execute(run, true),
         Command::Record { run, trace_dir } => execute_record(run, &trace_dir),
-        Command::Merge { inputs, out } => merge_files(&inputs, &out),
+        Command::Merge { inputs, out, out_explicit } => merge_files(&inputs, &out, out_explicit),
         Command::Plan { run, shards } => plan(&run, shards),
         Command::Replay { trace_dir } => replay_dir(&trace_dir),
         Command::Diff { a, b } => diff_dirs(&a, &b),
@@ -186,8 +186,37 @@ fn execute(args: RunArgs, resume: bool) -> Result<(), String> {
 
 /// `merge`: verify N shard outputs cover their spec exactly once, then
 /// emit one merged JSONL (resumed duplicates dropped, last record wins)
-/// and print the per-shard provenance table.
-fn merge_files(inputs: &[std::path::PathBuf], out: &Path) -> Result<(), String> {
+/// and print the per-shard provenance table. When the inputs are trace
+/// directories, the same proof runs over the traced scenarios and the
+/// `.gtrc` files are byte-copied into the output directory instead.
+fn merge_files(
+    inputs: &[std::path::PathBuf],
+    out: &Path,
+    out_explicit: bool,
+) -> Result<(), String> {
+    let dirs = inputs.iter().filter(|p| p.is_dir()).count();
+    if dirs > 0 && dirs < inputs.len() {
+        return Err(
+            "merge inputs mix result files and trace directories — merge them separately".into()
+        );
+    }
+    if dirs == inputs.len() {
+        if !out_explicit {
+            return Err(
+                "merging trace directories needs an explicit --out DIR for the merged trace set"
+                    .into(),
+            );
+        }
+        let report = gather_campaign::merge_trace_dirs(inputs, out)?;
+        println!("{}", gather_analysis::render_markdown(&provenance_table(&report)));
+        eprintln!(
+            "merge ok: {} trace(s) from {} shard(s) -> {}/",
+            report.total,
+            report.shards.len(),
+            out.display(),
+        );
+        return Ok(());
+    }
     let report = merge_shards(inputs, out)?;
     println!("{}", gather_analysis::render_markdown(&provenance_table(&report)));
     eprintln!(
@@ -231,10 +260,17 @@ fn execute_record(args: RunArgs, trace_dir: &Path) -> Result<(), String> {
     }
     let jobs = executor::select_pending(&spec.expand(), shard, strategy, &Default::default());
     let manifest = ShardManifest::for_shard(&spec, shard, strategy);
+    // The trace set carries its own manifest (inside the directory,
+    // over the traced — non-greedy — scenarios), so sharded trace
+    // directories can be merged under the same coverage proof as the
+    // result files.
+    let traced_manifest = ShardManifest::for_traced_shard(&spec, shard, strategy);
     let mut sink =
         JsonlSink::create(&out).map_err(|e| format!("opening {}: {e}", out.display()))?;
     gather_campaign::write_manifest(&out, &manifest)
         .map_err(|e| format!("writing manifest for {}: {e}", out.display()))?;
+    gather_campaign::write_trace_manifest(trace_dir, &traced_manifest)
+        .map_err(|e| format!("writing manifest for {}: {e}", trace_dir.display()))?;
     eprintln!(
         "campaign `{}`{} (recording): {} scenarios, {} threads -> {} + {}/",
         spec.name,
@@ -300,6 +336,9 @@ fn execute_record(args: RunArgs, trace_dir: &Path) -> Result<(), String> {
     let manifest = ShardManifest { complete: true, ..manifest };
     gather_campaign::write_manifest(&out, &manifest)
         .map_err(|e| format!("writing manifest for {}: {e}", out.display()))?;
+    let traced_manifest = ShardManifest { complete: true, ..traced_manifest };
+    gather_campaign::write_trace_manifest(trace_dir, &traced_manifest)
+        .map_err(|e| format!("writing manifest for {}: {e}", trace_dir.display()))?;
     eprintln!(
         "campaign `{}` recorded: {} run, {} traced in {:.1?}",
         spec.name,

@@ -22,13 +22,14 @@ USAGE:
                        [--quiet] [--perf] [axis flags]
     campaign record    [run flags]   [--trace-dir DIR]
     campaign merge     [--out PATH] SHARD.jsonl [SHARD.jsonl ...]
+    campaign merge     --out DIR SHARD_TRACE_DIR [SHARD_TRACE_DIR ...]
     campaign plan      --shards M [--out PATH] [--spec FILE] [axis flags]
     campaign replay    [--trace-dir DIR]
     campaign diff      --a DIR --b DIR
     campaign render    TRACE.gtrc [--every K] [--svg PATH] [--cell N]
     campaign smoke     [--n N] [--rounds R] [--family F] [--seed S]
                        [--threads-a A] [--threads-b B] [--dir DIR]
-                       [--scheduler fsync|ssync-pP|rrK|crash-fF]
+                       [--scheduler fsync|ssync-pP|rrK|crash-fF|async-sS]
     campaign summarize [--in PATH] [--perf]
     campaign events tail FILE [--follow]
     campaign serve     --socket PATH [--cache DIR] [--jobs N]
@@ -47,7 +48,13 @@ SUBCOMMANDS:
                per-shard coverage digests) and write one merged JSONL,
                dropping resumed duplicates (last record wins). Exits
                non-zero — writing nothing — on a missing shard, an
-               overlapping shard, mixed specs, or a torn/incomplete file
+               overlapping shard, mixed specs, or a torn/incomplete file.
+               When the inputs are trace directories (from `record
+               --shard --trace-dir`), merges the trace sets instead:
+               the same manifest proof over the traced scenarios, then
+               every .gtrc byte-copied into --out DIR (recording is
+               deterministic, so the merged set is bit-identical to an
+               unsharded recording); requires an explicit --out
     plan       Print the exact per-shard `campaign run` command lines
                (plus the final merge) that execute the spec as M shards
     record     Run the sweep with per-round tracing on: results stream to
@@ -146,7 +153,9 @@ OPTIONS:
                        probability in percent, e.g. ssync-p50), rrK (round-robin
                        window of K robots, e.g. rr4), crash-fF (crash-stop
                        faults: up to F seeded robots halt forever at seeded
-                       rounds, e.g. crash-f3). Default fsync.
+                       rounds, e.g. crash-f3), async-sS (true ASYNC: each
+                       look's move commits up to S rounds later, on a view
+                       that stale; e.g. async-s4). Default fsync.
                        FSYNC scenario IDs keep the legacy 4-part shape, so old
                        result files resume unchanged; other schedulers append a
                        fifth ID segment (line/n64/s3/paper/ssync-p50). The
@@ -176,7 +185,7 @@ pub enum Command {
     Run(RunArgs),
     Resume(RunArgs),
     Record { run: RunArgs, trace_dir: PathBuf },
-    Merge { inputs: Vec<PathBuf>, out: PathBuf },
+    Merge { inputs: Vec<PathBuf>, out: PathBuf, out_explicit: bool },
     Plan { run: RunArgs, shards: u32 },
     Replay { trace_dir: PathBuf },
     Diff { a: PathBuf, b: PathBuf },
@@ -287,10 +296,14 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
         "merge" => {
             let mut inputs = Vec::new();
             let mut out = PathBuf::from("campaign.jsonl");
+            let mut out_explicit = false;
             let mut it = rest.iter();
             while let Some(&arg) = it.next() {
                 match arg {
-                    "--out" => out = PathBuf::from(value_of(arg, it.next().copied())?),
+                    "--out" => {
+                        out = PathBuf::from(value_of(arg, it.next().copied())?);
+                        out_explicit = true;
+                    }
                     "-h" | "--help" => return Ok(Command::Help),
                     flag if flag.starts_with("--") => {
                         return Err(format!("unknown merge flag {flag:?}"));
@@ -299,14 +312,14 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 }
             }
             if inputs.is_empty() {
-                return Err("merge needs at least one SHARD.jsonl input".into());
+                return Err("merge needs at least one SHARD.jsonl or trace-directory input".into());
             }
             if inputs.contains(&out) {
                 return Err(format!(
                     "merge output {out:?} is also an input — it would be truncated before reading"
                 ));
             }
-            Ok(Command::Merge { inputs, out })
+            Ok(Command::Merge { inputs, out, out_explicit })
         }
         "plan" => {
             // `--shards M` is plan's own flag; extract it, then reuse
@@ -426,8 +439,8 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                     }
                     "--scheduler" => {
                         let v = value_of(flag, it.next().copied())?;
-                        args.scheduler = gather_bench::SchedulerKind::parse(v)
-                            .ok_or_else(|| format!("unknown scheduler {v:?}"))?;
+                        args.scheduler =
+                            v.parse().map_err(|e| format!("--scheduler {v:?}: {e}"))?;
                     }
                     "--dir" => args.dir = PathBuf::from(value_of(flag, it.next().copied())?),
                     "-h" | "--help" => return Ok(Command::Help),
@@ -791,8 +804,8 @@ fn parse_controllers(s: &str) -> Result<Vec<ControllerKind>, String> {
 fn parse_schedulers(s: &str) -> Result<Vec<SchedulerKind>, String> {
     split_list(s)
         .map(|t| {
-            SchedulerKind::parse(t).ok_or_else(|| {
-                format!("unknown scheduler {t:?} (expected fsync, ssync-pP, rrK or crash-fF)")
+            t.parse::<SchedulerKind>().map_err(|e| {
+                format!("bad scheduler {t:?}: {e} (expected fsync, ssync-pP, rrK, crash-fF or async-sS)")
             })
         })
         .collect()
@@ -1042,18 +1055,22 @@ mod tests {
 
     #[test]
     fn merge_parses_inputs_and_guards_the_output() {
-        let Command::Merge { inputs, out } =
+        let Command::Merge { inputs, out, out_explicit } =
             parse(&strings(&["merge", "--out", "m.jsonl", "a.jsonl", "b.jsonl"])).unwrap()
         else {
             panic!()
         };
         assert_eq!(inputs, vec![PathBuf::from("a.jsonl"), PathBuf::from("b.jsonl")]);
         assert_eq!(out, PathBuf::from("m.jsonl"));
+        assert!(out_explicit);
 
-        let Command::Merge { out, .. } = parse(&strings(&["merge", "a.jsonl"])).unwrap() else {
+        let Command::Merge { out, out_explicit, .. } =
+            parse(&strings(&["merge", "a.jsonl"])).unwrap()
+        else {
             panic!()
         };
         assert_eq!(out, PathBuf::from("campaign.jsonl"), "default merge output");
+        assert!(!out_explicit, "the default output must be distinguishable from --out");
 
         assert!(parse(&strings(&["merge"])).is_err(), "at least one input required");
         assert!(parse(&strings(&["merge", "--bogus"])).is_err());
@@ -1096,7 +1113,7 @@ mod tests {
                     assert_eq!(parsed.spec.sizes, run.spec.sizes, "axes survive the round trip");
                     assert_eq!(parsed.spec.families, run.spec.families);
                 }
-                Command::Merge { inputs, out } => {
+                Command::Merge { inputs, out, .. } => {
                     assert_eq!(i, lines.len() - 1, "merge must be the final line");
                     assert_eq!(inputs.len(), 4);
                     assert_eq!(out, PathBuf::from("w.jsonl"));

@@ -78,7 +78,7 @@ pub mod spec;
 pub mod trace_ops;
 
 pub use aggregate::{provenance_table, summarize, summarize_perf};
-pub use merge::{merge_shards, MergeReport, ShardContribution};
+pub use merge::{merge_shards, merge_trace_dirs, MergeReport, ShardContribution};
 pub use progress::{record_status, ProgressReporter};
 pub use record::{PerfSummary, ScenarioRecord};
 pub use service::{serve, submit, work, SubmitReport, WorkReport};
@@ -89,8 +89,9 @@ pub use sink::{
 pub use smoke::{run_smoke, SmokeArgs, SmokeReport};
 pub use spec::{coverage_xor, CampaignSpec, Scenario};
 pub use trace_ops::{
-    diff_trace_dirs, diff_trace_files, record_scenario, record_scenario_profiled, replay_trace,
-    DiffReport, DiffStatus, ReplayReport, ReplayStatus, TraceJobOutcome,
+    diff_trace_dirs, diff_trace_files, read_trace_manifest, record_scenario,
+    record_scenario_profiled, replay_trace, write_trace_manifest, DiffReport, DiffStatus,
+    ReplayReport, ReplayStatus, TraceJobOutcome,
 };
 
 // Axis types, re-exported so campaign callers need only this crate.

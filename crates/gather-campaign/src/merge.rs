@@ -58,28 +58,14 @@ pub struct MergeReport {
     pub shards: Vec<ShardContribution>,
 }
 
-/// Merge `inputs` into `out` after full verification; any hole in the
-/// proof is an `Err` and nothing is written. See the module docs for
-/// the exact checks.
-pub fn merge_shards(inputs: &[PathBuf], out: &Path) -> Result<MergeReport, String> {
-    if inputs.is_empty() {
-        return Err("merge needs at least one shard result file".into());
-    }
-
-    // 1. Manifests: present, consistent, complete.
-    let mut manifests = Vec::with_capacity(inputs.len());
-    for path in inputs {
-        let manifest = sink::read_manifest(path)?.ok_or_else(|| {
-            format!(
-                "{} has no shard manifest (expected {}) — was it written by `campaign run`?",
-                path.display(),
-                sink::manifest_path(path).display(),
-            )
-        })?;
-        manifests.push(manifest);
-    }
+/// Steps 1.–3. of the merge proof, shared by the result-file and
+/// trace-directory merges: manifests consistent and complete, shard
+/// indexes exactly `0..count`, and the per-shard digests folding to the
+/// spec's. (Step 4. — matching what is actually *on disk* against each
+/// manifest — is artifact-specific and stays with the callers.)
+fn verify_shard_set(inputs: &[PathBuf], manifests: &[ShardManifest]) -> Result<(), String> {
     let reference = &manifests[0];
-    for (path, manifest) in inputs.iter().zip(&manifests).skip(1) {
+    for (path, manifest) in inputs.iter().zip(manifests).skip(1) {
         if let Some(field) = reference.mismatch_against(manifest) {
             return Err(format!(
                 "mixed-spec shards: {} disagrees with {} on {field} — these outputs were not \
@@ -89,7 +75,7 @@ pub fn merge_shards(inputs: &[PathBuf], out: &Path) -> Result<MergeReport, Strin
             ));
         }
     }
-    for (path, manifest) in inputs.iter().zip(&manifests) {
+    for (path, manifest) in inputs.iter().zip(manifests) {
         if !manifest.complete {
             return Err(format!(
                 "shard {} ({}) has no completion marker — still running, or its run died",
@@ -102,7 +88,7 @@ pub fn merge_shards(inputs: &[PathBuf], out: &Path) -> Result<MergeReport, Strin
     // 2. Indexes are exactly 0..count: no overlap, no gap.
     let count = reference.shard_count;
     let mut owner_of_index: Vec<Option<&Path>> = vec![None; count as usize];
-    for (path, manifest) in inputs.iter().zip(&manifests) {
+    for (path, manifest) in inputs.iter().zip(manifests) {
         let slot = &mut owner_of_index[manifest.shard_index as usize];
         if let Some(first) = slot {
             return Err(format!(
@@ -138,6 +124,32 @@ pub fn merge_shards(inputs: &[PathBuf], out: &Path) -> Result<MergeReport, Strin
             reference.spec_len, reference.spec_coverage,
         ));
     }
+    Ok(())
+}
+
+/// Merge `inputs` into `out` after full verification; any hole in the
+/// proof is an `Err` and nothing is written. See the module docs for
+/// the exact checks.
+pub fn merge_shards(inputs: &[PathBuf], out: &Path) -> Result<MergeReport, String> {
+    if inputs.is_empty() {
+        return Err("merge needs at least one shard result file".into());
+    }
+
+    // 1. Manifests: present, consistent, complete.
+    let mut manifests = Vec::with_capacity(inputs.len());
+    for path in inputs {
+        let manifest = sink::read_manifest(path)?.ok_or_else(|| {
+            format!(
+                "{} has no shard manifest (expected {}) — was it written by `campaign run`?",
+                path.display(),
+                sink::manifest_path(path).display(),
+            )
+        })?;
+        manifests.push(manifest);
+    }
+    verify_shard_set(inputs, &manifests)?;
+    let reference = &manifests[0];
+    let count = reference.shard_count;
 
     // 4.–5. Records: dedup per shard, verify against the manifest,
     // reject cross-shard duplicates.
@@ -216,6 +228,129 @@ pub fn merge_shards(inputs: &[PathBuf], out: &Path) -> Result<MergeReport, Strin
         shard_count: count,
         total: merged.len(),
         duplicates: duplicates_total,
+        shards: contributions,
+    })
+}
+
+/// Merge sharded *trace directories* (`campaign record --shard`) into
+/// one trace set, under the same proof obligations as the result merge:
+/// every input directory must carry a complete trace manifest, the
+/// manifests must describe the same partitioned spec with indexes
+/// exactly `0..count`, and each directory's `.gtrc` files must match
+/// its manifest's traced-scenario count and coverage digest (file names
+/// are cross-checked against the scenario IDs in the trace headers, so
+/// a renamed or foreign file is caught). Only then are the traces
+/// byte-copied into `out` — recording is deterministic, so the merged
+/// set is bit-identical to what an unsharded `campaign record` writes —
+/// and `out` gains a complete `0/1` manifest of its own.
+pub fn merge_trace_dirs(inputs: &[PathBuf], out: &Path) -> Result<MergeReport, String> {
+    use gather_trace::{TraceError, TraceReader};
+    use std::fs::File;
+    use std::io::BufReader;
+
+    use crate::trace_ops::{self, trace_file_name};
+
+    if inputs.is_empty() {
+        return Err("merge needs at least one shard trace directory".into());
+    }
+
+    // 1. Manifests: present, consistent, complete; indexes and digest
+    // arithmetic verified exactly like the result merge.
+    let mut manifests = Vec::with_capacity(inputs.len());
+    for dir in inputs {
+        let manifest = trace_ops::read_trace_manifest(dir)?.ok_or_else(|| {
+            format!(
+                "{} has no trace manifest (expected {}) — was it written by `campaign record`?",
+                dir.display(),
+                trace_ops::trace_manifest_path(dir).display(),
+            )
+        })?;
+        manifests.push(manifest);
+    }
+    verify_shard_set(inputs, &manifests)?;
+    let reference = &manifests[0];
+
+    // 4.–5. Traces on disk: each directory's files must match its
+    // manifest exactly, and no scenario may be traced by two shards.
+    let mut merged: BTreeMap<String, PathBuf> = BTreeMap::new();
+    let mut contributions = Vec::with_capacity(inputs.len());
+    for (dir, manifest) in inputs.iter().zip(&manifests) {
+        let files = trace_ops::list_trace_files(dir)
+            .map_err(|e| format!("reading {}: {e}", dir.display()))?;
+        let mut coverage = 0u64;
+        for path in &files {
+            let reader = File::open(path)
+                .map_err(TraceError::Io)
+                .and_then(|f| TraceReader::new(BufReader::new(f)))
+                .map_err(|e| format!("{}: {e}", path.display()))?;
+            let id = reader.header().scenario_id.clone();
+            let expected = trace_file_name(&id);
+            let name = path.file_name().map(|n| n.to_string_lossy().into_owned());
+            if name.as_deref() != Some(expected.as_str()) {
+                return Err(format!(
+                    "{} holds scenario {id:?} but is not named {expected:?} — the file was \
+                     renamed or substituted since it was recorded",
+                    path.display(),
+                ));
+            }
+            coverage ^= gather_trace::digest_bytes(id.as_bytes());
+            if let Some(first) = merged.insert(expected, path.clone()) {
+                return Err(format!(
+                    "scenario {id:?} is traced by more than one shard ({} and {})",
+                    first.display(),
+                    path.display(),
+                ));
+            }
+        }
+        if files.len() != manifest.shard_len || coverage != manifest.shard_coverage {
+            return Err(format!(
+                "shard {} ({}) does not match its manifest: {} trace(s) on disk, manifest \
+                 claims {} — the set is torn, incomplete, or holds foreign traces",
+                manifest.shard(),
+                dir.display(),
+                files.len(),
+                manifest.shard_len,
+            ));
+        }
+        contributions.push(ShardContribution {
+            path: dir.clone(),
+            shard_index: manifest.shard_index,
+            records: manifest.shard_len,
+            duplicates: 0,
+            skipped_lines: 0,
+        });
+    }
+    contributions.sort_by_key(|c| c.shard_index);
+
+    // Emit: a clean output directory (stale traces from an earlier
+    // merge removed, like `record` does), every verified trace
+    // byte-copied, then the full-cover manifest.
+    std::fs::create_dir_all(out).map_err(|e| format!("creating {}: {e}", out.display()))?;
+    trace_ops::clean_trace_dir(out).map_err(|e| format!("cleaning {}: {e}", out.display()))?;
+    for (name, src) in &merged {
+        std::fs::copy(src, out.join(name))
+            .map_err(|e| format!("copying {} into {}: {e}", src.display(), out.display()))?;
+    }
+    let merged_manifest = ShardManifest {
+        name: reference.name.clone(),
+        strategy: reference.strategy,
+        shard_index: 0,
+        shard_count: 1,
+        spec_digest: reference.spec_digest,
+        spec_len: reference.spec_len,
+        spec_coverage: reference.spec_coverage,
+        shard_len: reference.spec_len,
+        shard_coverage: reference.spec_coverage,
+        complete: true,
+    };
+    trace_ops::write_trace_manifest(out, &merged_manifest)
+        .map_err(|e| format!("writing manifest for {}: {e}", out.display()))?;
+
+    Ok(MergeReport {
+        name: reference.name.clone(),
+        shard_count: reference.shard_count,
+        total: merged.len(),
+        duplicates: 0,
         shards: contributions,
     })
 }

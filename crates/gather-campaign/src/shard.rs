@@ -159,12 +159,41 @@ impl ShardManifest {
     /// [`CampaignSpec::coverage_digest`] bit for bit — a 2000-scenario
     /// spec is expanded once here, not once per field.
     pub fn for_shard(spec: &CampaignSpec, shard: ShardSpec, strategy: ShardStrategy) -> Self {
+        Self::build(spec, shard, strategy, |_| true)
+    }
+
+    /// The manifest for a shard's *trace set* (`campaign record --shard`):
+    /// identical construction, but counted over the traced scenarios only
+    /// — the greedy strawman drives itself and leaves no `.gtrc`, so a
+    /// trace-dir coverage proof must not expect one. Note the spec digest
+    /// therefore differs from [`ShardManifest::for_shard`]'s, which is
+    /// exactly right: a result merge and a trace merge verify different
+    /// artifact sets and must not accept each other's manifests.
+    pub fn for_traced_shard(
+        spec: &CampaignSpec,
+        shard: ShardSpec,
+        strategy: ShardStrategy,
+    ) -> Self {
+        Self::build(spec, shard, strategy, |sc| {
+            sc.controller != gather_bench::ControllerKind::Greedy
+        })
+    }
+
+    fn build(
+        spec: &CampaignSpec,
+        shard: ShardSpec,
+        strategy: ShardStrategy,
+        counted: impl Fn(&crate::spec::Scenario) -> bool,
+    ) -> Self {
         let mut joined = String::new();
         let mut spec_len = 0usize;
         let mut spec_coverage = 0u64;
         let mut shard_len = 0usize;
         let mut shard_coverage = 0u64;
         for (job_index, sc) in spec.expand().iter().enumerate() {
+            if !counted(sc) {
+                continue;
+            }
             let id = sc.id();
             joined.push_str(&id);
             joined.push('\n');

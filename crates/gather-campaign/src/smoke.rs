@@ -265,6 +265,7 @@ mod tests {
             SchedulerKind::RoundRobin { k: 4 },
             SchedulerKind::Ssync { p: 50 },
             SchedulerKind::Crash { f: 10 },
+            SchedulerKind::Async { s: 3 },
         ] {
             let args = SmokeArgs {
                 n: 1500,

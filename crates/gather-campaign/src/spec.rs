@@ -220,7 +220,7 @@ impl Scenario {
         let controller = ControllerKind::parse(parts.next()?)?;
         let scheduler = match parts.next() {
             None => SchedulerKind::Fsync,
-            Some(s) => match SchedulerKind::parse(s)? {
+            Some(s) => match s.parse::<SchedulerKind>().ok()? {
                 SchedulerKind::Fsync => return None,
                 other => other,
             },
@@ -275,6 +275,9 @@ impl Scenario {
             // but a crashed obstacle can make gathering impossible, so
             // the base budget is also the cap on wasted work.
             SchedulerKind::Crash { .. } => base,
+            // A look commits after ~s/2 rounds on average; budget for
+            // the worst case of every look waiting the full staleness.
+            SchedulerKind::Async { s } => base.saturating_mul(u64::from(s) + 1),
         }
     }
 
@@ -283,14 +286,11 @@ impl Scenario {
     pub fn run(&self) -> ScenarioRecord {
         let points = self.points();
         let budget = self.budget(points.len());
-        let m = gather_bench::run_measured(
-            self.controller,
-            self.scheduler,
-            &points,
-            self.seed,
-            budget,
-            1,
-        );
+        let m = gather_bench::RunSpec::new(self.controller, &points)
+            .scheduler(self.scheduler)
+            .seed(self.seed)
+            .budget(budget)
+            .run();
         ScenarioRecord::from_measurement(self, &m)
     }
 
@@ -312,16 +312,12 @@ impl Scenario {
         // perf fields of the profiled report; gathered results and
         // digests never depend on it
         let start = Instant::now();
-        let m = gather_bench::run_measured_instrumented(
-            self.controller,
-            self.scheduler,
-            &points,
-            self.seed,
-            budget,
-            1,
-            None,
-            Some(Box::new(move |profile| sink.borrow_mut().add(profile))),
-        );
+        let m = gather_bench::RunSpec::new(self.controller, &points)
+            .scheduler(self.scheduler)
+            .seed(self.seed)
+            .budget(budget)
+            .profiler(Box::new(move |profile| sink.borrow_mut().add(profile)))
+            .run();
         let secs = start.elapsed().as_secs_f64();
         let mut rec = ScenarioRecord::from_measurement(self, &m);
         rec.secs = secs;
@@ -507,6 +503,7 @@ mod tests {
             SchedulerKind::Ssync { p: 50 },
             SchedulerKind::RoundRobin { k: 4 },
             SchedulerKind::Crash { f: 2 },
+            SchedulerKind::Async { s: 4 },
         ];
         for sc in spec.expand() {
             assert_eq!(Scenario::parse_id(&sc.id()), Some(sc), "{}", sc.id());
@@ -523,9 +520,27 @@ mod tests {
             "line/n64/s3/paper/fsync", // id() never emits a 5th fsync segment
             "line/n64/s3/paper/ssync-p0",
             "line/n64/s3/paper/rr4/extra",
+            "line/n64/s3/paper/async-s0", // zero staleness is spelled fsync
         ] {
             assert_eq!(Scenario::parse_id(bad), None, "{bad:?} must not parse");
         }
+    }
+
+    #[test]
+    fn async_budget_scales_with_staleness() {
+        let sc = Scenario {
+            family: Family::Line,
+            n: 64,
+            seed: 3,
+            controller: ControllerKind::Paper,
+            scheduler: SchedulerKind::Fsync,
+        };
+        let base = sc.budget(64);
+        // Worst case: every look waits the full staleness before its
+        // move commits, so the budget stretches by (s + 1).
+        let async4 = Scenario { scheduler: SchedulerKind::Async { s: 4 }, ..sc };
+        assert_eq!(async4.budget(64), base * 5);
+        assert_eq!(async4.id(), "line/n64/s3/paper/async-s4");
     }
 
     #[test]

@@ -12,7 +12,7 @@ use std::io::{self, BufReader, BufWriter};
 use std::path::{Path, PathBuf};
 use std::rc::Rc;
 
-use gather_bench::{run_measured_instrumented, run_measured_observed, ControllerKind};
+use gather_bench::{ControllerKind, RunSpec};
 use gather_trace::{
     divergence_between, RoundDivergence, TraceError, TraceHeader, TraceReader, TraceWriter,
 };
@@ -38,6 +38,40 @@ pub fn list_trace_files(dir: &Path) -> io::Result<Vec<PathBuf>> {
         .collect();
     out.sort();
     Ok(out)
+}
+
+/// Where a trace directory's shard manifest lives: *inside* the
+/// directory (unlike the result file's `.manifest.json` sibling), so
+/// copying or archiving the directory keeps the coverage proof with the
+/// traces it describes. The name has no `.gtrc` extension, so
+/// [`list_trace_files`] and [`clean_trace_dir`] never confuse it for a
+/// trace.
+pub fn trace_manifest_path(dir: &Path) -> PathBuf {
+    dir.join("shard.manifest.json")
+}
+
+/// Write (or overwrite) the trace-set manifest for `dir`. Same protocol
+/// as the result-file sidecar: once with `complete: false` when the
+/// recording starts, again with `complete: true` after the last trace
+/// is renamed into place.
+pub fn write_trace_manifest(dir: &Path, manifest: &crate::shard::ShardManifest) -> io::Result<()> {
+    let mut text = manifest.to_json();
+    text.push('\n');
+    fs::write(trace_manifest_path(dir), text)
+}
+
+/// Read the trace-set manifest of `dir`; `Ok(None)` when there is none
+/// (trace sets recorded before the sharded-trace subsystem).
+pub fn read_trace_manifest(dir: &Path) -> Result<Option<crate::shard::ShardManifest>, String> {
+    let path = trace_manifest_path(dir);
+    let text = match fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(format!("reading {}: {e}", path.display())),
+    };
+    crate::shard::ShardManifest::from_json(&text)
+        .map(Some)
+        .map_err(|e| format!("{}: {e}", path.display()))
 }
 
 /// Outcome of one recorded campaign job.
@@ -146,16 +180,15 @@ pub fn record_scenario_profiled(sc: &Scenario, dir: &Path, perf: bool) -> TraceJ
     // audit: allow(wall-clock) record-side wall-time is reported
     // alongside the trace; the trace bytes themselves are clock-free
     let start = std::time::Instant::now();
-    let m = run_measured_instrumented(
-        sc.controller,
-        sc.scheduler,
-        &points,
-        sc.seed,
-        budget,
-        1,
-        Some(observer),
-        profiler,
-    );
+    let mut spec = RunSpec::new(sc.controller, &points)
+        .scheduler(sc.scheduler)
+        .seed(sc.seed)
+        .budget(budget)
+        .observer(observer);
+    if let Some(profiler) = profiler {
+        spec = spec.profiler(profiler);
+    }
+    let m = spec.run();
     let secs = start.elapsed().as_secs_f64();
     let mut sink =
         Rc::try_unwrap(sink).ok().expect("engine dropped its observer clone").into_inner();
@@ -281,7 +314,12 @@ pub fn replay_trace(path: &Path) -> ReplayReport {
         let state = state.clone();
         Box::new(move |rec: &RoundRecord| state.borrow_mut().compare(rec))
     };
-    run_measured_observed(sc.controller, sc.scheduler, &points, sc.seed, budget, 1, Some(observer));
+    RunSpec::new(sc.controller, &points)
+        .scheduler(sc.scheduler)
+        .seed(sc.seed)
+        .budget(budget)
+        .observer(observer)
+        .run();
     let mut state =
         Rc::try_unwrap(state).ok().expect("engine dropped its observer clone").into_inner();
     if let Some(e) = state.error {

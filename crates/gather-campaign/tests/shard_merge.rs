@@ -7,8 +7,9 @@ use std::path::{Path, PathBuf};
 
 use gather_bench::{ControllerKind, SchedulerKind};
 use gather_campaign::{
-    executor, load_records, merge_shards, read_manifest, summarize, write_manifest, CampaignSpec,
-    JsonlSink, ShardManifest, ShardSpec, ShardStrategy,
+    executor, load_records, merge_shards, merge_trace_dirs, read_manifest, read_trace_manifest,
+    summarize, trace_ops, write_manifest, write_trace_manifest, CampaignSpec, JsonlSink,
+    ReplayStatus, ShardManifest, ShardSpec, ShardStrategy,
 };
 use gather_workloads::Family;
 use proptest::prelude::*;
@@ -314,8 +315,8 @@ fn shipped_shard_script_invokes_a_parsable_plan() {
     let gather_campaign::cli::Command::Plan { run, shards } = cmd else { panic!("not plan") };
     assert_eq!(shards, 4);
     assert_eq!(run.spec.name, "weak-sync");
-    assert_eq!(run.spec.len(), 2000, "the weak-sync sweep is the 2000-scenario question");
-    // The plan's command lines re-parse and partition the 2000
+    assert_eq!(run.spec.len(), 2400, "the weak-sync sweep is the 2400-scenario question");
+    // The plan's command lines re-parse and partition the 2400
     // scenarios exactly (proved in general by the proptest below; this
     // pins the shipped sweep specifically).
     let lines = gather_campaign::plan_lines(&run.spec, shards, run.strategy, &run.out, run.threads);
@@ -330,7 +331,164 @@ fn shipped_shard_script_invokes_a_parsable_plan() {
         };
         covered += parsed.spec.expand_shard(parsed.shard, parsed.strategy).len();
     }
-    assert_eq!(covered, 2000, "the four planned shards must cover every scenario");
+    assert_eq!(covered, 2400, "the four planned shards must cover every scenario");
+}
+
+/// A tiny spec for the sharded-trace tests, including the ASYNC
+/// scheduler so in-flight (v2 pending) trace content shards and merges
+/// too; greedy rides along untraced, exercising the traced-only
+/// manifest arithmetic.
+fn trace_spec() -> CampaignSpec {
+    let mut spec = CampaignSpec::named("trace-shard-test");
+    spec.families = vec![Family::Line, Family::Square];
+    spec.sizes = vec![16];
+    spec.seeds = vec![1, 2];
+    spec.controllers = vec![ControllerKind::Paper, ControllerKind::Greedy];
+    spec.schedulers = vec![SchedulerKind::Fsync, SchedulerKind::Async { s: 2 }];
+    spec
+}
+
+/// Record one shard's traces the way `campaign record --shard` does:
+/// traced-scenario manifest first (marker off), one `.gtrc` per engine
+/// scenario, marker flipped at the end.
+fn record_shard_traces(
+    spec: &CampaignSpec,
+    shard: ShardSpec,
+    strategy: ShardStrategy,
+    dir: &Path,
+) -> ShardManifest {
+    std::fs::create_dir_all(dir).unwrap();
+    let pending = executor::select_pending(&spec.expand(), shard, strategy, &Default::default());
+    let manifest = ShardManifest::for_traced_shard(spec, shard, strategy);
+    write_trace_manifest(dir, &manifest).unwrap();
+    for sc in &pending {
+        let outcome = trace_ops::record_scenario(sc, dir);
+        assert!(outcome.error.is_none(), "recording {}: {:?}", sc.id(), outcome.error);
+    }
+    let manifest = ShardManifest { complete: true, ..manifest };
+    write_trace_manifest(dir, &manifest).unwrap();
+    manifest
+}
+
+fn trace_bytes(dir: &Path) -> Vec<(String, Vec<u8>)> {
+    trace_ops::list_trace_files(dir)
+        .unwrap()
+        .into_iter()
+        .map(|p| {
+            (p.file_name().unwrap().to_string_lossy().into_owned(), std::fs::read(&p).unwrap())
+        })
+        .collect()
+}
+
+/// The trace-merge acceptance property: two shard recordings plus a
+/// verified merge produce a trace directory *byte-identical* to an
+/// unsharded recording — same file names, same bytes — with a complete
+/// full-cover manifest, and every merged trace replays clean.
+#[test]
+fn sharded_trace_record_plus_merge_is_byte_identical_to_unsharded() {
+    let spec = trace_spec();
+    let dir = tmp_dir("traces");
+
+    let reference = dir.join("reference");
+    record_shard_traces(&spec, ShardSpec::FULL, ShardStrategy::Hash, &reference);
+    let expected = trace_bytes(&reference);
+    let traced: Vec<_> =
+        spec.expand().into_iter().filter(|sc| sc.controller != ControllerKind::Greedy).collect();
+    assert_eq!(expected.len(), traced.len(), "one trace per engine scenario");
+
+    let shards: Vec<PathBuf> = (0..2)
+        .map(|index| {
+            let shard_dir = dir.join(format!("shard{index}of2"));
+            record_shard_traces(
+                &spec,
+                ShardSpec { index, count: 2 },
+                ShardStrategy::Hash,
+                &shard_dir,
+            );
+            shard_dir
+        })
+        .collect();
+
+    let merged = dir.join("merged");
+    let report = merge_trace_dirs(&shards, &merged).unwrap();
+    assert_eq!(report.total, traced.len());
+    assert_eq!(report.shards.len(), 2);
+
+    assert_eq!(trace_bytes(&merged), expected, "merged trace set must be byte-identical");
+
+    let manifest = read_trace_manifest(&merged).unwrap().unwrap();
+    assert!(manifest.complete);
+    assert_eq!(manifest.shard(), ShardSpec::FULL);
+    assert_eq!(manifest.shard_len, traced.len());
+
+    for file in trace_ops::list_trace_files(&merged).unwrap() {
+        let replay = trace_ops::replay_trace(&file);
+        assert!(
+            matches!(replay.status, ReplayStatus::Match { .. }),
+            "{}: {:?}",
+            replay.id,
+            replay.status
+        );
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// The trace merge refuses the same holes the result merge does:
+/// missing shards, incomplete recordings, sets that lost a trace, and
+/// directories without a manifest.
+#[test]
+fn trace_merge_rejects_broken_shard_sets() {
+    let spec = trace_spec();
+    let dir = tmp_dir("trace-reject");
+    let shards: Vec<PathBuf> = (0..2)
+        .map(|index| {
+            let shard_dir = dir.join(format!("shard{index}of2"));
+            record_shard_traces(
+                &spec,
+                ShardSpec { index, count: 2 },
+                ShardStrategy::Hash,
+                &shard_dir,
+            );
+            shard_dir
+        })
+        .collect();
+    let out = dir.join("merged");
+
+    // Missing shard.
+    let err = merge_trace_dirs(&shards[..1], &out).unwrap_err();
+    assert!(err.contains("missing shard"), "{err}");
+
+    // Incomplete recording (crashed mid-run).
+    let manifest = read_trace_manifest(&shards[0]).unwrap().unwrap();
+    write_trace_manifest(&shards[0], &ShardManifest { complete: false, ..manifest.clone() })
+        .unwrap();
+    let err = merge_trace_dirs(&shards, &out).unwrap_err();
+    assert!(err.contains("completion marker"), "{err}");
+    write_trace_manifest(&shards[0], &manifest).unwrap();
+
+    // A lost trace file.
+    let victim = trace_ops::list_trace_files(&shards[1]).unwrap().remove(0);
+    let bytes = std::fs::read(&victim).unwrap();
+    std::fs::remove_file(&victim).unwrap();
+    let err = merge_trace_dirs(&shards, &out).unwrap_err();
+    assert!(err.contains("does not match its manifest"), "{err}");
+
+    // A renamed trace file (count and header intact, name wrong).
+    std::fs::write(shards[1].join("imposter.gtrc"), &bytes).unwrap();
+    let err = merge_trace_dirs(&shards, &out).unwrap_err();
+    assert!(err.contains("not named"), "{err}");
+    std::fs::write(&victim, &bytes).unwrap();
+    std::fs::remove_file(shards[1].join("imposter.gtrc")).unwrap();
+
+    // A directory that was never a recorded shard.
+    let foreign = dir.join("not-a-shard");
+    std::fs::create_dir_all(&foreign).unwrap();
+    let err = merge_trace_dirs(&[shards[0].clone(), foreign], &out).unwrap_err();
+    assert!(err.contains("no trace manifest"), "{err}");
+
+    // Nothing was ever written on failure.
+    assert!(!out.exists(), "a refused merge must not leave a partial output");
+    std::fs::remove_dir_all(&dir).unwrap();
 }
 
 proptest! {

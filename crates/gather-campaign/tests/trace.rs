@@ -7,7 +7,7 @@ use std::fs::File;
 use std::io::{BufReader, BufWriter};
 use std::path::{Path, PathBuf};
 
-use gather_bench::{run_measured_observed, ControllerKind, SchedulerKind};
+use gather_bench::{ControllerKind, RunSpec, SchedulerKind};
 use gather_campaign::trace_ops::{self, trace_file_name};
 use gather_campaign::{
     executor, CampaignSpec, DiffStatus, ReplayStatus, Scenario, TraceJobOutcome,
@@ -16,16 +16,21 @@ use gather_trace::{read_all_rounds, TraceHeader, TraceReader, TraceWriter};
 use gather_workloads::Family;
 
 /// A small heterogeneous spec covering every controller (greedy rides
-/// along untraced), a weak-synchrony scheduler, and the crash-fault
-/// scheduler.
+/// along untraced), a weak-synchrony scheduler, the crash-fault
+/// scheduler, and true ASYNC (whose v2 traces carry in-flight pending
+/// moves — record, replay and diff must all handle them).
 fn small_spec() -> CampaignSpec {
     let mut spec = CampaignSpec::named("trace-test");
     spec.families = vec![Family::Line, Family::Square];
     spec.sizes = vec![16];
     spec.seeds = vec![1, 2];
     spec.controllers = vec![ControllerKind::Paper, ControllerKind::Center, ControllerKind::Greedy];
-    spec.schedulers =
-        vec![SchedulerKind::Fsync, SchedulerKind::Ssync { p: 50 }, SchedulerKind::Crash { f: 2 }];
+    spec.schedulers = vec![
+        SchedulerKind::Fsync,
+        SchedulerKind::Ssync { p: 50 },
+        SchedulerKind::Crash { f: 2 },
+        SchedulerKind::Async { s: 2 },
+    ];
     spec
 }
 
@@ -106,17 +111,15 @@ fn recording_is_byte_identical_across_thread_counts() {
         let writer = TraceWriter::new(Vec::new(), &header).unwrap();
         let shared = Rc::new(RefCell::new(writer));
         let sink = shared.clone();
-        run_measured_observed(
-            sc.controller,
-            sc.scheduler,
-            &points,
-            sc.seed,
-            budget,
-            threads,
-            Some(Box::new(move |rec| {
+        RunSpec::new(sc.controller, &points)
+            .scheduler(sc.scheduler)
+            .seed(sc.seed)
+            .budget(budget)
+            .threads(threads)
+            .observer(Box::new(move |rec| {
                 sink.borrow_mut().write_round(rec).unwrap();
-            })),
-        );
+            }))
+            .run();
         Rc::try_unwrap(shared).ok().unwrap().into_inner().finish().unwrap()
     };
     let reference = record_with_threads(1);

@@ -50,24 +50,50 @@ pub fn diff_rounds(a: &[RoundRecord], b: &[RoundRecord]) -> Result<u64, RoundDiv
 
 /// The smallest robot index two records of the same round disagree
 /// about: first a robot activated in exactly one of them, then a robot
-/// whose move differs. `None` when the records differ only in
-/// aggregates (merged/population/digest).
+/// whose committed move differs, then a robot whose pending (in-flight)
+/// move differs. `None` when the records differ only in aggregates
+/// (merged/population/digest).
 pub fn first_divergent_robot(a: &RoundRecord, b: &RoundRecord) -> Option<u32> {
     if let Some(robot) = first_activation_difference(&a.activated, &b.activated) {
         return Some(robot);
     }
-    let (mut ia, mut ib) = (a.moves.iter().peekable(), b.moves.iter().peekable());
+    first_sorted_list_difference(
+        &a.moves,
+        &b.moves,
+        |m| m.robot,
+        |x, y| (x.dx, x.dy) == (y.dx, y.dy),
+    )
+    .or_else(|| {
+        first_sorted_list_difference(
+            &a.pending,
+            &b.pending,
+            |p| p.robot,
+            |x, y| (x.dx, x.dy, x.delay) == (y.dx, y.dy, y.delay),
+        )
+    })
+}
+
+/// Smallest robot index where two robot-sorted lists disagree — either
+/// an entry present in only one, or matching robots whose payloads
+/// differ under `same`.
+fn first_sorted_list_difference<T>(
+    a: &[T],
+    b: &[T],
+    robot: impl Fn(&T) -> u32,
+    same: impl Fn(&T, &T) -> bool,
+) -> Option<u32> {
+    let (mut ia, mut ib) = (a.iter().peekable(), b.iter().peekable());
     loop {
         match (ia.peek(), ib.peek()) {
             (None, None) => return None,
-            (Some(ma), None) => return Some(ma.robot),
-            (None, Some(mb)) => return Some(mb.robot),
-            (Some(ma), Some(mb)) => {
-                if ma.robot != mb.robot {
-                    return Some(ma.robot.min(mb.robot));
+            (Some(x), None) => return Some(robot(x)),
+            (None, Some(y)) => return Some(robot(y)),
+            (Some(x), Some(y)) => {
+                if robot(x) != robot(y) {
+                    return Some(robot(x).min(robot(y)));
                 }
-                if (ma.dx, ma.dy) != (mb.dx, mb.dy) {
-                    return Some(ma.robot);
+                if !same(x, y) {
+                    return Some(robot(x));
                 }
                 ia.next();
                 ib.next();
@@ -113,6 +139,8 @@ fn divergence_detail(a: &RoundRecord, b: &RoundRecord) -> String {
         "activation sets differ".into()
     } else if a.moves != b.moves {
         "moves differ".into()
+    } else if a.pending != b.pending {
+        "pending (in-flight) moves differ".into()
     } else if a.merged != b.merged {
         format!("merge counts differ ({} vs {})", a.merged, b.merged)
     } else if a.population != b.population {
@@ -129,6 +157,8 @@ mod tests {
     use super::*;
     use grid_engine::RobotMove;
 
+    use grid_engine::PendingMove;
+
     fn rec(round: u64) -> RoundRecord {
         RoundRecord {
             round,
@@ -137,6 +167,7 @@ mod tests {
                 RobotMove { robot: 0, dx: 1, dy: 0 },
                 RobotMove { robot: 5, dx: 0, dy: -1 },
             ],
+            pending: vec![PendingMove { robot: 2, dx: 1, dy: 1, delay: 2 }],
             merged: 0,
             population: 6,
             digest: round * 7,
@@ -183,6 +214,19 @@ mod tests {
         let mut c = rec(0);
         c.moves.push(RobotMove { robot: 9, dx: 1, dy: 1 });
         assert_eq!(first_divergent_robot(&a, &c), Some(9));
+    }
+
+    #[test]
+    fn pending_divergence_localises_the_robot() {
+        let a = rec(0);
+        let mut b = rec(0);
+        b.pending[0].delay = 3;
+        let d = divergence_between(&a, &b).unwrap();
+        assert_eq!(d.robot, Some(2));
+        assert_eq!(d.detail, "pending (in-flight) moves differ");
+        let mut c = rec(0);
+        c.pending.clear();
+        assert_eq!(first_divergent_robot(&a, &c), Some(2));
     }
 
     #[test]

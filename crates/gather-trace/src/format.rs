@@ -3,7 +3,7 @@
 use std::fmt;
 use std::io::{self, Read, Write};
 
-use grid_engine::{Activation, Point, RobotMove, RoundRecord};
+use grid_engine::{Activation, PendingMove, Point, RobotMove, RoundRecord};
 
 use crate::varint::{read_i64, read_u64, write_i64, write_u64};
 
@@ -11,9 +11,17 @@ use crate::varint::{read_i64, read_u64, write_i64, write_u64};
 pub const MAGIC: [u8; 4] = *b"GTRC";
 
 /// Current format version. Bump on any wire-format change; readers
-/// refuse other versions loudly ([`TraceError::VersionMismatch`])
-/// instead of misparsing.
-pub const FORMAT_VERSION: u16 = 1;
+/// refuse versions outside [`MIN_FORMAT_VERSION`]`..=`[`FORMAT_VERSION`]
+/// loudly ([`TraceError::VersionMismatch`]) instead of misparsing.
+///
+/// Version 2 appends each round's in-flight (pending-move) state — the
+/// moves an ASYNC scheduler parked between look and move — after the
+/// committed move list. Version 1 streams, which predate ASYNC, are
+/// still read (their rounds decode with empty pending lists).
+pub const FORMAT_VERSION: u16 = 2;
+
+/// Oldest format version this build still reads.
+pub const MIN_FORMAT_VERSION: u16 = 1;
 
 /// Everything needed to pin a trace to the run that produced it.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -37,7 +45,8 @@ pub enum TraceError {
     Io(io::Error),
     /// The file does not start with [`MAGIC`].
     BadMagic,
-    /// The file's format version differs from [`FORMAT_VERSION`].
+    /// The file's format version is outside the readable range
+    /// [`MIN_FORMAT_VERSION`]`..=`[`FORMAT_VERSION`].
     VersionMismatch {
         found: u16,
     },
@@ -51,7 +60,11 @@ impl fmt::Display for TraceError {
             TraceError::Io(e) => write!(f, "trace I/O error: {e}"),
             TraceError::BadMagic => write!(f, "not a trace file (bad magic)"),
             TraceError::VersionMismatch { found } => {
-                write!(f, "trace format version {found} (this build reads {FORMAT_VERSION})")
+                write!(
+                    f,
+                    "trace format version {found} (this build reads \
+                     {MIN_FORMAT_VERSION}..={FORMAT_VERSION})"
+                )
             }
             TraceError::Corrupt(why) => write!(f, "corrupt trace: {why}"),
         }
@@ -71,9 +84,14 @@ impl From<io::Error> for TraceError {
     }
 }
 
-pub(crate) fn write_header(out: &mut impl Write, header: &TraceHeader) -> io::Result<()> {
+pub(crate) fn write_header(
+    out: &mut impl Write,
+    header: &TraceHeader,
+    version: u16,
+) -> io::Result<()> {
+    debug_assert!((MIN_FORMAT_VERSION..=FORMAT_VERSION).contains(&version));
     out.write_all(&MAGIC)?;
-    out.write_all(&FORMAT_VERSION.to_le_bytes())?;
+    out.write_all(&version.to_le_bytes())?;
     write_u64(out, header.scenario_id.len() as u64)?;
     out.write_all(header.scenario_id.as_bytes())?;
     write_u64(out, header.seed)?;
@@ -86,7 +104,10 @@ pub(crate) fn write_header(out: &mut impl Write, header: &TraceHeader) -> io::Re
     Ok(())
 }
 
-pub(crate) fn read_header(input: &mut impl Read) -> Result<TraceHeader, TraceError> {
+/// Read the header *and* the stream's format version — round bodies are
+/// version-dependent, so the caller must thread the version through to
+/// [`read_round_body`].
+pub(crate) fn read_header(input: &mut impl Read) -> Result<(TraceHeader, u16), TraceError> {
     let mut magic = [0u8; 4];
     input.read_exact(&mut magic)?;
     if magic != MAGIC {
@@ -95,7 +116,7 @@ pub(crate) fn read_header(input: &mut impl Read) -> Result<TraceHeader, TraceErr
     let mut version = [0u8; 2];
     input.read_exact(&mut version)?;
     let version = u16::from_le_bytes(version);
-    if version != FORMAT_VERSION {
+    if !(MIN_FORMAT_VERSION..=FORMAT_VERSION).contains(&version) {
         return Err(TraceError::VersionMismatch { found: version });
     }
     let id_len = read_u64(input)? as usize;
@@ -132,7 +153,7 @@ pub(crate) fn read_header(input: &mut impl Read) -> Result<TraceHeader, TraceErr
             return Err(TraceError::Corrupt(format!("duplicate initial position {p:?}")));
         }
     }
-    Ok(TraceHeader { scenario_id, seed, config_digest, initial })
+    Ok((TraceHeader { scenario_id, seed, config_digest, initial }, version))
 }
 
 /// Pre-allocation cap for length-prefixed lists: a corrupt length field
@@ -155,7 +176,16 @@ pub(crate) const END_MARKER: u8 = 0x00;
 const ACTIVATION_ALL: u8 = 0x00;
 const ACTIVATION_SUBSET: u8 = 0x01;
 
-pub(crate) fn write_round(out: &mut impl Write, rec: &RoundRecord) -> io::Result<()> {
+pub(crate) fn write_round(out: &mut impl Write, rec: &RoundRecord, version: u16) -> io::Result<()> {
+    if version < 2 && !rec.pending.is_empty() {
+        // A v1 stream has nowhere to put in-flight state; dropping it
+        // silently would record a trace that replays to different
+        // in-flight reconstruction, so refuse loudly.
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "round carries pending moves, which format v1 cannot encode",
+        ));
+    }
     out.write_all(&[ROUND_MARKER])?;
     write_u64(out, rec.round)?;
     match &rec.activated {
@@ -181,13 +211,34 @@ pub(crate) fn write_round(out: &mut impl Write, rec: &RoundRecord) -> io::Result
         prev = i;
         out.write_all(&[step_byte(m.dx, m.dy)])?;
     }
+    if version >= 2 {
+        debug_assert!(
+            rec.pending.windows(2).all(|w| w[0].robot < w[1].robot),
+            "pending list must be sorted"
+        );
+        write_u64(out, rec.pending.len() as u64)?;
+        let mut prev = 0u64;
+        for (k, p) in rec.pending.iter().enumerate() {
+            debug_assert!(p.delay >= 1, "a pending move is due at least one round out");
+            let i = u64::from(p.robot);
+            write_u64(out, if k == 0 { i } else { i - prev })?;
+            prev = i;
+            out.write_all(&[pending_step_byte(p.dx, p.dy)])?;
+            write_u64(out, u64::from(p.delay))?;
+        }
+    }
     write_u64(out, u64::from(rec.merged))?;
     write_u64(out, u64::from(rec.population))?;
     out.write_all(&rec.digest.to_le_bytes())
 }
 
-/// Read the record that follows an already-consumed [`ROUND_MARKER`].
-pub(crate) fn read_round_body(input: &mut impl Read) -> Result<RoundRecord, TraceError> {
+/// Read the record that follows an already-consumed [`ROUND_MARKER`],
+/// laid out according to `version` (v1 bodies carry no pending section
+/// and decode with `pending = []`).
+pub(crate) fn read_round_body(
+    input: &mut impl Read,
+    version: u16,
+) -> Result<RoundRecord, TraceError> {
     let round = read_u64(input)?;
     let mut tag = [0u8; 1];
     input.read_exact(&mut tag)?;
@@ -215,6 +266,26 @@ pub(crate) fn read_round_body(input: &mut impl Read) -> Result<RoundRecord, Trac
         let (dx, dy) = unstep_byte(step[0])?;
         moves.push(RobotMove { robot, dx, dy });
     }
+    let mut pending = Vec::new();
+    if version >= 2 {
+        let count = checked_len(read_u64(input)?, "pending count")?;
+        let mut decoder = SortedIndexDecoder::new("pending list");
+        pending.reserve(prealloc(count));
+        for _ in 0..count {
+            let robot = u32::try_from(decoder.next(input)?).map_err(|_| overflow())?;
+            let mut step = [0u8; 1];
+            input.read_exact(&mut step)?;
+            let (dx, dy) = unpending_step_byte(step[0])?;
+            let delay = u32::try_from(read_u64(input)?)
+                .map_err(|_| TraceError::Corrupt("pending delay > u32".into()))?;
+            if delay == 0 {
+                return Err(TraceError::Corrupt(
+                    "pending move with zero delay (delay-0 looks commit as moves)".into(),
+                ));
+            }
+            pending.push(PendingMove { robot, dx, dy, delay });
+        }
+    }
     let merged =
         u32::try_from(read_u64(input)?).map_err(|_| TraceError::Corrupt("merged > u32".into()))?;
     let population = u32::try_from(read_u64(input)?)
@@ -225,6 +296,7 @@ pub(crate) fn read_round_body(input: &mut impl Read) -> Result<RoundRecord, Trac
         round,
         activated,
         moves,
+        pending,
         merged,
         population,
         digest: u64::from_le_bytes(digest),
@@ -286,6 +358,22 @@ fn unstep_byte(b: u8) -> Result<(i8, i8), TraceError> {
     Ok(((b / 3) as i8 - 1, (b % 3) as i8 - 1))
 }
 
+/// Pack a pending king step into one byte — same layout as
+/// [`step_byte`], but byte 4 (the zero step) is legal: a robot in
+/// flight may well have decided to stay, and stays in flight until its
+/// empty move falls due.
+fn pending_step_byte(dx: i8, dy: i8) -> u8 {
+    debug_assert!((-1..=1).contains(&dx) && (-1..=1).contains(&dy));
+    ((dx + 1) * 3 + (dy + 1)) as u8
+}
+
+fn unpending_step_byte(b: u8) -> Result<(i8, i8), TraceError> {
+    if b > 8 {
+        return Err(TraceError::Corrupt(format!("bad pending step byte {b:#x}")));
+    }
+    Ok(((b / 3) as i8 - 1, (b % 3) as i8 - 1))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -302,15 +390,17 @@ mod tests {
     #[test]
     fn header_round_trips() {
         let h = header();
-        let mut buf = Vec::new();
-        write_header(&mut buf, &h).unwrap();
-        assert_eq!(read_header(&mut buf.as_slice()).unwrap(), h);
+        for version in [1u16, 2] {
+            let mut buf = Vec::new();
+            write_header(&mut buf, &h, version).unwrap();
+            assert_eq!(read_header(&mut buf.as_slice()).unwrap(), (h.clone(), version));
+        }
     }
 
     #[test]
     fn header_rejects_bad_magic_and_version() {
         let mut buf = Vec::new();
-        write_header(&mut buf, &header()).unwrap();
+        write_header(&mut buf, &header(), FORMAT_VERSION).unwrap();
         let mut bad = buf.clone();
         bad[0] = b'X';
         assert!(matches!(read_header(&mut bad.as_slice()), Err(TraceError::BadMagic)));
@@ -320,12 +410,21 @@ mod tests {
             read_header(&mut bumped.as_slice()),
             Err(TraceError::VersionMismatch { found: 0x7f })
         ));
+        let mut zeroed = buf.clone();
+        zeroed[4] = 0x00;
+        assert!(
+            matches!(
+                read_header(&mut zeroed.as_slice()),
+                Err(TraceError::VersionMismatch { found: 0 })
+            ),
+            "version 0 predates the format and must not parse"
+        );
     }
 
     #[test]
     fn header_truncations_are_corrupt() {
         let mut buf = Vec::new();
-        write_header(&mut buf, &header()).unwrap();
+        write_header(&mut buf, &header(), FORMAT_VERSION).unwrap();
         for cut in [3, 5, 8, buf.len() - 1] {
             match read_header(&mut &buf[..cut]) {
                 Err(TraceError::Corrupt(_)) | Err(TraceError::BadMagic) => {}
@@ -341,6 +440,7 @@ mod tests {
                 round: 0,
                 activated: Activation::All,
                 moves: vec![],
+                pending: vec![],
                 merged: 0,
                 population: 9,
                 digest: 1,
@@ -353,18 +453,87 @@ mod tests {
                     RobotMove { robot: 3, dx: 1, dy: 0 },
                     RobotMove { robot: 17, dx: 0, dy: 1 },
                 ],
+                // An ASYNC round: robot 2 parked a real step, robot 17
+                // also committed a stale move this round while a fresh
+                // zero-step look goes in flight.
+                pending: vec![
+                    PendingMove { robot: 2, dx: 1, dy: 1, delay: 3 },
+                    PendingMove { robot: 17, dx: 0, dy: 0, delay: 1 },
+                ],
                 merged: 2,
                 population: 40,
                 digest: u64::MAX,
             },
+            RoundRecord {
+                // Everyone in flight: the empty look set is a legal
+                // ASYNC activation and must survive the wire.
+                round: 301,
+                activated: Activation::Subset(vec![]),
+                moves: vec![],
+                pending: vec![],
+                merged: 0,
+                population: 40,
+                digest: 17,
+            },
         ];
         for rec in &recs {
             let mut buf = Vec::new();
-            write_round(&mut buf, rec).unwrap();
+            write_round(&mut buf, rec, FORMAT_VERSION).unwrap();
             assert_eq!(buf[0], ROUND_MARKER);
-            let got = read_round_body(&mut &buf[1..]).unwrap();
+            let got = read_round_body(&mut &buf[1..], FORMAT_VERSION).unwrap();
             assert_eq!(&got, rec);
         }
+    }
+
+    #[test]
+    fn v1_rounds_decode_without_pending_and_refuse_to_encode_it() {
+        let rec = RoundRecord {
+            round: 5,
+            activated: Activation::All,
+            moves: vec![RobotMove { robot: 1, dx: 1, dy: 0 }],
+            pending: vec![],
+            merged: 0,
+            population: 3,
+            digest: 99,
+        };
+        let mut buf = Vec::new();
+        write_round(&mut buf, &rec, 1).unwrap();
+        assert_eq!(read_round_body(&mut &buf[1..], 1).unwrap(), rec);
+        let mut with_pending = rec.clone();
+        with_pending.pending.push(PendingMove { robot: 2, dx: 0, dy: 1, delay: 2 });
+        let err = write_round(&mut Vec::new(), &with_pending, 1).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+    }
+
+    #[test]
+    fn pending_rejects_zero_delay_and_bad_step() {
+        let rec = RoundRecord {
+            round: 0,
+            activated: Activation::All,
+            moves: vec![],
+            pending: vec![PendingMove { robot: 0, dx: 0, dy: 0, delay: 1 }],
+            merged: 0,
+            population: 1,
+            digest: 0,
+        };
+        let mut buf = Vec::new();
+        write_round(&mut buf, &rec, FORMAT_VERSION).unwrap();
+        // The pending entry is the last three fields before the three
+        // aggregate tail fields; corrupt its delay varint (1 → 0).
+        let delay_pos = buf.len() - 1 - 8 - 1 - 1; // digest, population, merged varints
+        assert_eq!(buf[delay_pos], 1);
+        let mut zero_delay = buf.clone();
+        zero_delay[delay_pos] = 0;
+        assert!(matches!(
+            read_round_body(&mut &zero_delay[1..], FORMAT_VERSION),
+            Err(TraceError::Corrupt(why)) if why.contains("zero delay")
+        ));
+        let mut bad_step = buf.clone();
+        bad_step[delay_pos - 1] = 9; // step byte just past the king range
+        assert!(matches!(
+            read_round_body(&mut &bad_step[1..], FORMAT_VERSION),
+            Err(TraceError::Corrupt(why)) if why.contains("pending step")
+        ));
     }
 
     #[test]
@@ -383,5 +552,8 @@ mod tests {
         assert_eq!(seen.len(), 8);
         assert!(unstep_byte(4).is_err(), "the zero step is not encodable");
         assert!(unstep_byte(9).is_err());
+        assert_eq!(unpending_step_byte(4).unwrap(), (0, 0), "pending steps allow the stay");
+        assert_eq!(pending_step_byte(0, 0), 4);
+        assert!(unpending_step_byte(9).is_err());
     }
 }

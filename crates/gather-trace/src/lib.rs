@@ -21,15 +21,16 @@
 //!   comparison of two record streams, localising the first divergence
 //!   to a round and, where possible, a robot index.
 //!
-//! ## Wire format (version 1)
+//! ## Wire format (version 2)
 //!
 //! ```text
 //! header:  "GTRC" | version u16 LE | id len+bytes | seed varint |
 //!          config_digest u64 LE | n varint | n × (zigzag x, zigzag y)
-//! round:   0x01 | round varint | activation | moves | merged varint |
-//!          population varint | digest u64 LE
+//! round:   0x01 | round varint | activation | moves | pending |
+//!          merged varint | population varint | digest u64 LE
 //!   activation: 0x00 (all)  or  0x01 | count | first | gaps…
 //!   moves:      count | (robot gap varint, step byte)…   step = (dx+1)·3+(dy+1)
+//!   pending:    count | (robot gap varint, step byte, delay varint)…
 //! end:     0x00
 //! ```
 //!
@@ -39,6 +40,14 @@
 //! distinguishable from complete ones, and the leading version makes
 //! format drift a loud [`TraceError::VersionMismatch`] instead of a
 //! silent misparse.
+//!
+//! The `pending` section is new in version 2: the moves an ASYNC
+//! scheduler parked this round (look now, move `delay ≥ 1` rounds
+//! later). Its step byte *does* allow the zero step — a robot in
+//! flight may have decided to stay — whereas the committed move list
+//! still rejects it. Version 1 streams (which predate ASYNC) are still
+//! read in full; their rounds decode with empty pending lists, so
+//! every committed trace keeps replaying bit-exactly.
 
 pub mod diff;
 pub mod format;
@@ -47,12 +56,12 @@ pub mod stream;
 pub mod varint;
 
 pub use diff::{diff_rounds, divergence_between, first_divergent_robot, RoundDivergence};
-pub use format::{TraceError, TraceHeader, FORMAT_VERSION, MAGIC};
+pub use format::{TraceError, TraceHeader, FORMAT_VERSION, MAGIC, MIN_FORMAT_VERSION};
 pub use playback::{Playback, PlaybackError};
 pub use stream::{read_all_rounds, TraceReader, TraceWriter};
 
 // The record types are defined next to the engine that emits them.
-pub use grid_engine::{RobotMove, RoundRecord};
+pub use grid_engine::{PendingMove, RobotMove, RoundRecord};
 
 /// Digest a byte string into the u64 the header's `config_digest` field
 /// carries: a fold over `grid_engine::splitmix64`, the one mixer the

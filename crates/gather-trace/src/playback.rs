@@ -6,6 +6,9 @@
 //! simultaneous-move + merge semantics (the survivor rule lives in one
 //! place, [`Swarm::apply_partial`], so playback cannot drift from the
 //! engine), then verifies the recorded population and position digest.
+//! Pending (in-flight) moves from ASYNC traces are deliberately
+//! ignored: they do not touch positions until they commit, at which
+//! point they appear in that round's move list like any other move.
 
 use std::fmt;
 
@@ -111,6 +114,7 @@ mod tests {
             round,
             activated: Activation::All,
             moves,
+            pending: vec![],
             merged,
             population: swarm.len() as u32,
             digest: swarm.position_digest(),
@@ -140,6 +144,7 @@ mod tests {
             round: 3,
             activated: Activation::All,
             moves: vec![],
+            pending: vec![],
             merged: 0,
             population: 2,
             digest: 0xbad,
@@ -155,6 +160,7 @@ mod tests {
             round: 0,
             activated: Activation::All,
             moves: vec![],
+            pending: vec![],
             merged: 1,
             population: 1, // nothing moved, so nothing merged
             digest: 0,
@@ -169,6 +175,7 @@ mod tests {
             round: 1,
             activated: Activation::All,
             moves: vec![RobotMove { robot: 9, dx: 1, dy: 0 }],
+            pending: vec![],
             merged: 0,
             population: 2,
             digest: 0,

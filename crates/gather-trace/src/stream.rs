@@ -6,7 +6,7 @@ use grid_engine::RoundRecord;
 
 use crate::format::{
     read_header, read_round_body, write_header, write_round, TraceError, TraceHeader, END_MARKER,
-    ROUND_MARKER,
+    FORMAT_VERSION, MIN_FORMAT_VERSION, ROUND_MARKER,
 };
 
 /// Streaming trace writer: header up front, one round at a time, an
@@ -16,17 +16,35 @@ use crate::format::{
 pub struct TraceWriter<W: Write> {
     out: W,
     rounds: u64,
+    version: u16,
 }
 
 impl<W: Write> TraceWriter<W> {
-    /// Write the header and return a writer ready for rounds.
-    pub fn new(mut out: W, header: &TraceHeader) -> io::Result<Self> {
-        write_header(&mut out, header)?;
-        Ok(TraceWriter { out, rounds: 0 })
+    /// Write the header and return a writer ready for rounds. Always
+    /// writes the current [`FORMAT_VERSION`].
+    pub fn new(out: W, header: &TraceHeader) -> io::Result<Self> {
+        Self::with_version(out, header, FORMAT_VERSION)
+    }
+
+    /// Like [`TraceWriter::new`] but emitting an older still-supported
+    /// format version — for back-compat tests and for regenerating
+    /// fixtures readable by older builds. Writing a round that the
+    /// chosen version cannot represent (pending moves in v1) fails.
+    ///
+    /// # Panics
+    /// Panics if `version` is outside
+    /// [`MIN_FORMAT_VERSION`]`..=`[`FORMAT_VERSION`].
+    pub fn with_version(mut out: W, header: &TraceHeader, version: u16) -> io::Result<Self> {
+        assert!(
+            (MIN_FORMAT_VERSION..=FORMAT_VERSION).contains(&version),
+            "unsupported trace format version {version}"
+        );
+        write_header(&mut out, header, version)?;
+        Ok(TraceWriter { out, rounds: 0, version })
     }
 
     pub fn write_round(&mut self, rec: &RoundRecord) -> io::Result<()> {
-        write_round(&mut self.out, rec)?;
+        write_round(&mut self.out, rec, self.version)?;
         self.rounds += 1;
         Ok(())
     }
@@ -49,18 +67,26 @@ impl<W: Write> TraceWriter<W> {
 pub struct TraceReader<R: Read> {
     input: R,
     header: TraceHeader,
+    version: u16,
     finished: bool,
 }
 
 impl<R: Read> TraceReader<R> {
     /// Read and validate the header (magic, version) from `input`.
     pub fn new(mut input: R) -> Result<Self, TraceError> {
-        let header = read_header(&mut input)?;
-        Ok(TraceReader { input, header, finished: false })
+        let (header, version) = read_header(&mut input)?;
+        Ok(TraceReader { input, header, version, finished: false })
     }
 
     pub fn header(&self) -> &TraceHeader {
         &self.header
+    }
+
+    /// The stream's format version (within
+    /// [`MIN_FORMAT_VERSION`]`..=`[`FORMAT_VERSION`], or `new` would
+    /// have refused it).
+    pub fn format_version(&self) -> u16 {
+        self.version
     }
 
     /// The next round record, or `Ok(None)` at the end marker. A stream
@@ -76,7 +102,7 @@ impl<R: Read> TraceReader<R> {
                 self.finished = true;
                 Ok(None)
             }
-            ROUND_MARKER => Ok(Some(read_round_body(&mut self.input)?)),
+            ROUND_MARKER => Ok(Some(read_round_body(&mut self.input, self.version)?)),
             other => Err(TraceError::Corrupt(format!("bad record marker {other:#x}"))),
         }
     }
@@ -113,6 +139,7 @@ mod tests {
             round,
             activated: Activation::Subset(vec![0]),
             moves: vec![RobotMove { robot: 0, dx: 1, dy: 0 }],
+            pending: vec![],
             merged: 0,
             population: 2,
             digest: round.wrapping_mul(31),
@@ -129,10 +156,23 @@ mod tests {
         let bytes = w.finish().unwrap();
         let mut r = TraceReader::new(bytes.as_slice()).unwrap();
         assert_eq!(r.header(), &header());
+        assert_eq!(r.format_version(), crate::format::FORMAT_VERSION);
         let rounds = read_all_rounds(&mut r).unwrap();
         assert_eq!(rounds, (0..5).map(rec).collect::<Vec<_>>());
         // Idempotent after the end marker.
         assert!(r.next_round().unwrap().is_none());
+    }
+
+    #[test]
+    fn v1_streams_still_read() {
+        let mut w = TraceWriter::with_version(Vec::new(), &header(), 1).unwrap();
+        for r in 0..3 {
+            w.write_round(&rec(r)).unwrap();
+        }
+        let bytes = w.finish().unwrap();
+        let mut r = TraceReader::new(bytes.as_slice()).unwrap();
+        assert_eq!(r.format_version(), 1);
+        assert_eq!(read_all_rounds(&mut r).unwrap(), (0..3).map(rec).collect::<Vec<_>>());
     }
 
     #[test]

@@ -270,6 +270,7 @@ mod tests {
                 merged: 1,
                 population: 2,
                 digest: probe.position_digest(),
+                pending: vec![],
             },
             RoundRecord {
                 round: 1,
@@ -278,6 +279,7 @@ mod tests {
                 merged: 0,
                 population: 2,
                 digest: probe.position_digest(),
+                pending: vec![],
             },
         ];
         let t = Trace::from_rounds(&initial, &rounds, 1).unwrap();
@@ -323,6 +325,7 @@ mod tests {
             merged: 1,
             population: 1,
             digest: probe.position_digest(),
+            pending: vec![],
         })
         .unwrap();
         let bytes = w.finish().unwrap();

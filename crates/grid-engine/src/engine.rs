@@ -5,10 +5,10 @@
 use crate::connectivity::is_connected;
 use crate::geom::{Bounds, V2};
 use crate::metrics::{Metrics, RoundStats};
-use crate::observe::{BoxedRoundObserver, RobotMove, RoundRecord};
+use crate::observe::{BoxedRoundObserver, PendingMove, RobotMove, RoundRecord};
 use crate::parallel::parallel_map;
 use crate::profile::{self, timed, BoxedProfileSink, Phase, RoundProfile};
-use crate::scheduler::{Activation, Scheduler};
+use crate::scheduler::{async_delay, Activation, Scheduler};
 use crate::swarm::{Action, OrientationMode, RobotState, Swarm};
 use crate::view::View;
 use std::fmt;
@@ -224,53 +224,76 @@ impl<C: Controller> Engine<C> {
         let n = self.swarm.len();
         let ctx = RoundCtx { round: self.round };
         let radius = self.controller.radius();
-        let activation =
-            timed(&mut prof, Phase::Activate, || self.config.scheduler.activate(self.round, n));
-        let activated = activation.len(n);
-        let swarm = &self.swarm;
-        let controller = &self.controller;
-        let decide = |i: usize| {
-            let view = View::new(swarm, i, radius);
-            controller.decide(&view, ctx)
-        };
-        // Observation is pay-as-you-go: the activation clone and the
-        // world-frame move list are only materialised when an observer
-        // is attached.
+        // Observation is pay-as-you-go: the activation clone, the
+        // world-frame move list and the pending-move list are only
+        // materialised when an observer is attached.
         let tracing = self.observer.is_some();
-        let recorded_activation = tracing.then(|| activation.clone());
         let mut moves: Vec<RobotMove> = Vec::new();
-        let outcome = match activation {
-            Activation::All => {
-                let actions: Vec<Action<C::State>> = timed(&mut prof, Phase::Compute, || {
-                    parallel_map(n, self.config.threads, decide)
-                });
-                if tracing {
-                    moves = timed(&mut prof, Phase::Observe, || {
-                        world_moves(swarm, actions.iter().enumerate())
+        let mut pending: Vec<PendingMove> = Vec::new();
+        let (recorded_activation, activated, outcome) = if let Scheduler::Async {
+            seed,
+            staleness,
+        } = self.config.scheduler
+        {
+            self.step_async(
+                seed,
+                staleness,
+                ctx,
+                radius,
+                tracing,
+                &mut moves,
+                &mut pending,
+                &mut prof,
+            )
+        } else {
+            let activation =
+                timed(&mut prof, Phase::Activate, || self.config.scheduler.activate(self.round, n));
+            let activated = activation.len(n);
+            let swarm = &self.swarm;
+            let controller = &self.controller;
+            let decide = |i: usize| {
+                let view = View::new(swarm, i, radius);
+                controller.decide(&view, ctx)
+            };
+            let recorded_activation = tracing.then(|| activation.clone());
+            let outcome = match activation {
+                Activation::All => {
+                    let actions: Vec<Action<C::State>> = timed(&mut prof, Phase::Compute, || {
+                        parallel_map(n, self.config.threads, decide)
                     });
+                    if tracing {
+                        moves = timed(&mut prof, Phase::Observe, || {
+                            world_moves(swarm, actions.iter().enumerate())
+                        });
+                    }
+                    self.swarm.apply_threads_profiled(
+                        actions,
+                        self.config.threads,
+                        prof.as_deref_mut(),
+                    )
                 }
-                self.swarm.apply_threads_profiled(actions, self.config.threads, prof.as_deref_mut())
-            }
-            Activation::Subset(active) => {
-                let computed: Vec<Action<C::State>> = timed(&mut prof, Phase::Compute, || {
-                    parallel_map(active.len(), self.config.threads, |j| decide(active[j]))
-                });
-                if tracing {
-                    moves = timed(&mut prof, Phase::Observe, || {
-                        world_moves(swarm, active.iter().copied().zip(computed.iter()))
+                Activation::Subset(active) => {
+                    let computed: Vec<Action<C::State>> = timed(&mut prof, Phase::Compute, || {
+                        parallel_map(active.len(), self.config.threads, |j| decide(active[j]))
                     });
+                    if tracing {
+                        moves = timed(&mut prof, Phase::Observe, || {
+                            world_moves(swarm, active.iter().copied().zip(computed.iter()))
+                        });
+                    }
+                    // Sparse apply: O(activated ∪ moved), never the O(n)
+                    // scatter into a full Option vector. Bit-identical to
+                    // the dense partial apply (the equivalence proptests and
+                    // the trace replay oracle both pin this).
+                    self.swarm.apply_sparse_threads_profiled(
+                        &active,
+                        computed,
+                        self.config.threads,
+                        prof.as_deref_mut(),
+                    )
                 }
-                // Sparse apply: O(activated ∪ moved), never the O(n)
-                // scatter into a full Option vector. Bit-identical to
-                // the dense partial apply (the equivalence proptests and
-                // the trace replay oracle both pin this).
-                self.swarm.apply_sparse_threads_profiled(
-                    &active,
-                    computed,
-                    self.config.threads,
-                    prof.as_deref_mut(),
-                )
-            }
+            };
+            (recorded_activation, activated, outcome)
         };
         let stats = RoundStats {
             round: self.round,
@@ -292,6 +315,7 @@ impl<C: Controller> Engine<C> {
                     round: stats.round,
                     activated: recorded_activation.expect("cloned when tracing"),
                     moves,
+                    pending,
                     merged: stats.merged as u32,
                     population: swarm.len() as u32,
                     digest: swarm.position_digest(),
@@ -334,6 +358,112 @@ impl<C: Controller> Engine<C> {
         }
         invariants?;
         Ok(stats)
+    }
+
+    /// One ASYNC round (the [`Scheduler::Async`] extension of the round
+    /// loop). The look-compute-move cycle is decoupled: the robots not
+    /// mid-flight *look* against the start-of-round swarm and draw a
+    /// seeded delay `d ∈ 0..=staleness`; `d = 0` commits this round,
+    /// `d >= 1` parks the move in the swarm (handle-keyed). The commit
+    /// set — parked moves falling due plus this round's delay-0 looks —
+    /// goes through the sparse O(active) apply, so in-flight robots are
+    /// stationary incumbents under the existing order-free merge rule
+    /// and results stay bit-identical across thread counts. Returns the
+    /// observer's activation record (the look set), the activation
+    /// count, and the apply outcome.
+    #[allow(clippy::too_many_arguments)]
+    fn step_async(
+        &mut self,
+        seed: u64,
+        staleness: u32,
+        ctx: RoundCtx,
+        radius: i32,
+        tracing: bool,
+        moves: &mut Vec<RobotMove>,
+        pending: &mut Vec<PendingMove>,
+        prof: &mut Option<&mut RoundProfile>,
+    ) -> (Option<Activation>, usize, crate::swarm::ApplyOutcome) {
+        let n = self.swarm.len();
+        // The look set: every robot not mid-flight, in slot order.
+        // Legitimately empty when everyone is in flight — such a round
+        // is a true no-op unless parked moves fall due below.
+        let look: Vec<usize> = timed(prof, Phase::Activate, || {
+            (0..n).filter(|&i| !self.swarm.is_in_flight(i)).collect()
+        });
+        let activated = look.len();
+        let recorded_activation = tracing.then(|| {
+            if activated == n {
+                Activation::All
+            } else {
+                Activation::Subset(look.clone())
+            }
+        });
+        let swarm = &self.swarm;
+        let controller = &self.controller;
+        let computed: Vec<Action<C::State>> = timed(prof, Phase::Compute, || {
+            parallel_map(look.len(), self.config.threads, |j| {
+                let view = View::new(swarm, look[j], radius);
+                controller.decide(&view, ctx)
+            })
+        });
+        // Split this round's looks by their seeded delay, then merge the
+        // delay-0 ones with the earlier looks falling due now. Both
+        // lists are slot-sorted and disjoint (a due robot was in flight,
+        // hence outside the look set), so a linear merge preserves the
+        // sparse apply's sorted-activation contract.
+        let (commit_slots, commit_actions) = timed(prof, Phase::Activate, || {
+            let mut immediate: Vec<(usize, Action<C::State>)> = Vec::new();
+            for (j, action) in computed.into_iter().enumerate() {
+                let i = look[j];
+                let d = async_delay(seed, staleness, ctx.round, self.swarm.handles()[i]);
+                if d == 0 {
+                    immediate.push((i, action));
+                } else {
+                    if tracing {
+                        // Pending records keep the zero step: a robot
+                        // that decided to stay is still in flight.
+                        let step = self.swarm.orients()[i].apply(action.step);
+                        pending.push(PendingMove {
+                            robot: i as u32,
+                            dx: step.x as i8,
+                            dy: step.y as i8,
+                            delay: d as u32,
+                        });
+                    }
+                    self.swarm.park(i, ctx.round + d, action);
+                }
+            }
+            let due = self.swarm.take_due(ctx.round);
+            let mut slots = Vec::with_capacity(due.len() + immediate.len());
+            let mut actions = Vec::with_capacity(due.len() + immediate.len());
+            let mut due = due.into_iter().peekable();
+            let mut immediate = immediate.into_iter().peekable();
+            loop {
+                let from_due = match (due.peek(), immediate.peek()) {
+                    (Some(d), Some(m)) => d.0 < m.0,
+                    (Some(_), None) => true,
+                    (None, Some(_)) => false,
+                    (None, None) => break,
+                };
+                let (slot, action) =
+                    if from_due { due.next() } else { immediate.next() }.expect("peeked Some");
+                slots.push(slot);
+                actions.push(action);
+            }
+            (slots, actions)
+        });
+        if tracing {
+            *moves = timed(prof, Phase::Observe, || {
+                world_moves(&self.swarm, commit_slots.iter().copied().zip(commit_actions.iter()))
+            });
+        }
+        let outcome = self.swarm.apply_sparse_threads_profiled(
+            &commit_slots,
+            commit_actions,
+            self.config.threads,
+            prof.as_deref_mut(),
+        );
+        (recorded_activation, activated, outcome)
     }
 
     /// Run until gathered or until `max_rounds` have elapsed.
@@ -670,6 +800,100 @@ mod tests {
         assert_eq!(recs[0].moves, vec![RobotMove { robot: 0, dx: 1, dy: 0 }]);
         assert_eq!(recs[0].merged, 1);
         assert_eq!(recs[0].population, 1);
+    }
+
+    /// Collect the full observer record stream of an ASYNC run over a
+    /// fixed number of unchecked rounds.
+    fn async_record_stream(
+        pts: &[Point],
+        threads: usize,
+        scheduler: Scheduler,
+        rounds: usize,
+    ) -> (Vec<RoundRecord>, u64) {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        let records: Rc<RefCell<Vec<RoundRecord>>> = Rc::default();
+        let mut engine = Engine::from_positions(
+            pts,
+            OrientationMode::Scrambled(5),
+            MarchEast,
+            EngineConfig {
+                threads,
+                scheduler,
+                connectivity: ConnectivityCheck::Never,
+                ..Default::default()
+            },
+        );
+        let sink = records.clone();
+        engine.set_observer(Box::new(move |rec| sink.borrow_mut().push(rec.clone())));
+        for _ in 0..rounds {
+            engine.step().expect("unchecked steps cannot fail");
+        }
+        let digest = engine.swarm.position_digest();
+        drop(engine);
+        (Rc::try_unwrap(records).map(RefCell::into_inner).expect("engine dropped"), digest)
+    }
+
+    #[test]
+    fn async_is_bit_identical_across_threads() {
+        let pts: Vec<Point> = (0..64).map(|x| Point::new(x, 0)).collect();
+        let scheduler = Scheduler::Async { seed: 17, staleness: 3 };
+        let reference = async_record_stream(&pts, 1, scheduler, 40);
+        assert_eq!(reference.0.len(), 40);
+        for threads in [2usize, 3, 8] {
+            assert_eq!(
+                async_record_stream(&pts, threads, scheduler, 40),
+                reference,
+                "threads={threads}: ASYNC evolution depends on thread count"
+            );
+        }
+    }
+
+    #[test]
+    fn async_staleness_zero_degenerates_to_fsync() {
+        // With staleness 0 every delay draw is 0, so the ASYNC path is
+        // the FSYNC round loop routed through the in-flight machinery —
+        // the record streams must be indistinguishable.
+        let pts: Vec<Point> = (0..16).map(|x| Point::new(x, 0)).collect();
+        let fsync = async_record_stream(&pts, 1, Scheduler::Fsync, 15);
+        let degenerate =
+            async_record_stream(&pts, 1, Scheduler::Async { seed: 99, staleness: 0 }, 15);
+        assert_eq!(degenerate, fsync);
+    }
+
+    #[test]
+    fn async_decouples_look_from_move() {
+        let staleness = 3u32;
+        let pts: Vec<Point> = (0..32).map(|x| Point::new(x, 0)).collect();
+        let (records, final_digest) =
+            async_record_stream(&pts, 1, Scheduler::Async { seed: 7, staleness }, 30);
+        assert_eq!(records.last().unwrap().digest, final_digest);
+        let mut saw_pending = false;
+        let mut saw_stale_commit = false;
+        for rec in &records {
+            let looked: Vec<u32> = match &rec.activated {
+                Activation::All => (0..rec.population + rec.merged).collect(),
+                Activation::Subset(s) => s.iter().map(|&i| i as u32).collect(),
+            };
+            // Parked moves come only from robots that looked this round,
+            // with an honest delay; committed moves from robots *not* in
+            // the look set are the stale moves falling due.
+            for p in &rec.pending {
+                saw_pending = true;
+                assert!(looked.binary_search(&p.robot).is_ok(), "parked without looking");
+                assert!((1..=staleness).contains(&p.delay), "delay {} out of range", p.delay);
+            }
+            for m in &rec.moves {
+                if looked.binary_search(&m.robot).is_err() {
+                    saw_stale_commit = true;
+                }
+                assert!((m.dx, m.dy) != (0, 0), "zero-step committed move recorded");
+            }
+            assert!(rec.moves.windows(2).all(|w| w[0].robot < w[1].robot), "unsorted moves");
+            assert!(rec.pending.windows(2).all(|w| w[0].robot < w[1].robot), "unsorted pending");
+        }
+        assert!(saw_pending, "staleness 3 never parked a move in 30 rounds");
+        assert!(saw_stale_commit, "no move ever committed after its look round");
     }
 
     #[test]

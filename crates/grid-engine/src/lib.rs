@@ -47,7 +47,7 @@ pub use engine::{
 };
 pub use geom::{Bounds, Point, D4, V2};
 pub use metrics::{Metrics, RoundStats};
-pub use observe::{BoxedRoundObserver, RobotMove, RoundRecord};
+pub use observe::{BoxedRoundObserver, PendingMove, RobotMove, RoundRecord};
 pub use profile::{
     allocation_count, BoxedProfileSink, Phase, ProfileTotals, RoundProfile, PHASE_COUNT,
 };

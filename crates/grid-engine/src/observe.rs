@@ -28,16 +28,44 @@ pub struct RobotMove {
     pub dy: i8,
 }
 
+/// A move *parked* this round under an ASYNC scheduler: robot `robot`
+/// looked this round and will execute the world-frame step
+/// (`dx`, `dy`) in `delay` rounds (`delay >= 1`; delay-0 looks commit
+/// immediately and appear in [`RoundRecord::moves`] instead). Unlike
+/// [`RobotMove`], the zero step is listed too — a robot that decided
+/// to stay is still in flight and cannot look again until its
+/// (empty) move falls due.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PendingMove {
+    pub robot: u32,
+    pub dx: i8,
+    pub dy: i8,
+    /// Rounds until the move commits, `1..=staleness`.
+    pub delay: u32,
+}
+
 /// Everything observable about one engine round.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct RoundRecord {
     /// The engine's round counter when the round started.
     pub round: u64,
-    /// The scheduler's activation set for the round.
+    /// The robots that *looked* this round: the scheduler's activation
+    /// set, minus (under ASYNC) the robots mid-flight between look and
+    /// move. Under ASYNC this subset may legitimately be empty — a
+    /// round where every robot is in flight and none falls due is a
+    /// true no-op round.
     pub activated: Activation,
     /// World-frame moves of the robots that changed position, in robot
-    /// index order (pre-merge indices).
+    /// index order (pre-merge indices). Under ASYNC these are the moves
+    /// that *committed* this round, which can include robots outside
+    /// `activated` (their look happened rounds ago).
     pub moves: Vec<RobotMove>,
+    /// Moves parked this round by an ASYNC scheduler, in robot index
+    /// order; empty under every synchronous policy. Carried in the v2
+    /// trace format so a resumed replay can reconstruct in-flight
+    /// state; positions-only playback ignores it (pending moves do not
+    /// touch positions until they commit and show up in `moves`).
+    pub pending: Vec<PendingMove>,
     /// Robots removed by merges this round.
     pub merged: u32,
     /// Robots alive after the round.
@@ -64,6 +92,7 @@ mod tests {
             round: 3,
             activated: Activation::All,
             moves: vec![RobotMove { robot: 1, dx: 1, dy: 0 }],
+            pending: vec![PendingMove { robot: 2, dx: 0, dy: 0, delay: 2 }],
             merged: 1,
             population: 7,
             digest: 42,
@@ -72,5 +101,8 @@ mod tests {
         assert_eq!(a, b);
         b.moves[0].dy = -1;
         assert_ne!(a, b);
+        let mut c = a.clone();
+        c.pending[0].delay = 3;
+        assert_ne!(a, c, "pending state is part of the record identity");
     }
 }

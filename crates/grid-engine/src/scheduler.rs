@@ -19,10 +19,18 @@
 //! * [`Scheduler::Crash`] — crash-stop faults: up to `f` seeded victims
 //!   are permanently deactivated from their seeded crash round on,
 //!   everyone else runs fully synchronously.
+//! * [`Scheduler::Async`] — true look/move decoupling: every activation
+//!   is a *look* whose move commits up to `staleness` rounds later, so
+//!   robots act on stale snapshots (the literature's ASYNC adversary,
+//!   discretised to the engine's round clock).
 //!
 //! Activation sets are pure functions of `(policy, round, n)`, so runs
 //! stay reproducible across thread counts, which the campaign resume
-//! and determinism tests rely on.
+//! and determinism tests rely on. The ASYNC policy additionally keeps
+//! per-robot in-flight state — that state lives in the
+//! [`Swarm`](crate::Swarm) (the engine's deterministic round state),
+//! not here, so the policy itself stays a pure function; see
+//! [`Scheduler::Async`] for the division of labour.
 
 /// SplitMix64: the seeding mix used everywhere the workspace needs a
 /// cheap, statistically solid hash of small integers — scheduler
@@ -87,6 +95,25 @@ pub enum Scheduler {
         /// "use the live count" (only sensible for swarms that do not
         /// merge).
         n0: u32,
+    },
+    /// True asynchrony: a robot's *look* (view snapshot + compute) and
+    /// its *move* are decoupled. Each look draws a seeded delay
+    /// `d ∈ 0..=staleness`; the move commits `d` rounds later, during
+    /// which the robot is *in flight* — it holds its position, cannot
+    /// look again, and other robots observe it where it was when it
+    /// looked. `staleness = 0` degenerates to FSYNC.
+    ///
+    /// Division of labour: [`Scheduler::activate`] returns the *look
+    /// candidates* ([`Activation::All`]); the engine removes mid-flight
+    /// robots (state a pure `(policy, round, n)` function cannot see —
+    /// the in-flight set lives in the swarm) and draws each look's
+    /// delay from `(seed, round, handle)`, so the whole schedule is
+    /// still a deterministic function of the run.
+    Async {
+        seed: u64,
+        /// Maximum rounds between a look and its move, `>= 1` for real
+        /// asynchrony (`0` is FSYNC).
+        staleness: u32,
     },
 }
 
@@ -181,8 +208,22 @@ impl Scheduler {
                 }
                 Activation::Subset(active)
             }
+            // Every robot is a look *candidate* each round; the engine
+            // filters out the in-flight ones (swarm state this pure
+            // function cannot see) and schedules the moves.
+            Scheduler::Async { .. } => Activation::All,
         }
     }
+}
+
+/// The seeded look→move delay for one ASYNC look: uniform over
+/// `0..=staleness`, pure in `(seed, round, handle)`. Keyed by the
+/// robot's stable *handle* (not its dense slot), so compactions after
+/// merges never re-roll another robot's schedule — the property the
+/// cross-thread bit-identity of ASYNC runs rests on.
+pub(crate) fn async_delay(seed: u64, staleness: u32, round: u64, handle: u32) -> u64 {
+    let round_key = splitmix64(seed ^ round.wrapping_mul(0xa076_1d64_78bd_642f));
+    splitmix64(round_key ^ u64::from(handle)) % (u64::from(staleness) + 1)
 }
 
 #[cfg(test)]
@@ -358,5 +399,54 @@ mod tests {
     #[test]
     fn crash_f0_is_fsync() {
         assert_eq!(Scheduler::Crash { seed: 1, f: 0, n0: 9 }.activate(7, 9), Activation::All);
+    }
+
+    #[test]
+    fn async_activates_all_look_candidates() {
+        // The in-flight filter is the engine's job; the pure policy
+        // nominates everyone.
+        for round in 0..10 {
+            assert_eq!(
+                Scheduler::Async { seed: 3, staleness: 4 }.activate(round, 7),
+                Activation::All
+            );
+        }
+    }
+
+    #[test]
+    fn async_delay_is_bounded_seeded_and_handle_keyed() {
+        for staleness in [0u32, 1, 4, 7] {
+            for round in 0..50u64 {
+                for handle in 0..20u32 {
+                    let d = async_delay(11, staleness, round, handle);
+                    assert!(d <= u64::from(staleness), "delay {d} > staleness {staleness}");
+                    assert_eq!(d, async_delay(11, staleness, round, handle), "not reproducible");
+                }
+            }
+        }
+        // Different handles (and different rounds) decorrelate: with
+        // staleness 4 the draws cannot all coincide.
+        let spread: std::collections::BTreeSet<u64> =
+            (0..32u32).map(|h| async_delay(11, 4, 3, h)).collect();
+        assert!(spread.len() > 1, "delays degenerate across handles");
+        let spread: std::collections::BTreeSet<u64> =
+            (0..32u64).map(|r| async_delay(11, 4, r, 3)).collect();
+        assert!(spread.len() > 1, "delays degenerate across rounds");
+    }
+
+    #[test]
+    fn async_delay_rate_is_roughly_uniform() {
+        let staleness = 3u32;
+        let mut counts = [0usize; 4];
+        for round in 0..200u64 {
+            for handle in 0..16u32 {
+                counts[async_delay(9, staleness, round, handle) as usize] += 1;
+            }
+        }
+        let total: usize = counts.iter().sum();
+        for (d, &c) in counts.iter().enumerate() {
+            let rate = c as f64 / total as f64;
+            assert!((rate - 0.25).abs() < 0.05, "delay {d} rate {rate}");
+        }
     }
 }

@@ -166,6 +166,16 @@ pub struct Swarm<S: RobotState> {
     /// occupancy index stores handles, so compaction only rewrites this
     /// flat array and never touches tile cells.
     slot_of: Vec<u32>,
+    /// ASYNC in-flight moves, keyed by *handle* so compaction never has
+    /// to touch this store: `pending[h]` holds the round the parked
+    /// action falls due plus the action itself (in the robot's local
+    /// frame — orientations are fixed at birth, so a deferred
+    /// local-frame step means the same world step whenever it commits).
+    /// Lazily sized; empty for every synchronous scheduler.
+    pending: Vec<Option<(u64, Action<S>)>>,
+    /// Handles with a live `pending` entry (the O(in-flight) working
+    /// set [`Swarm::take_due`] scans, instead of all handles).
+    in_flight: Vec<u32>,
     index: TileIndex,
     scratch: RoundScratch<S>,
 }
@@ -233,6 +243,8 @@ impl<S: RobotState> Swarm<S> {
             orients,
             handles: (0..n as u32).collect(),
             slot_of: (0..n as u32).collect(),
+            pending: Vec::new(),
+            in_flight: Vec::new(),
             index,
             scratch: RoundScratch::default(),
         }
@@ -282,6 +294,77 @@ impl<S: RobotState> Swarm<S> {
         let slot = self.slot_of[handle as usize];
         debug_assert_ne!(slot, u32::MAX, "index cell held a merged-away handle");
         slot as usize
+    }
+
+    /// Stable handles of the live robots, parallel to
+    /// [`Swarm::positions`] (a robot's handle is its initial index,
+    /// never reused). The ASYNC engine keys its per-robot delay draws
+    /// by handle so merges cannot re-roll another robot's schedule.
+    pub fn handles(&self) -> &[u32] {
+        &self.handles
+    }
+
+    /// Is the robot in dense slot `slot` mid-flight between an ASYNC
+    /// look and its move? In-flight robots hold position, cannot look
+    /// again, and (being stationary) always win the merges other
+    /// robots walk into.
+    #[inline]
+    pub fn is_in_flight(&self, slot: usize) -> bool {
+        let h = self.handles[slot] as usize;
+        self.pending.get(h).is_some_and(Option::is_some)
+    }
+
+    /// Robots currently mid-flight (diagnostics and tests).
+    pub fn in_flight_count(&self) -> usize {
+        self.in_flight.len()
+    }
+
+    /// Park an ASYNC move: the robot in `slot` looked this round and
+    /// its `action` commits in the round where [`Swarm::take_due`] is
+    /// called with `round >= due`. The action is stored in the robot's
+    /// local frame (orientations never change after birth, so deferral
+    /// commutes with the frame transform). A robot can hold at most one
+    /// pending move — it cannot look while in flight.
+    pub fn park(&mut self, slot: usize, due: u64, action: Action<S>) {
+        let h = self.handles[slot] as usize;
+        if self.pending.len() <= h {
+            self.pending.resize_with(self.slot_of.len(), || None);
+        }
+        debug_assert!(self.pending[h].is_none(), "robot {h} parked twice without committing");
+        self.pending[h] = Some((due, action));
+        self.in_flight.push(h as u32);
+    }
+
+    /// Drain every parked move that falls due at `round`, returning
+    /// `(dense slot, action)` pairs sorted by slot — exactly the shape
+    /// [`Swarm::apply_sparse`] wants to merge with the round's
+    /// immediate movers. Deterministic regardless of park order: the
+    /// store is keyed by handle and the output is slot-sorted. Handles
+    /// merged away while in flight are dropped defensively (in-flight
+    /// robots are stationary and stationary robots win merges, so this
+    /// cannot happen under the engine's own scheduling).
+    pub fn take_due(&mut self, round: u64) -> Vec<(usize, Action<S>)> {
+        let mut out: Vec<(usize, Action<S>)> = Vec::new();
+        let mut w = 0usize;
+        for k in 0..self.in_flight.len() {
+            let h = self.in_flight[k] as usize;
+            let slot = self.slot_of[h];
+            if slot == u32::MAX {
+                self.pending[h] = None;
+                continue;
+            }
+            let due = self.pending[h].as_ref().expect("in-flight handle has a pending entry").0;
+            if due <= round {
+                let (_, action) = self.pending[h].take().expect("checked above");
+                out.push((slot as usize, action));
+            } else {
+                self.in_flight[w] = h as u32;
+                w += 1;
+            }
+        }
+        self.in_flight.truncate(w);
+        out.sort_unstable_by_key(|&(slot, _)| slot);
+        out
     }
 
     /// Bounding box of the swarm, derived from the occupancy index's
@@ -1286,6 +1369,44 @@ mod tests {
         let b2 = Bounds { min: Point::new(0, 0), max: Point::new(1, 1) };
         assert!(gathered_check(4, || b2));
         assert!(!gathered_check(3, || Bounds { min: Point::new(0, 0), max: Point::new(2, 0) }));
+    }
+
+    #[test]
+    fn pending_store_parks_and_drains_by_slot() {
+        let mut s: Swarm<()> = Swarm::new(&line(5), OrientationMode::Aligned);
+        assert_eq!(s.in_flight_count(), 0);
+        // Park out of slot order with different due rounds.
+        s.park(3, 2, Action { step: V2::E, state: () });
+        s.park(1, 1, Action { step: V2::W, state: () });
+        s.park(4, 1, Action::stay(()));
+        assert_eq!(s.in_flight_count(), 3);
+        assert!(s.is_in_flight(1) && s.is_in_flight(3) && s.is_in_flight(4));
+        assert!(!s.is_in_flight(0) && !s.is_in_flight(2));
+        assert!(s.take_due(0).is_empty(), "nothing due before round 1");
+        let due: Vec<usize> = s.take_due(1).into_iter().map(|(slot, _)| slot).collect();
+        assert_eq!(due, vec![1, 4], "due moves drain sorted by slot");
+        assert_eq!(s.in_flight_count(), 1);
+        assert!(!s.is_in_flight(1) && s.is_in_flight(3));
+        let due: Vec<usize> = s.take_due(2).into_iter().map(|(slot, _)| slot).collect();
+        assert_eq!(due, vec![3]);
+        assert_eq!(s.in_flight_count(), 0);
+    }
+
+    #[test]
+    fn pending_store_survives_compaction_via_handles() {
+        // Robot 3 parks; robots 0 and 1 then merge (0 marches onto 1),
+        // compacting the dense arrays. The parked entry is keyed by
+        // handle, so it must still resolve to robot 3's new slot.
+        let mut s: Swarm<()> = Swarm::new(&line(4), OrientationMode::Aligned);
+        s.park(3, 5, Action { step: V2::W, state: () });
+        let out = s.apply_sparse(&[0], vec![Action { step: V2::E, state: () }]);
+        assert_eq!(out.merged, 1);
+        assert_eq!(s.len(), 3);
+        let slot3 = s.robot_at(Point::new(3, 0)).expect("robot 3 still present");
+        assert!(s.is_in_flight(slot3), "pending entry lost across compaction");
+        let due = s.take_due(5);
+        assert_eq!(due.len(), 1);
+        assert_eq!(due[0].0, slot3);
     }
 
     /// The parallel prefix-sum compaction must agree with the serial

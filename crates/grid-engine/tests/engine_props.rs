@@ -209,6 +209,68 @@ proptest! {
     }
 }
 
+/// An ASYNC engine round must be explainable by the dense oracle:
+/// scattering each round's *committed* world-frame moves into a full
+/// `Option` vector and pushing it through the dense partial apply
+/// reproduces the engine's per-round digests and populations — for
+/// every thread count, so the sparse in-flight path and the dense
+/// reference stay bit-identical under staleness.
+#[test]
+fn async_engine_rounds_match_dense_oracle_across_threads() {
+    use std::cell::RefCell;
+    use std::rc::Rc;
+    struct MarchEast;
+    impl Controller for MarchEast {
+        type State = ();
+        fn radius(&self) -> i32 {
+            2
+        }
+        fn decide(&self, view: &View<'_, ()>, _ctx: RoundCtx) -> Action<()> {
+            if view.occupied(V2::E) {
+                Action { step: V2::E, state: () }
+            } else {
+                Action::stay(())
+            }
+        }
+    }
+    let pts: Vec<Point> = (0..48).map(|x| Point::new(x, 0)).collect();
+    for threads in [1usize, 2, 3, 8] {
+        let records: Rc<RefCell<Vec<RoundRecord>>> = Rc::default();
+        let mut engine = Engine::from_positions(
+            &pts,
+            OrientationMode::Scrambled(5),
+            MarchEast,
+            EngineConfig {
+                threads,
+                scheduler: Scheduler::Async { seed: 23, staleness: 4 },
+                connectivity: ConnectivityCheck::Never,
+                ..Default::default()
+            },
+        );
+        let sink = records.clone();
+        engine.set_observer(Box::new(move |rec| sink.borrow_mut().push(rec.clone())));
+        for _ in 0..40 {
+            engine.step().expect("unchecked steps cannot fail");
+        }
+        drop(engine);
+        let mut oracle: Swarm<()> = Swarm::new(&pts, OrientationMode::Aligned);
+        for rec in records.borrow().iter() {
+            let mut all: Vec<Option<Action<()>>> = (0..oracle.len()).map(|_| None).collect();
+            for m in &rec.moves {
+                all[m.robot as usize] =
+                    Some(Action { step: V2::new(m.dx.into(), m.dy.into()), state: () });
+            }
+            oracle.apply_partial(all);
+            assert_eq!(
+                (oracle.position_digest(), oracle.len() as u32),
+                (rec.digest, rec.population),
+                "round {} diverged from the dense oracle, threads={threads}",
+                rec.round,
+            );
+        }
+    }
+}
+
 /// Above the parallel threshold, the *public* apply engages the sharded
 /// path on its own — this pins the integrated behaviour (not just the
 /// doc-hidden test hook) to the sequential reference across thread
